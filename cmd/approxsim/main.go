@@ -1,0 +1,236 @@
+// Command approxsim runs a single data-center simulation — full-fidelity,
+// hybrid (approximated), or flow-level — and prints a workload summary.
+//
+// Usage:
+//
+//	approxsim -mode full -clusters 4 -dur 10 -load 0.4
+//	approxsim -mode hybrid -clusters 8 -models models.bin
+//	approxsim -mode fluid -clusters 4
+//
+// Hybrid mode loads models produced by the trainmodel command; if -models
+// is omitted it trains a small model in-process first (convenient for
+// exploration, slower to start).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"approxsim/internal/core"
+	"approxsim/internal/des"
+	"approxsim/internal/flowsim"
+	"approxsim/internal/nn"
+	"approxsim/internal/packet"
+	"approxsim/internal/topology"
+	"approxsim/internal/traffic"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "full", "full | hybrid | blackbox | fluid")
+		clusters = flag.Int("clusters", 2, "number of clusters (4 switches + 8 servers each)")
+		durMS    = flag.Int("dur", 5, "virtual milliseconds of flow arrivals")
+		load     = flag.Float64("load", 0.4, "offered load fraction of host bandwidth")
+		seed     = flag.Uint64("seed", 1, "root random seed")
+		pattern  = flag.String("pattern", "uniform", "uniform | intercluster | intracluster | incast")
+		models   = flag.String("models", "", "model bundle from trainmodel (hybrid mode)")
+		dctcp    = flag.Bool("dctcp", false, "run DCTCP instead of TCP New Reno (shallow ECN marking everywhere)")
+		workload = flag.String("workload", "websearch", "flow-size distribution: websearch | datamining")
+	)
+	flag.Parse()
+	if err := run(*mode, *clusters, *durMS, *load, *seed, *pattern, *models, *dctcp, *workload); err != nil {
+		fmt.Fprintln(os.Stderr, "approxsim:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePattern(s string) (traffic.Pattern, error) {
+	switch s {
+	case "uniform":
+		return traffic.Uniform, nil
+	case "intercluster":
+		return traffic.InterCluster, nil
+	case "intracluster":
+		return traffic.IntraCluster, nil
+	case "incast":
+		return traffic.Incast, nil
+	default:
+		return 0, fmt.Errorf("unknown pattern %q", s)
+	}
+}
+
+func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, modelPath string, dctcp bool, workload string) error {
+	pat, err := parsePattern(pattern)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Clusters: clusters,
+		Duration: des.Time(durMS) * des.Millisecond,
+		Load:     load,
+		Seed:     seed,
+		Pattern:  pat,
+		DCTCP:    dctcp,
+	}
+	switch workload {
+	case "websearch":
+		cfg.SizeCDF = traffic.WebSearchCDF()
+	case "datamining":
+		cfg.SizeCDF = traffic.DataMiningCDF()
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	switch mode {
+	case "full":
+		res, err := core.RunFull(cfg, false)
+		if err != nil {
+			return err
+		}
+		report("full", res)
+		return nil
+	case "hybrid":
+		m, err := obtainModels(cfg, modelPath, seed)
+		if err != nil {
+			return err
+		}
+		res, err := core.RunHybrid(cfg, m)
+		if err != nil {
+			return err
+		}
+		report("hybrid", res)
+		for i, fs := range res.FabricStats {
+			fmt.Printf("fabric[%d]: egress=%d ingress=%d drops=%d/%d conflicts=%d\n",
+				i, fs.EgressPackets, fs.IngressPackets,
+				fs.EgressDrops, fs.IngressDrops, fs.Conflicts)
+		}
+		return nil
+	case "blackbox":
+		m, err := obtainBlackBoxModels(cfg, modelPath, seed)
+		if err != nil {
+			return err
+		}
+		res, err := core.RunBlackBox(cfg, m)
+		if err != nil {
+			return err
+		}
+		report("blackbox", res)
+		s := res.FabricStats[0]
+		fmt.Printf("blackbox: outbound=%d inbound=%d drops=%d/%d conflicts=%d\n",
+			s.EgressPackets, s.IngressPackets, s.EgressDrops, s.IngressDrops, s.Conflicts)
+		return nil
+	case "fluid":
+		return runFluid(cfg)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// obtainModels loads a trained bundle or, if none was given, trains a small
+// one in-process from a fresh 2-cluster capture.
+func obtainModels(cfg core.Config, path string, seed uint64) (*core.Models, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.LoadModels(f)
+	}
+	fmt.Fprintln(os.Stderr, "approxsim: no -models given; training a small model in-process")
+	trainCfg := cfg
+	trainCfg.Clusters = 2
+	full, err := core.RunFull(trainCfg, true)
+	if err != nil {
+		return nil, err
+	}
+	return core.TrainModels(full.Records, trainCfg.TopologyConfig(), core.TrainOptions{
+		Hidden: 16, Layers: 1,
+		NN:   nn.TrainConfig{LR: 0.02, Batches: 300, Batch: 16, BPTT: 16, Seed: seed},
+		Seed: seed,
+	})
+}
+
+// obtainBlackBoxModels loads or trains models for the whole-network
+// boundary (the -mode blackbox path trains fresh when no bundle is given,
+// since cluster-boundary bundles are not interchangeable with it).
+func obtainBlackBoxModels(cfg core.Config, path string, seed uint64) (*core.Models, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.LoadModels(f)
+	}
+	fmt.Fprintln(os.Stderr, "approxsim: training whole-network black-box models in-process")
+	trainCfg := cfg
+	if trainCfg.Clusters < 2 {
+		trainCfg.Clusters = 2
+	}
+	full, err := core.RunFullWithCapture(trainCfg, core.CaptureWholeNet)
+	if err != nil {
+		return nil, err
+	}
+	return core.TrainModels(full.Records, trainCfg.TopologyConfig(), core.TrainOptions{
+		Hidden: 16, Layers: 1,
+		NN:   nn.TrainConfig{LR: 0.02, Batches: 300, Batch: 16, BPTT: 16, Seed: seed},
+		Seed: seed,
+	})
+}
+
+func runFluid(cfg core.Config) error {
+	topoCfg := cfg.TopologyConfig()
+	topo, err := topology.Build(des.NewKernel(), topoCfg)
+	if err != nil {
+		return err
+	}
+	hosts := make([]packet.HostID, len(topo.Hosts))
+	for i := range hosts {
+		hosts[i] = packet.HostID(i)
+	}
+	specs, err := traffic.GenerateSpecs(traffic.Config{
+		Load:             cfg.Load,
+		HostBandwidthBps: topoCfg.HostLink.BandwidthBps,
+		Seed:             cfg.Seed,
+	}, hosts, cfg.Duration)
+	if err != nil {
+		return err
+	}
+	sim := flowsim.New(topo)
+	for _, sp := range specs {
+		sim.Add(flowsim.Flow{ID: sp.ID, Src: sp.Src, Dst: sp.Dst, Size: sp.Size, Start: sp.At})
+	}
+	start := time.Now()
+	flows := sim.Run(cfg.Duration * 4)
+	wall := time.Since(start)
+	done := 0
+	var meanFCT float64
+	for _, f := range flows {
+		if f.Completed() {
+			done++
+			meanFCT += f.FCT().Seconds()
+		}
+	}
+	if done > 0 {
+		meanFCT /= float64(done)
+	}
+	fmt.Printf("mode=fluid flows=%d completed=%d mean_fct=%.6gs events=%d wall=%.4fs\n",
+		len(flows), done, meanFCT, sim.Events(), wall.Seconds())
+	return nil
+}
+
+func report(mode string, res *core.RunResult) {
+	s := res.Summary
+	fmt.Printf("mode=%s sim_time=%v wall=%.4fs sim_per_wall=%.4g events=%d\n",
+		mode, res.SimTime, res.Wall.Seconds(), res.SimSecondsPerSecond(), res.Events)
+	fmt.Printf("flows=%d completed=%d mean_fct=%.6gs p99_fct=%.6gs goodput=%.4g bps\n",
+		s.Flows, s.Completed, s.MeanFCT, s.P99FCT, s.GoodputBps)
+	fmt.Printf("retransmissions=%d timeouts=%d rtt_samples=%d\n",
+		s.Retrans, s.Timeouts, res.RTTs.Len())
+	if res.RTTs.Len() > 0 {
+		fmt.Printf("rtt p50=%.6gs p99=%.6gs\n",
+			res.RTTs.Quantile(0.5), res.RTTs.Quantile(0.99))
+	}
+}

@@ -1,0 +1,488 @@
+// Command figures regenerates the data series behind every measurement
+// figure in the paper's evaluation (Figs. 1, 4, 5; Figs. 2–3 are
+// architecture diagrams) plus the ablations DESIGN.md calls out.
+//
+// Usage:
+//
+//	figures -fig 1          # OMNeT++-style leaf-spine scaling, 1/2/4/8 LPs
+//	figures -fig 4          # RTT CDFs: full vs approximate (+ KS distance)
+//	figures -fig 5          # speedup vs cluster count (2/4/8/16)
+//	figures -fig events     # ablation: event counts full vs hybrid
+//	figures -fig alpha      # ablation: joint-loss alpha sweep
+//	figures -fig macro      # ablation: macro-state feature on/off
+//	figures -fig blackbox   # extension: section-7 single-black-box limit
+//	figures -fig flow       # ablation: flow-level baseline speed/accuracy
+//
+// Output is tab-separated series, one row per data point, mirroring the
+// figure's axes. Pass -dur/-load/-seed to vary the workload, and -quick to
+// shrink the sweep for smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"approxsim/internal/core"
+	"approxsim/internal/des"
+	"approxsim/internal/flowsim"
+	"approxsim/internal/macro"
+	"approxsim/internal/nn"
+	"approxsim/internal/packet"
+	"approxsim/internal/pdes"
+	"approxsim/internal/textplot"
+	"approxsim/internal/topology"
+	"approxsim/internal/traffic"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "which figure to regenerate: 1, 4, 5, events, alpha, macro, flow")
+		durMS   = flag.Int("dur", 0, "virtual milliseconds to simulate (0 = figure default)")
+		load    = flag.Float64("load", 0.4, "offered load as a fraction of host bandwidth")
+		seed    = flag.Uint64("seed", 1, "root random seed")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		paper   = flag.Bool("paper-scale", false, "train the paper's 2x128 LSTM (slow)")
+		batches = flag.Int("batches", 400, "training batches for figs 4/5")
+		sync    = flag.String("sync", "null", "PDES synchronization for fig 1: null | barrier")
+	)
+	flag.Parse()
+	trainBatches = *batches
+
+	var err error
+	switch *fig {
+	case "1":
+		err = fig1(*durMS, *load, *seed, *quick, *sync)
+	case "4":
+		err = fig4(*durMS, *load, *seed, *paper)
+	case "5":
+		err = fig5(*durMS, *load, *seed, *quick, *paper)
+	case "events":
+		err = figEvents(*durMS, *load, *seed)
+	case "alpha":
+		err = figAlpha(*durMS, *load, *seed)
+	case "macro":
+		err = figMacro(*durMS, *load, *seed)
+	case "blackbox":
+		err = figBlackBox(*durMS, *load, *seed)
+	case "flow":
+		err = figFlow(*durMS, *load, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: figures -fig {1|4|5|events|alpha|macro|blackbox|flow} [-dur ms] [-load f] [-seed n] [-quick]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+// fig1 reproduces Figure 1: simulated seconds per wall-clock second on
+// leaf-spine fabrics of growing size, single-threaded vs conservative PDES
+// with 2, 4, and 8 LPs (the paper's "1, 2, 4 machines" axis).
+func fig1(durMS int, load float64, seed uint64, quick bool, sync string) error {
+	if durMS == 0 {
+		durMS = 2
+	}
+	algo := pdes.NullMessages
+	if sync == "barrier" {
+		algo = pdes.Barrier
+	}
+	sizes := []int{4, 8, 16, 32, 64}
+	lpsSet := []int{1, 2, 4, 8}
+	if quick {
+		sizes = []int{4, 8}
+		lpsSet = []int{1, 2}
+	}
+	fmt.Println("# Figure 1: leaf-spine scaling, sim-seconds per wall-second")
+	fmt.Println("tors\tlps\tsim_per_wall\tevents\tnulls\tcross_pkts\tflows")
+	curves := map[int]*textplot.Series{}
+	var order []int
+	for _, n := range sizes {
+		for _, lps := range lpsSet {
+			if lps > n {
+				continue
+			}
+			res, err := pdes.RunLeafSpineSync(n, lps, load, des.Time(durMS)*des.Millisecond, seed, algo)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d\t%d\t%.6g\t%d\t%d\t%d\t%d\n",
+				n, lps, res.SimPerWall, res.Events, res.Nulls, res.CrossPkts, res.FlowsCompleted)
+			c, ok := curves[lps]
+			if !ok {
+				c = &textplot.Series{Name: fmt.Sprintf("%d LP(s)", lps)}
+				curves[lps] = c
+				order = append(order, lps)
+			}
+			c.X = append(c.X, float64(n))
+			c.Y = append(c.Y, res.SimPerWall)
+		}
+	}
+	var series []textplot.Series
+	for _, lps := range order {
+		series = append(series, *curves[lps])
+	}
+	fmt.Println()
+	fmt.Print(textplot.Plot("sim-seconds per wall-second vs ToR count (log y)",
+		series, 60, 14, false, true))
+	return nil
+}
+
+// trainBatches is settable from the command line (-batches).
+var trainBatches = 400
+
+// trainOnce runs the training pipeline shared by fig4/fig5: a 2-cluster
+// full-fidelity capture and a model fit.
+func trainOnce(durMS int, load float64, seed uint64, hidden, layers int, paperScale bool) (core.Config, *core.Models, error) {
+	cfg := core.Config{
+		Clusters: 2,
+		Duration: des.Time(durMS) * des.Millisecond,
+		Load:     load,
+		Seed:     seed,
+	}
+	full, err := core.RunFull(cfg, true)
+	if err != nil {
+		return cfg, nil, err
+	}
+	opts := core.TrainOptions{
+		Hidden: hidden, Layers: layers,
+		NN:         nn.TrainConfig{LR: 0.02, Batches: trainBatches, Batch: 16, BPTT: 16, Seed: seed},
+		Macro:      macro.Config{},
+		Seed:       seed,
+		PaperScale: paperScale,
+	}
+	if paperScale {
+		opts.NN = nn.TrainConfig{Seed: seed} // paper defaults: lr 1e-4, 50k batches
+	}
+	models, err := core.TrainModels(full.Records, cfg.TopologyConfig(), opts)
+	return cfg, models, err
+}
+
+// fig4 reproduces Figure 4: the CDF of RTTs observed by hosts in the
+// full-fidelity cluster, under full simulation and under approximation.
+func fig4(durMS int, load float64, seed uint64, paperScale bool) error {
+	if durMS == 0 {
+		durMS = 8
+	}
+	// Accuracy experiment: favor model capacity (2x32 LSTM by default).
+	cfg, models, err := trainOnce(durMS, load, seed, 32, 2, paperScale)
+	if err != nil {
+		return err
+	}
+	// Evaluate on a fresh seed so the model is not replaying its training
+	// workload.
+	cfg.Seed = seed + 1000
+	full, err := core.RunFull(cfg, false)
+	if err != nil {
+		return err
+	}
+	hybrid, err := core.RunHybrid(cfg, models)
+	if err != nil {
+		return err
+	}
+	cmp, err := core.CompareRTT(full, hybrid, 128)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Figure 4: CDF of packet RTTs, ground truth vs approximation")
+	fmt.Printf("# KS distance: %.4f (full n=%d, approx n=%d)\n",
+		cmp.KS, full.RTTs.Len(), hybrid.RTTs.Len())
+	fmt.Println("series\trtt_seconds\tcdf")
+	var fx, fy, ax, ay []float64
+	for _, p := range cmp.Full {
+		fmt.Printf("groundtruth\t%.9g\t%.4f\n", p.Value, p.P)
+		fx = append(fx, p.Value)
+		fy = append(fy, p.P)
+	}
+	for _, p := range cmp.Approx {
+		fmt.Printf("approx\t%.9g\t%.4f\n", p.Value, p.P)
+		ax = append(ax, p.Value)
+		ay = append(ay, p.P)
+	}
+	fmt.Println()
+	fmt.Print(textplot.CDFOverlay("CDF of packet RTTs (log x, seconds)",
+		"groundtruth", fx, fy, "approx", ax, ay, 64, 16))
+	return nil
+}
+
+// fig5 reproduces Figure 5: wall-clock speedup of the approximate simulation
+// over the full simulation as the cluster count grows.
+func fig5(durMS int, load float64, seed uint64, quick bool, paperScale bool) error {
+	if durMS == 0 {
+		durMS = 5
+	}
+	// Speed experiment: favor prediction cost (1x16 LSTM). The paper ran
+	// inference on a GPU where prediction is "a few matrix multiplications";
+	// on one CPU core the micro model's size IS the speed/accuracy knob
+	// (paper section 7), so the speed figure uses the smallest model that
+	// still tracks the fabric.
+	_, models, err := trainOnce(durMS, load, seed, 16, 1, paperScale)
+	if err != nil {
+		return err
+	}
+	counts := []int{2, 4, 8, 16}
+	if quick {
+		counts = []int{2, 4}
+	}
+	fmt.Println("# Figure 5: speedup of approximate vs full simulation")
+	fmt.Println("clusters\tspeedup\tevent_ratio\tfull_wall_s\thybrid_wall_s\tfull_events\thybrid_events")
+	var xs, ys, es []float64
+	for _, c := range counts {
+		cfg := core.Config{
+			Clusters: c,
+			Duration: des.Time(durMS) * des.Millisecond,
+			Load:     load,
+			Seed:     seed + uint64(c),
+		}
+		sp, err := core.MeasureSpeedup(cfg, models)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d\t%.3f\t%.3f\t%.4f\t%.4f\t%d\t%d\n",
+			c, sp.Speedup, sp.EventRatio,
+			sp.FullWall.Seconds(), sp.HybridWall.Seconds(),
+			sp.FullEvents, sp.HybridEvents)
+		xs = append(xs, float64(c))
+		ys = append(ys, sp.Speedup)
+		es = append(es, sp.EventRatio)
+	}
+	fmt.Println()
+	fmt.Print(textplot.Plot("speedup vs cluster count", []textplot.Series{
+		{Name: "wall-clock speedup", X: xs, Y: ys, Marker: '*'},
+		{Name: "event-count ratio", X: xs, Y: es, Marker: 'o'},
+	}, 56, 12, false, false))
+	return nil
+}
+
+// figEvents is the event-elision ablation: where do the events go when a
+// fabric is approximated?
+func figEvents(durMS int, load float64, seed uint64) error {
+	if durMS == 0 {
+		durMS = 5
+	}
+	_, models, err := trainOnce(durMS, load, seed, 16, 1, false)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Ablation: scheduler events per simulation variant (4 clusters)")
+	fmt.Println("variant\tevents\tflows_completed")
+	cfg := core.Config{Clusters: 4, Duration: des.Time(durMS) * des.Millisecond, Load: load, Seed: seed}
+	full, err := core.RunFull(cfg, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("full\t%d\t%d\n", full.Events, full.Summary.Completed)
+	hybrid, err := core.RunHybrid(cfg, models)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hybrid\t%d\t%d\n", hybrid.Events, hybrid.Summary.Completed)
+	for i, fs := range hybrid.FabricStats {
+		fmt.Printf("# fabric %d: egress=%d ingress=%d drops=%d/%d conflicts=%d\n",
+			i, fs.EgressPackets, fs.IngressPackets, fs.EgressDrops, fs.IngressDrops, fs.Conflicts)
+	}
+	return nil
+}
+
+// figAlpha sweeps the joint-loss weight (paper §4.2: L = L_drop + a*L_lat).
+func figAlpha(durMS int, load float64, seed uint64) error {
+	if durMS == 0 {
+		durMS = 6
+	}
+	cfg := core.Config{Clusters: 2, Duration: des.Time(durMS) * des.Millisecond, Load: load, Seed: seed}
+	full, err := core.RunFull(cfg, true)
+	if err != nil {
+		return err
+	}
+	evalCfg := cfg
+	evalCfg.Seed = seed + 1000
+	truth, err := core.RunFull(evalCfg, false)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Ablation: alpha (latency-loss weight) vs RTT accuracy")
+	fmt.Println("alpha\tks_distance")
+	for _, alpha := range []float64{0.1, 0.25, 0.5, 1.0} {
+		models, err := core.TrainModels(full.Records, cfg.TopologyConfig(), core.TrainOptions{
+			Hidden: 24, Layers: 1,
+			NN:   nn.TrainConfig{LR: 0.02, Alpha: alpha, Batches: 300, Batch: 16, BPTT: 16, Seed: seed},
+			Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		hybrid, err := core.RunHybrid(evalCfg, models)
+		if err != nil {
+			return err
+		}
+		cmp, err := core.CompareRTT(truth, hybrid, 64)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%.2f\t%.4f\n", alpha, cmp.KS)
+	}
+	return nil
+}
+
+// figMacro is the macro-model ablation: identical micro models trained and
+// applied with and without the macro congestion-state feature.
+func figMacro(durMS int, load float64, seed uint64) error {
+	if durMS == 0 {
+		durMS = 6
+	}
+	cfg := core.Config{Clusters: 2, Duration: des.Time(durMS) * des.Millisecond, Load: load, Seed: seed}
+	full, err := core.RunFull(cfg, true)
+	if err != nil {
+		return err
+	}
+	evalCfg := cfg
+	evalCfg.Seed = seed + 1000
+	truth, err := core.RunFull(evalCfg, false)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Ablation: macro-state feature on/off vs RTT accuracy")
+	fmt.Println("macro	ks_distance")
+	for _, noMacro := range []bool{false, true} {
+		models, err := core.TrainModels(full.Records, cfg.TopologyConfig(), core.TrainOptions{
+			Hidden: 24, Layers: 1, NoMacro: noMacro,
+			NN:   nn.TrainConfig{LR: 0.02, Batches: 300, Batch: 16, BPTT: 16, Seed: seed},
+			Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		hybrid, err := core.RunHybrid(evalCfg, models)
+		if err != nil {
+			return err
+		}
+		cmp, err := core.CompareRTT(truth, hybrid, 64)
+		if err != nil {
+			return err
+		}
+		label := "on"
+		if noMacro {
+			label = "off"
+		}
+		fmt.Printf("%s\t%.4f\n", label, cmp.KS)
+	}
+	return nil
+}
+
+// figBlackBox quantifies the section-7 limiting case: per-cluster fabrics
+// vs one black box replacing cores and every remote cluster. Rows compare
+// events, wall time, and RTT accuracy against the same ground truth.
+func figBlackBox(durMS int, load float64, seed uint64) error {
+	if durMS == 0 {
+		durMS = 5
+	}
+	cfg := core.Config{Clusters: 4, Duration: des.Time(durMS) * des.Millisecond, Load: load, Seed: seed}
+	fullC, err := core.RunFullWithCapture(cfg, core.CaptureCluster)
+	if err != nil {
+		return err
+	}
+	fullW, err := core.RunFullWithCapture(cfg, core.CaptureWholeNet)
+	if err != nil {
+		return err
+	}
+	opts := core.TrainOptions{
+		Hidden: 24, Layers: 1,
+		NN:   nn.TrainConfig{LR: 0.02, Batches: trainBatches, Batch: 16, BPTT: 16, Seed: seed},
+		Seed: seed,
+	}
+	mh, err := core.TrainModels(fullC.Records, cfg.TopologyConfig(), opts)
+	if err != nil {
+		return err
+	}
+	mb, err := core.TrainModels(fullW.Records, cfg.TopologyConfig(), opts)
+	if err != nil {
+		return err
+	}
+	evalCfg := cfg
+	evalCfg.Seed = seed + 1000
+	truth, err := core.RunFull(evalCfg, false)
+	if err != nil {
+		return err
+	}
+	hybrid, err := core.RunHybrid(evalCfg, mh)
+	if err != nil {
+		return err
+	}
+	blackbox, err := core.RunBlackBox(evalCfg, mb)
+	if err != nil {
+		return err
+	}
+	ch, err := core.CompareRTT(truth, hybrid, 64)
+	if err != nil {
+		return err
+	}
+	cb, err := core.CompareRTT(truth, blackbox, 64)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Extension: per-cluster fabrics vs single black box (4 clusters)")
+	fmt.Println("variant\tevents\twall_s\tks_distance")
+	fmt.Printf("full\t%d\t%.4f\t0\n", truth.Events, truth.Wall.Seconds())
+	fmt.Printf("hybrid\t%d\t%.4f\t%.4f\n", hybrid.Events, hybrid.Wall.Seconds(), ch.KS)
+	fmt.Printf("blackbox\t%d\t%.4f\t%.4f\n", blackbox.Events, blackbox.Wall.Seconds(), cb.KS)
+	return nil
+}
+
+// figFlow contrasts the flow-level baseline with packet-level simulation:
+// events, wall time, and mean-FCT disagreement.
+func figFlow(durMS int, load float64, seed uint64) error {
+	if durMS == 0 {
+		durMS = 5
+	}
+	topoCfg := topology.DefaultClosConfig(2)
+	topo, err := topology.Build(des.NewKernel(), topoCfg)
+	if err != nil {
+		return err
+	}
+	hosts := make([]packet.HostID, len(topo.Hosts))
+	for i := range hosts {
+		hosts[i] = packet.HostID(i)
+	}
+	dur := des.Time(durMS) * des.Millisecond
+	specs, err := traffic.GenerateSpecs(traffic.Config{
+		Load: load, HostBandwidthBps: topoCfg.HostLink.BandwidthBps, Seed: seed,
+	}, hosts, dur)
+	if err != nil {
+		return err
+	}
+
+	// Fluid run.
+	fs := flowsim.New(topo)
+	for _, sp := range specs {
+		fs.Add(flowsim.Flow{ID: sp.ID, Src: sp.Src, Dst: sp.Dst, Size: sp.Size, Start: sp.At})
+	}
+	t0 := time.Now()
+	flows := fs.Run(dur * 4)
+	fluidWall := time.Since(t0)
+	var fluidFCT float64
+	var fluidDone int
+	for _, f := range flows {
+		if f.Completed() {
+			fluidFCT += f.FCT().Seconds()
+			fluidDone++
+		}
+	}
+	if fluidDone > 0 {
+		fluidFCT /= float64(fluidDone)
+	}
+
+	// Packet-level run of the same workload.
+	cfg := core.Config{Clusters: 2, Duration: dur, Drain: dur * 3, Load: load, Seed: seed}
+	pk, err := core.RunFull(cfg, false)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("# Ablation: flow-level (fluid) baseline vs packet-level simulation")
+	fmt.Println("engine\tevents\twall_s\tflows_done\tmean_fct_s")
+	fmt.Printf("fluid\t%d\t%.5f\t%d\t%.6g\n", fs.Events(), fluidWall.Seconds(), fluidDone, fluidFCT)
+	fmt.Printf("packet\t%d\t%.5f\t%d\t%.6g\n", pk.Events, pk.Wall.Seconds(), pk.Summary.Completed, pk.Summary.MeanFCT)
+	return nil
+}

@@ -1,0 +1,19 @@
+// Package approxsim reproduces "Fast Network Simulation Through
+// Approximation or: How Blind Men Can Describe Elephants" (Kazer, Sedoc,
+// Ng, Liu, Ungar — HotNets-XVII, 2018): a data-center network simulator
+// that replaces most of the network's switching fabrics with trained
+// machine-learning approximations, keeping one cluster (and the core
+// switches) at full packet-level fidelity.
+//
+// The implementation is organized as one package per subsystem under
+// internal/ (see DESIGN.md for the inventory); internal/core exposes the
+// end-to-end workflow:
+//
+//	full, _ := core.RunFull(cfg, true)                    // capture training traces
+//	models, _ := core.TrainModels(full.Records, ...)      // fit macro + LSTM micro models
+//	hybrid, _ := core.RunHybrid(cfg, models)              // 1 real cluster + N-1 approximated
+//	cmp, _ := core.CompareRTT(full2, hybrid, 128)         // Fig. 4 accuracy
+//
+// The benchmarks in bench_test.go regenerate every measured figure of the
+// paper; cmd/figures prints the same series as data tables.
+package approxsim

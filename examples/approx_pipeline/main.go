@@ -1,0 +1,88 @@
+// Approximation pipeline: the paper's headline workflow end-to-end.
+//
+//  1. Simulate two clusters in full packet-level fidelity and record every
+//     fabric traversal of cluster 0 (features + latency/drop labels).
+//  2. Train the macro-state classifier and the two LSTM micro models.
+//  3. Rebuild the network at 8 clusters with every cluster except one
+//     replaced by the trained models, run the same style of workload, and
+//     compare speed and accuracy against the fully simulated version.
+//
+// This is Figure 3 of the paper as a program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"approxsim/internal/core"
+	"approxsim/internal/des"
+	"approxsim/internal/nn"
+	"approxsim/internal/trace"
+)
+
+func main() {
+	// --- Step 1: full-fidelity training capture (2 clusters). ---
+	trainCfg := core.Config{
+		Clusters: 2,
+		Duration: 6 * des.Millisecond,
+		Load:     0.4,
+		Seed:     7,
+	}
+	fmt.Println("step 1: capturing boundary traces from a 2-cluster full simulation...")
+	full, err := core.RunFull(trainCfg, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eg, ing := trace.Split(full.Records)
+	fmt.Printf("  %d egress + %d ingress traversals captured (%.2fs wall)\n\n",
+		len(eg), len(ing), full.Wall.Seconds())
+
+	// --- Step 2: train the micro models. ---
+	fmt.Println("step 2: training ingress/egress LSTM micro models...")
+	models, err := core.TrainModels(full.Records, trainCfg.TopologyConfig(), core.TrainOptions{
+		Hidden: 16, Layers: 1,
+		NN:   nn.TrainConfig{LR: 0.02, Batches: 300, Batch: 16, BPTT: 16, Seed: 7},
+		Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  trained 2 models x %d parameters\n\n", models.Egress.NumParams())
+
+	// --- Step 3: at-scale comparison (8 clusters, held-out seed). ---
+	evalCfg := core.Config{
+		Clusters: 8,
+		Duration: 4 * des.Millisecond,
+		Load:     0.4,
+		Seed:     1007, // not the training workload
+	}
+	fmt.Println("step 3: running 8 clusters fully vs hybrid (7 of 8 approximated)...")
+	truth, err := core.RunFull(evalCfg, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hybrid, err := core.RunHybrid(evalCfg, models)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("  full:   %8d events  %.3fs wall  %d flows completed\n",
+		truth.Events, truth.Wall.Seconds(), truth.Summary.Completed)
+	fmt.Printf("  hybrid: %8d events  %.3fs wall  %d flows completed\n",
+		hybrid.Events, hybrid.Wall.Seconds(), hybrid.Summary.Completed)
+	fmt.Printf("  event reduction: %.2fx   wall speedup: %.2fx\n",
+		float64(truth.Events)/float64(hybrid.Events),
+		truth.Wall.Seconds()/hybrid.Wall.Seconds())
+
+	cmp, err := core.CompareRTT(truth, hybrid, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  RTT distribution divergence (KS): %.3f\n", cmp.KS)
+	fmt.Println("\n  RTT CDF (seconds):")
+	fmt.Println("  p       ground-truth   approx")
+	for i := 0; i < len(cmp.Full) && i < len(cmp.Approx); i += 4 {
+		fmt.Printf("  %.2f    %10.3g   %10.3g\n",
+			cmp.Full[i].P, cmp.Full[i].Value, cmp.Approx[i].Value)
+	}
+}

@@ -1,0 +1,3 @@
+module approxsim
+
+go 1.22

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"approxsim/internal/approx"
+	"approxsim/internal/micro"
+	"approxsim/internal/trace"
+	"approxsim/internal/traffic"
+)
+
+// CaptureKind selects what a full-fidelity run records for training.
+type CaptureKind int
+
+// Capture modes.
+const (
+	// CaptureNone records nothing.
+	CaptureNone CaptureKind = iota
+	// CaptureCluster records the observed cluster's fabric boundary (the
+	// paper's primary design: per-cluster approximation).
+	CaptureCluster
+	// CaptureWholeNet records the §7 "single black box" boundary:
+	// everything beyond the observed cluster's aggs as one region.
+	CaptureWholeNet
+)
+
+// RunFullWithCapture is RunFull with an explicit capture mode.
+func RunFullWithCapture(cfg Config, capture CaptureKind) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	k, topo, stacks, err := buildNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rec *trace.BoundaryRecorder
+	switch capture {
+	case CaptureCluster:
+		rec = trace.AttachBoundary(topo, cfg.ObservedCluster)
+	case CaptureWholeNet:
+		rec = trace.AttachWholeNetworkBoundary(topo, cfg.ObservedCluster)
+	}
+	rtt := attachClusterRTT(topo, stacks, cfg.ObservedCluster)
+	gen, err := traffic.NewGenerator(k, stacks, workloadConfig(cfg, topo))
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	gen.Start(cfg.Duration)
+	k.Run(cfg.Duration + cfg.Drain)
+	wall := time.Since(start)
+
+	res := &RunResult{
+		Summary: traffic.Summarize(gen.Results, cfg.Duration+cfg.Drain),
+		RTTs:    rtt.Sample,
+		Events:  k.Stats().Executed,
+		Wall:    wall,
+		SimTime: cfg.Duration + cfg.Drain,
+	}
+	if rec != nil {
+		res.Records = rec.Records
+	}
+	return res, nil
+}
+
+// RunBlackBox executes the experiment with everything beyond the observed
+// cluster's aggregation switches replaced by a single black box (§7's
+// limiting case). Models must have been trained from a CaptureWholeNet
+// trace of a matching topology.
+func RunBlackBox(cfg Config, models *Models) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	if models == nil || models.Egress == nil || models.Ingress == nil {
+		return nil, fmt.Errorf("core: RunBlackBox requires trained models")
+	}
+	k, topo, stacks, err := buildNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := micro.NewPredictor(models.Egress, trace.Egress, topo, micro.Sample,
+		models.Seed^0xbb01, models.EgressFloor)
+	in := micro.NewPredictor(models.Ingress, trace.Ingress, topo, micro.Sample,
+		models.Seed^0xbb02, models.IngressFloor)
+	bb, err := approx.SpliceWholeNetwork(topo, cfg.ObservedCluster, out, in, models.Macro)
+	if err != nil {
+		return nil, err
+	}
+	if models.NoMacro {
+		bb.DisableMacro()
+	}
+	rtt := attachClusterRTT(topo, stacks, cfg.ObservedCluster)
+
+	wcfg := workloadConfig(cfg, topo)
+	for _, h := range topo.HostsInCluster(cfg.ObservedCluster) {
+		wcfg.MustTouch = append(wcfg.MustTouch, h.ID())
+	}
+	gen, err := traffic.NewGenerator(k, stacks, wcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	gen.Start(cfg.Duration)
+	k.Run(cfg.Duration + cfg.Drain)
+	wall := time.Since(start)
+
+	return &RunResult{
+		Summary:     traffic.Summarize(gen.Results, cfg.Duration+cfg.Drain),
+		RTTs:        rtt.Sample,
+		Events:      k.Stats().Executed,
+		Wall:        wall,
+		SimTime:     cfg.Duration + cfg.Drain,
+		FabricStats: []approx.Stats{bb.Stats()},
+	}, nil
+}

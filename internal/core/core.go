@@ -1,0 +1,387 @@
+// Package core is the library's orchestration layer: it assembles the
+// paper's complete workflow out of the substrate packages.
+//
+// The workflow (paper §3, Fig. 3):
+//
+//  1. RunFull executes a small network in full packet-level fidelity and —
+//     when asked — captures boundary traces for one cluster.
+//  2. TrainModels fits the macro-state classifier parameters and the two
+//     LSTM micro models (ingress and egress) from those traces.
+//  3. RunHybrid executes a (typically much larger) network in which one
+//     cluster and all core switches stay full-fidelity while every other
+//     cluster's fabric is replaced by the trained models, and traffic
+//     wholly between approximated clusters is elided from the flow
+//     schedule.
+//  4. CompareRTT quantifies accuracy as the paper does — the distribution
+//     of RTTs observed by hosts in the real cluster (Fig. 4) — and
+//     MeasureSpeedup reports the wall-clock ratio (Fig. 5).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"approxsim/internal/approx"
+	"approxsim/internal/des"
+	"approxsim/internal/macro"
+	"approxsim/internal/micro"
+	"approxsim/internal/nn"
+	"approxsim/internal/packet"
+	"approxsim/internal/rng"
+	"approxsim/internal/stats"
+	"approxsim/internal/tcp"
+	"approxsim/internal/topology"
+	"approxsim/internal/trace"
+	"approxsim/internal/traffic"
+)
+
+// Config describes one simulation experiment. Zero fields take defaults.
+type Config struct {
+	// Clusters sizes the Clos fabric (paper cluster shape: 4 switches +
+	// 8 servers each). Ignored when Topology is set explicitly.
+	Clusters int
+	// Topology overrides the default cluster shape entirely (optional).
+	Topology *topology.Config
+	// TCP configures every host's stack.
+	TCP tcp.Config
+	// DCTCP switches the whole experiment to DCTCP: hosts run the
+	// proportional ECN response and every fabric/core port marks at a
+	// shallow threshold (the §3 modularity goal exercised end to end —
+	// the approximation pipeline is protocol-agnostic).
+	DCTCP bool
+	// Load is the target fraction of aggregate host bandwidth (default 0.4).
+	Load float64
+	// Pattern selects the workload's endpoint pairing (default Uniform).
+	Pattern traffic.Pattern
+	// SizeCDF overrides the flow-size distribution (default web search).
+	SizeCDF *rng.EmpiricalCDF
+	// Duration is how long new flows arrive (default 5ms of virtual time).
+	Duration des.Time
+	// Drain is extra virtual time for in-flight flows to finish
+	// (default Duration/2).
+	Drain des.Time
+	// Seed roots all randomness.
+	Seed uint64
+	// ObservedCluster is the full-fidelity cluster whose hosts' RTTs are
+	// measured (and whose boundary is traced during training runs).
+	ObservedCluster int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clusters == 0 {
+		c.Clusters = 2
+	}
+	if c.Load == 0 {
+		c.Load = 0.4
+	}
+	if c.Duration == 0 {
+		c.Duration = 5 * des.Millisecond
+	}
+	if c.Drain == 0 {
+		c.Drain = c.Duration / 2
+	}
+	return c
+}
+
+// TopologyConfig resolves the effective topology configuration.
+func (c Config) TopologyConfig() topology.Config {
+	cfg := topology.DefaultClosConfig(c.Clusters)
+	if c.Topology != nil {
+		cfg = *c.Topology
+	}
+	if c.DCTCP {
+		// DCTCP's standard shallow marking threshold (~a dozen frames).
+		k := int64(12 * packet.MaxFrameSize)
+		cfg.HostLink.ECNThresholdBytes = k
+		cfg.FabricLink.ECNThresholdBytes = k
+		cfg.CoreLink.ECNThresholdBytes = k
+	}
+	return cfg
+}
+
+// RunResult is the outcome of one simulation run.
+type RunResult struct {
+	// Summary aggregates the workload's flow results.
+	Summary traffic.Summary
+	// RTTs are round-trip samples observed by the observed cluster's hosts,
+	// in seconds.
+	RTTs *stats.Sample
+	// Records is the boundary trace (nil unless capture was requested).
+	Records []trace.Record
+	// Events is the number of scheduler events executed.
+	Events uint64
+	// Wall is the host wall-clock time the run took.
+	Wall time.Duration
+	// SimTime is the virtual time simulated.
+	SimTime des.Time
+	// FabricStats reports each approximated fabric (hybrid runs only).
+	FabricStats []approx.Stats
+}
+
+// SimSecondsPerSecond is the paper's Fig. 1 metric: virtual seconds
+// simulated per wall-clock second.
+func (r *RunResult) SimSecondsPerSecond() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return r.SimTime.Seconds() / r.Wall.Seconds()
+}
+
+// buildNetwork constructs kernel, topology and per-host stacks.
+func buildNetwork(cfg Config) (*des.Kernel, *topology.Topology, []*tcp.Stack, error) {
+	k := des.NewKernel()
+	topo, err := topology.Build(k, cfg.TopologyConfig())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tcpCfg := cfg.TCP
+	if cfg.DCTCP {
+		tcpCfg.DCTCP = true
+	}
+	stacks := make([]*tcp.Stack, len(topo.Hosts))
+	for i, h := range topo.Hosts {
+		stacks[i] = tcp.NewStack(h, tcpCfg)
+	}
+	return k, topo, stacks, nil
+}
+
+func workloadConfig(cfg Config, topo *topology.Topology) traffic.Config {
+	return traffic.Config{
+		Pattern:          cfg.Pattern,
+		Load:             cfg.Load,
+		SizeCDF:          cfg.SizeCDF,
+		Seed:             cfg.Seed,
+		HostBandwidthBps: topo.Cfg.HostLink.BandwidthBps,
+		ClusterSize:      topo.Cfg.ToRsPerCluster * topo.Cfg.ServersPerToR,
+	}
+}
+
+// RunFull executes the configured experiment in full packet-level fidelity.
+// When captureBoundary is true, the observed cluster's fabric traversals are
+// recorded for training.
+func RunFull(cfg Config, captureBoundary bool) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	k, topo, stacks, err := buildNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rec *trace.BoundaryRecorder
+	if captureBoundary {
+		rec = trace.AttachBoundary(topo, cfg.ObservedCluster)
+	}
+	rtt := attachClusterRTT(topo, stacks, cfg.ObservedCluster)
+	gen, err := traffic.NewGenerator(k, stacks, workloadConfig(cfg, topo))
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	gen.Start(cfg.Duration)
+	k.Run(cfg.Duration + cfg.Drain)
+	wall := time.Since(start)
+
+	res := &RunResult{
+		Summary: traffic.Summarize(gen.Results, cfg.Duration+cfg.Drain),
+		RTTs:    rtt.Sample,
+		Events:  k.Stats().Executed,
+		Wall:    wall,
+		SimTime: cfg.Duration + cfg.Drain,
+	}
+	if rec != nil {
+		res.Records = rec.Records
+	}
+	return res, nil
+}
+
+func attachClusterRTT(topo *topology.Topology, stacks []*tcp.Stack, cluster int) *trace.RTTRecorder {
+	hosts := make([]packet.HostID, 0)
+	for _, h := range topo.HostsInCluster(cluster) {
+		hosts = append(hosts, h.ID())
+	}
+	return trace.AttachRTT(stacks, hosts)
+}
+
+// Models bundles everything the hybrid simulation needs: the trained micro
+// models for both directions (weights are shared across fabrics; each fabric
+// gets its own streaming wrapper) plus the macro classifier configuration.
+type Models struct {
+	Egress, Ingress           *nn.Model
+	EgressFloor, IngressFloor des.Time
+	Macro                     macro.Config
+	// NoMacro records that the models were trained without the macro-state
+	// feature; the hybrid fabric then pins the feature to Minimal too.
+	NoMacro bool
+	Seed    uint64
+}
+
+// TrainOptions sizes and drives model fitting.
+type TrainOptions struct {
+	// Hidden and Layers size the LSTMs (defaults 32 and 2; the paper's
+	// prototype used 128 and 2 — set PaperScale for that).
+	Hidden, Layers int
+	// PaperScale selects the paper's full prototype: 2x128 LSTM. Slow on
+	// one CPU; intended for the record, not the test suite.
+	PaperScale bool
+	// NN carries optimizer settings (zero values take nn defaults: SGD
+	// momentum 0.9, lr 1e-4 at paper scale; tests override).
+	NN nn.TrainConfig
+	// Macro configures the state classifier used for features.
+	Macro macro.Config
+	// NoMacro ablates the macro-state feature (constant Minimal at train
+	// and inference time) — the macro on/off experiment.
+	NoMacro bool
+	// Seed roots initialization and drop sampling.
+	Seed uint64
+}
+
+// TrainModels fits ingress and egress micro models from a boundary capture.
+// topoCfg must describe the topology the records came from (for feature
+// extraction); the returned models can be applied to larger topologies —
+// the paper's central generalization step.
+func TrainModels(records []trace.Record, topoCfg topology.Config, opts TrainOptions) (*Models, error) {
+	if opts.PaperScale {
+		opts.Hidden, opts.Layers = 128, 2
+		if opts.NN.Batches == 0 {
+			opts.NN.Batches = 50_000
+		}
+	}
+	// A throwaway topology instance provides feature geometry.
+	topo, err := topology.Build(des.NewKernel(), topoCfg)
+	if err != nil {
+		return nil, err
+	}
+	mcfg := micro.TrainConfig{
+		Hidden: opts.Hidden, Layers: opts.Layers,
+		Macro: opts.Macro, NN: opts.NN, Seed: opts.Seed,
+		NoMacro: opts.NoMacro,
+	}
+	eg, _, err := micro.Train(topo, trace.Egress, records, mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: training egress model: %w", err)
+	}
+	ing, _, err := micro.Train(topo, trace.Ingress, records, mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: training ingress model: %w", err)
+	}
+	return &Models{
+		Egress: eg.Model, Ingress: ing.Model,
+		EgressFloor: eg.LatencyFloor, IngressFloor: ing.LatencyFloor,
+		Macro: opts.Macro, NoMacro: opts.NoMacro, Seed: opts.Seed,
+	}, nil
+}
+
+// RunHybrid executes the experiment with every cluster except the observed
+// one replaced by an approximated fabric (paper Fig. 3). Traffic wholly
+// between approximated clusters is elided from the flow schedule (§6.2).
+func RunHybrid(cfg Config, models *Models) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	if models == nil || models.Egress == nil || models.Ingress == nil {
+		return nil, fmt.Errorf("core: RunHybrid requires trained models")
+	}
+	k, topo, stacks, err := buildNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var fabrics []*approx.Fabric
+	for c := 0; c < topo.Cfg.Clusters; c++ {
+		if c == cfg.ObservedCluster {
+			continue
+		}
+		eg := micro.NewPredictor(models.Egress, trace.Egress, topo, micro.Sample,
+			models.Seed^uint64(c)<<8^1, models.EgressFloor)
+		ing := micro.NewPredictor(models.Ingress, trace.Ingress, topo, micro.Sample,
+			models.Seed^uint64(c)<<8^2, models.IngressFloor)
+		fab, err := approx.Splice(topo, c, eg, ing, models.Macro)
+		if err != nil {
+			return nil, err
+		}
+		if models.NoMacro {
+			fab.DisableMacro()
+		}
+		fabrics = append(fabrics, fab)
+	}
+	rtt := attachClusterRTT(topo, stacks, cfg.ObservedCluster)
+
+	wcfg := workloadConfig(cfg, topo)
+	for _, h := range topo.HostsInCluster(cfg.ObservedCluster) {
+		wcfg.MustTouch = append(wcfg.MustTouch, h.ID())
+	}
+	gen, err := traffic.NewGenerator(k, stacks, wcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	gen.Start(cfg.Duration)
+	k.Run(cfg.Duration + cfg.Drain)
+	wall := time.Since(start)
+
+	res := &RunResult{
+		Summary: traffic.Summarize(gen.Results, cfg.Duration+cfg.Drain),
+		RTTs:    rtt.Sample,
+		Events:  k.Stats().Executed,
+		Wall:    wall,
+		SimTime: cfg.Duration + cfg.Drain,
+	}
+	for _, f := range fabrics {
+		res.FabricStats = append(res.FabricStats, f.Stats())
+	}
+	return res, nil
+}
+
+// RTTComparison is the Fig. 4 deliverable: both CDFs plus the KS distance.
+type RTTComparison struct {
+	Full, Approx []stats.CDFPoint
+	KS           float64
+}
+
+// CompareRTT reduces two runs to the paper's accuracy comparison.
+// maxPoints bounds each CDF series (128 is plenty for plotting).
+func CompareRTT(full, hybrid *RunResult, maxPoints int) (*RTTComparison, error) {
+	if full.RTTs.Len() == 0 || hybrid.RTTs.Len() == 0 {
+		return nil, fmt.Errorf("core: both runs need RTT samples (full %d, hybrid %d)",
+			full.RTTs.Len(), hybrid.RTTs.Len())
+	}
+	return &RTTComparison{
+		Full:   full.RTTs.CDF(maxPoints),
+		Approx: hybrid.RTTs.CDF(maxPoints),
+		KS:     stats.KSDistance(full.RTTs, hybrid.RTTs),
+	}, nil
+}
+
+// SpeedupResult is one row of the Fig. 5 series.
+type SpeedupResult struct {
+	Clusters                 int
+	FullWall, HybridWall     time.Duration
+	FullEvents, HybridEvents uint64
+	Speedup                  float64 // FullWall / HybridWall
+	EventRatio               float64 // FullEvents / HybridEvents
+}
+
+// MeasureSpeedup runs the same experiment full and hybrid and reports the
+// wall-clock speedup and event-count ratio.
+func MeasureSpeedup(cfg Config, models *Models) (*SpeedupResult, error) {
+	cfg = cfg.withDefaults()
+	full, err := RunFull(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	hybrid, err := RunHybrid(cfg, models)
+	if err != nil {
+		return nil, err
+	}
+	res := &SpeedupResult{
+		Clusters:     cfg.TopologyConfig().Clusters,
+		FullWall:     full.Wall,
+		HybridWall:   hybrid.Wall,
+		FullEvents:   full.Events,
+		HybridEvents: hybrid.Events,
+	}
+	if hybrid.Wall > 0 {
+		res.Speedup = float64(full.Wall) / float64(hybrid.Wall)
+	}
+	if hybrid.Events > 0 {
+		res.EventRatio = float64(full.Events) / float64(hybrid.Events)
+	}
+	return res, nil
+}

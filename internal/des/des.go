@@ -1,0 +1,265 @@
+// Package des implements the discrete-event simulation kernel underlying
+// every simulator in this repository (the OMNeT++ role in the paper).
+//
+// Network behavior is represented as a series of events in a temporally
+// ordered queue. The kernel owns virtual time, a binary-heap event queue with
+// deterministic tie-breaking, and counters that the evaluation harness uses
+// to report how much work a simulation performed (the paper's speedup claims
+// are fundamentally claims about event counts).
+//
+// Events are closures. Components schedule work with Schedule/At and may
+// cancel a pending event through its handle; cancellation is lazy (the event
+// is marked dead and skipped on pop), which keeps the heap simple and is
+// cheap for the dominant cancel pattern — TCP retransmission timers that are
+// re-armed on every ACK.
+package des
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, expressed in Time units for direct arithmetic.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Seconds converts a virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit, for logs and traces.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// FromSeconds converts floating-point seconds to a virtual Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Event is a handle to a scheduled closure. The zero value is meaningless;
+// handles are produced by Kernel.Schedule and Kernel.At.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+// Time reports when the event will fire (or would have fired, if canceled).
+func (e *Event) Time() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventHeap is a binary min-heap ordered by (time, seq). seq is a strictly
+// increasing schedule counter, so two events at the same virtual time fire in
+// the order they were scheduled — the property that makes runs reproducible.
+type eventHeap []*Event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e *Event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *Event {
+	old := *h
+	n := len(old)
+	top := old[0]
+	old[0] = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	h.siftDown(0)
+	return top
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// Kernel is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; the pdes package builds multi-LP simulations out of one
+// Kernel per logical process.
+type Kernel struct {
+	now    Time
+	heap   eventHeap
+	seq    uint64
+	nexec  uint64 // events executed
+	nsched uint64 // events scheduled
+	ncanc  uint64 // events canceled
+	run    bool
+	stop   bool
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{heap: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule runs fn after delay virtual time. A negative delay panics: the
+// simulated world cannot schedule into its own past.
+func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %d", delay))
+	}
+	return k.At(k.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t, which must not be before Now.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("des: nil event function")
+	}
+	k.seq++
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.heap.push(e)
+	k.nsched++
+	return e
+}
+
+// Cancel marks a pending event dead. Canceling an already-fired or
+// already-canceled event is a no-op; cancel-then-reschedule is the normal
+// timer idiom, so this must be forgiving.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.canceled || e.fn == nil {
+		return
+	}
+	e.canceled = true
+	e.fn = nil
+	k.ncanc++
+}
+
+// Step executes the single next live event. It returns false when the queue
+// is empty (or holds only canceled events).
+func (k *Kernel) Step() bool {
+	for len(k.heap) > 0 {
+		e := k.heap.pop()
+		if e.canceled {
+			continue
+		}
+		k.now = e.at
+		fn := e.fn
+		e.fn = nil
+		k.nexec++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in timestamp order until the queue drains, until the
+// next event would fire after `until`, or until Stop is called. On return,
+// Now is min(until, time of last executed event); events beyond `until`
+// remain queued so the caller can resume with a later horizon.
+func (k *Kernel) Run(until Time) {
+	k.run = true
+	k.stop = false
+	defer func() { k.run = false }()
+	for !k.stop {
+		// Skip canceled events without executing them.
+		for len(k.heap) > 0 && k.heap[0].canceled {
+			k.heap.pop()
+		}
+		if len(k.heap) == 0 {
+			break
+		}
+		if k.heap[0].at > until {
+			break
+		}
+		k.Step()
+	}
+	// Advance idle time to the horizon so repeated Run calls observe
+	// monotonic progress — except for the drain-everything horizon used by
+	// RunAll, where the end of the last event is the natural finish time.
+	if k.now < until && until != MaxTime && !k.stop {
+		k.now = until
+	}
+}
+
+// RunAll executes events until the queue is fully drained.
+func (k *Kernel) RunAll() { k.Run(MaxTime) }
+
+// Stop makes Run return after the currently executing event completes.
+// It may be called from inside an event.
+func (k *Kernel) Stop() { k.stop = true }
+
+// Pending returns the number of events in the heap, including lazily
+// canceled ones still awaiting removal.
+func (k *Kernel) Pending() int { return len(k.heap) }
+
+// NextEventTime returns the time of the earliest live pending event and true,
+// or (0, false) if none is pending. The PDES engine uses this to compute
+// earliest-output-time guarantees.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	for len(k.heap) > 0 && k.heap[0].canceled {
+		k.heap.pop()
+	}
+	if len(k.heap) == 0 {
+		return 0, false
+	}
+	return k.heap[0].at, true
+}
+
+// Stats reports scheduler work counters since kernel creation.
+type Stats struct {
+	Executed  uint64 // events run
+	Scheduled uint64 // events ever scheduled
+	Canceled  uint64 // events canceled before firing
+}
+
+// Stats returns a snapshot of the kernel's work counters.
+func (k *Kernel) Stats() Stats {
+	return Stats{Executed: k.nexec, Scheduled: k.nsched, Canceled: k.ncanc}
+}

@@ -1,0 +1,279 @@
+// Package flowsim is a flow-level (fluid) network simulator — the
+// "lower-granularity" alternative the paper positions itself against (§2,
+// §8: "Flow-level simulation ... can provide insight into the general
+// behavior of the system, but miss[es] out on many important network
+// effects, particularly in the presence of bursty traffic").
+//
+// Instead of packets and queues, every active flow receives a max-min fair
+// share of each link on its path, recomputed whenever a flow arrives or
+// completes (progressive filling). There are no drops, no retransmissions,
+// no slow start — which is precisely why it is fast and why it misses
+// TCP's transient behavior. It serves as the evaluation's speed/accuracy
+// baseline and as a sanity anchor: steady-state goodput of the packet
+// simulator should approach the fluid rates.
+package flowsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"approxsim/internal/des"
+	"approxsim/internal/packet"
+	"approxsim/internal/topology"
+)
+
+// Flow is one fluid transfer.
+type Flow struct {
+	ID       uint64
+	Src, Dst packet.HostID
+	Size     int64 // bytes
+	Start    des.Time
+
+	remaining float64 // bytes
+	rate      float64 // bytes/sec, from the last fair-share computation
+	links     []int   // indexes into the simulator's link table
+	done      bool
+	end       des.Time
+}
+
+// FCT returns the flow's completion time (valid after the run).
+func (f *Flow) FCT() des.Time { return f.end - f.Start }
+
+// Completed reports whether the flow finished within the simulated horizon.
+func (f *Flow) Completed() bool { return f.done }
+
+// link is one capacity-constrained resource.
+type link struct {
+	capacity float64 // bytes/sec
+	flows    map[uint64]*Flow
+}
+
+// Simulator runs a set of scheduled flows over a topology's link graph.
+type Simulator struct {
+	topo  *topology.Topology
+	links []*link
+	// linkIndex maps a (from, to) device pair to its directed link.
+	linkIndex map[[2]packet.NodeID]int
+
+	pending  []*Flow // not yet arrived, sorted by Start
+	active   map[uint64]*Flow
+	now      des.Time
+	events   uint64
+	finished []*Flow
+}
+
+// New creates a fluid simulator over the same topology the packet
+// simulator uses (links and capacities are derived from its config).
+func New(topo *topology.Topology) *Simulator {
+	s := &Simulator{
+		topo:      topo,
+		linkIndex: make(map[[2]packet.NodeID]int),
+		active:    make(map[uint64]*Flow),
+	}
+	return s
+}
+
+// linkFor returns (creating on first use) the directed link from a to b
+// with the given capacity in bits/sec.
+func (s *Simulator) linkFor(a, b packet.NodeID, bps int64) int {
+	key := [2]packet.NodeID{a, b}
+	if idx, ok := s.linkIndex[key]; ok {
+		return idx
+	}
+	s.links = append(s.links, &link{
+		capacity: float64(bps) / 8,
+		flows:    make(map[uint64]*Flow),
+	})
+	s.linkIndex[key] = len(s.links) - 1
+	return len(s.links) - 1
+}
+
+// route enumerates the directed links flow f traverses, using the same
+// deterministic ECMP paths as the packet simulator.
+func (s *Simulator) route(f *Flow) []int {
+	cfg := s.topo.Cfg
+	p := s.topo.PathFor(f.Src, f.Dst, f.ID)
+	srcNode := packet.NodeID(f.Src)
+	dstNode := packet.NodeID(f.Dst)
+	var out []int
+	add := func(a, b packet.NodeID, bps int64) {
+		out = append(out, s.linkFor(a, b, bps))
+	}
+	hostBW := cfg.HostLink.BandwidthBps
+	fabBW := cfg.FabricLink.BandwidthBps
+	coreBW := cfg.CoreLink.BandwidthBps
+
+	add(srcNode, p.SrcToR, hostBW)
+	if p.SrcAgg >= 0 {
+		add(p.SrcToR, p.SrcAgg, fabBW)
+		if p.Core >= 0 {
+			add(p.SrcAgg, p.Core, coreBW)
+			add(p.Core, p.DstAgg, coreBW)
+		}
+		if p.DstAgg != p.SrcAgg || p.Core >= 0 {
+			add(p.DstAgg, p.DstToR, fabBW)
+		} else {
+			add(p.SrcAgg, p.DstToR, fabBW)
+		}
+	}
+	add(p.DstToR, dstNode, hostBW)
+	return out
+}
+
+// Add schedules a flow. Must be called before Run.
+func (s *Simulator) Add(f Flow) {
+	if f.Size <= 0 {
+		panic(fmt.Sprintf("flowsim: flow %d has non-positive size", f.ID))
+	}
+	fl := f
+	fl.remaining = float64(f.Size)
+	s.pending = append(s.pending, &fl)
+}
+
+// recompute assigns max-min fair rates to all active flows by progressive
+// filling: repeatedly saturate the most constrained link, freeze its flows,
+// and continue with residual capacities.
+func (s *Simulator) recompute() {
+	if len(s.active) == 0 {
+		return
+	}
+	residual := make([]float64, len(s.links))
+	remaining := make([]int, len(s.links))
+	for i, l := range s.links {
+		residual[i] = l.capacity
+		remaining[i] = len(l.flows)
+	}
+	frozen := make(map[uint64]bool, len(s.active))
+	for len(frozen) < len(s.active) {
+		// Most constrained link: smallest fair share among links that still
+		// carry unfrozen flows.
+		best, bestShare := -1, math.MaxFloat64
+		for i := range s.links {
+			if remaining[i] == 0 {
+				continue
+			}
+			share := residual[i] / float64(remaining[i])
+			if share < bestShare {
+				best, bestShare = i, share
+			}
+		}
+		if best < 0 {
+			break // all remaining flows traverse no links (impossible)
+		}
+		for id, f := range s.links[best].flows {
+			if frozen[id] {
+				continue
+			}
+			frozen[id] = true
+			f.rate = bestShare
+			for _, li := range f.links {
+				residual[li] -= bestShare
+				if residual[li] < 0 {
+					residual[li] = 0
+				}
+				remaining[li]--
+			}
+		}
+	}
+}
+
+// Run executes to the given horizon and returns all flows (finished and
+// not). Flows still active at the horizon keep done == false.
+func (s *Simulator) Run(until des.Time) []*Flow {
+	// Min-heap of pending arrivals by start time.
+	h := arrivalHeap(s.pending)
+	heap.Init(&h)
+
+	for {
+		// Next completion under current rates.
+		var nextDone *Flow
+		doneAt := des.MaxTime
+		for _, f := range s.active {
+			if f.rate <= 0 {
+				continue
+			}
+			t := s.now + des.FromSeconds(f.remaining/f.rate) + 1
+			if t < doneAt {
+				doneAt, nextDone = t, f
+			}
+		}
+		arriveAt := des.MaxTime
+		if h.Len() > 0 {
+			arriveAt = h[0].Start
+		}
+		next := doneAt
+		if arriveAt < next {
+			next = arriveAt
+		}
+		if next > until || next == des.MaxTime {
+			s.advance(until)
+			break
+		}
+		s.advance(next)
+		s.events++
+		if arriveAt <= doneAt {
+			f := heap.Pop(&h).(*Flow)
+			f.links = s.route(f)
+			s.active[f.ID] = f
+			for _, li := range f.links {
+				s.links[li].flows[f.ID] = f
+			}
+		} else {
+			s.finish(nextDone)
+		}
+		s.recompute()
+	}
+
+	out := make([]*Flow, 0, len(s.finished)+len(s.active))
+	out = append(out, s.finished...)
+	for _, f := range s.active {
+		out = append(out, f)
+	}
+	return out
+}
+
+// advance integrates transferred bytes up to time t.
+func (s *Simulator) advance(t des.Time) {
+	dt := (t - s.now).Seconds()
+	if dt > 0 {
+		for _, f := range s.active {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+	}
+	s.now = t
+}
+
+func (s *Simulator) finish(f *Flow) {
+	f.done = true
+	f.end = s.now
+	f.remaining = 0
+	delete(s.active, f.ID)
+	for _, li := range f.links {
+		delete(s.links[li].flows, f.ID)
+	}
+	s.finished = append(s.finished, f)
+}
+
+// Events returns how many arrival/completion events the run processed —
+// the fluid analogue of the packet simulator's event count.
+func (s *Simulator) Events() uint64 { return s.events }
+
+// arrivalHeap orders pending flows by start time.
+type arrivalHeap []*Flow
+
+func (h arrivalHeap) Len() int            { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool  { return h[i].Start < h[j].Start }
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(*Flow)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return f
+}

@@ -1,0 +1,47 @@
+package macro_test
+
+import (
+	"fmt"
+
+	"approxsim/internal/des"
+	"approxsim/internal/macro"
+)
+
+// Example walks the classifier through the four regimes of paper §4.1: an
+// idle fabric, building congestion, heavy loss, and the drain back down.
+func Example() {
+	c := macro.New(macro.Config{})
+	us := des.Microsecond
+
+	feed := func(start des.Time, n int, latency float64, dropEvery int) des.Time {
+		t := start
+		for i := 0; i < n; i++ {
+			c.Observe(t, latency, dropEvery > 0 && i%dropEvery == 0)
+			t += 5 * us
+		}
+		return t
+	}
+
+	t := feed(0, 100, 5e-6, 0) // quiet baseline
+	fmt.Println("baseline:", c.Current())
+
+	t = feed(t, 40, 20e-6, 0) // latency climbing
+	t = feed(t, 40, 60e-6, 0)
+	fmt.Println("building:", c.Current())
+
+	t = feed(t, 60, 100e-6, 3) // heavy loss
+	fmt.Println("overload:", c.Current())
+
+	t = feed(t, 40, 60e-6, 0) // drops stop, latency falling
+	t = feed(t, 40, 30e-6, 0)
+	fmt.Println("draining:", c.Current())
+
+	feed(t, 60, 5e-6, 0) // back to baseline
+	fmt.Println("recovered:", c.Current())
+	// Output:
+	// baseline: minimal
+	// building: increasing
+	// overload: high
+	// draining: decreasing
+	// recovered: minimal
+}

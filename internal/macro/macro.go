@@ -1,0 +1,206 @@
+// Package macro implements the paper's macro congestion-state model (§4.1):
+// a "simple and fast auto-regressive" classifier that buckets a cluster's
+// recent latency and drop observations into four regimes:
+//
+//  1. Minimal congestion — queues mostly empty, latency near baseline.
+//  2. Increasing congestion — paths congesting, latency not yet peaked.
+//  3. High congestion — significant drops from full queues.
+//  4. Decreasing congestion — queues draining.
+//
+// Classification is relative, not absolute: "low latency" means close to the
+// lowest windowed latency the classifier has seen, and rising/falling is the
+// current window against the previous one, conditioned on the prior state —
+// exactly the auto-regressive structure the paper describes ("(2) and (3)
+// are distinguished based on prior state by observing whether latency and
+// drops are rising or falling").
+//
+// The state is both a macro model in its own right and the categorical
+// feature the micro models consume ("the current macro state of the
+// cluster", §4.2).
+package macro
+
+import (
+	"approxsim/internal/des"
+	"approxsim/internal/stats"
+)
+
+// State is a congestion regime.
+type State int8
+
+// The four regimes of §4.1.
+const (
+	Minimal State = iota
+	Increasing
+	High
+	Decreasing
+)
+
+// NumStates is the size of the one-hot encoding.
+const NumStates = 4
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Minimal:
+		return "minimal"
+	case Increasing:
+		return "increasing"
+	case High:
+		return "high"
+	case Decreasing:
+		return "decreasing"
+	default:
+		return "unknown"
+	}
+}
+
+// OneHot encodes the state for model input.
+func (s State) OneHot() [NumStates]float64 {
+	var v [NumStates]float64
+	if s >= 0 && s < NumStates {
+		v[s] = 1
+	}
+	return v
+}
+
+// Config tunes the classifier.
+type Config struct {
+	// Window is the observation bucket width (default 100us: long enough
+	// to smooth per-packet jitter — the paper's "micro" scale — short
+	// enough to track queue build-up, its "seconds scale" compressed to
+	// simulation-friendly horizons).
+	Window des.Time
+	// LowLatencyFactor: a window counts as "latency relatively low"
+	// (state 1) if its mean is within this factor of the baseline
+	// (default 1.5).
+	LowLatencyFactor float64
+	// HighDropRate: a window counts as "drops relatively high" (state 3)
+	// at or above this drop fraction (default 0.01).
+	HighDropRate float64
+	// TrendTolerance: relative change below this is "flat" and keeps the
+	// prior state (default 0.05).
+	TrendTolerance float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 100 * des.Microsecond
+	}
+	if c.LowLatencyFactor == 0 {
+		c.LowLatencyFactor = 1.5
+	}
+	if c.HighDropRate == 0 {
+		c.HighDropRate = 0.01
+	}
+	if c.TrendTolerance == 0 {
+		c.TrendTolerance = 0.05
+	}
+	return c
+}
+
+// Classifier is the auto-regressive macro-state model. Feed per-packet
+// observations with Observe; read the regime with Current.
+type Classifier struct {
+	cfg      Config
+	win      *stats.Window
+	baseline float64 // lowest completed-window mean latency (the "empty" level)
+	prev     State
+
+	lastBucket int64
+	haveBucket bool
+}
+
+// New returns a classifier starting in the Minimal state.
+func New(cfg Config) *Classifier {
+	cfg = cfg.withDefaults()
+	return &Classifier{
+		cfg: cfg,
+		win: stats.NewWindow(int64(cfg.Window), 4),
+	}
+}
+
+// Observe records one packet outcome at virtual time t: its latency in
+// seconds (ignored for drops) and whether it was dropped. When an
+// observation starts a new window, the completing window is classified and
+// the auto-regressive state advances — the state machine is driven by data,
+// not by queries.
+func (c *Classifier) Observe(t des.Time, latencySeconds float64, dropped bool) {
+	b := int64(t) / int64(c.cfg.Window)
+	if c.haveBucket && b != c.lastBucket {
+		c.step()
+	}
+	c.lastBucket, c.haveBucket = b, true
+	c.win.Observe(int64(t), latencySeconds, dropped)
+}
+
+// step classifies the window that just completed (still at index 0, since
+// the observation that opens the next window has not been added yet).
+func (c *Classifier) step() {
+	cur, okCur := c.win.MeanLatency(0)
+	prevLat, okPrev := c.win.MeanLatency(1)
+	drop, okDrop := c.win.DropRate(0)
+
+	if !okCur {
+		// No deliveries in the completed window. All-drop windows are the
+		// definition of high congestion; an empty window keeps the prior.
+		if okDrop && drop >= c.cfg.HighDropRate {
+			c.prev = High
+		}
+		return
+	}
+
+	// The lowest completed-window latency seen so far defines "low".
+	if c.baseline == 0 || cur < c.baseline {
+		c.baseline = cur
+	}
+
+	switch {
+	case okDrop && drop >= c.cfg.HighDropRate:
+		// "If drops are relatively high" — significant loss is the
+		// defining signal of regime 3.
+		c.prev = High
+	case cur <= c.baseline*c.cfg.LowLatencyFactor:
+		// "If latency is relatively low, it classifies the network as (1)."
+		c.prev = Minimal
+	case !okPrev:
+		// Elevated latency with no previous window to compare: treat as
+		// building congestion.
+		c.prev = Increasing
+	default:
+		// Distinguish (2) and (4) by trend, conditioned on the prior state.
+		rel := (cur - prevLat) / prevLat
+		switch {
+		case rel > c.cfg.TrendTolerance:
+			c.prev = Increasing
+		case rel < -c.cfg.TrendTolerance:
+			c.prev = Decreasing
+		default:
+			// Flat: stay in the prior regime, except that flat-but-elevated
+			// after High means the drain has begun.
+			if c.prev == High {
+				c.prev = Decreasing
+			}
+		}
+	}
+}
+
+// Current returns the regime as of the most recently completed window.
+func (c *Classifier) Current() State { return c.prev }
+
+// Label replays a (time, latencySeconds, dropped) series through a fresh
+// classifier and returns the state at each observation. The micro-model
+// trainer uses this to attach macro-state features to recorded traversals.
+func Label(cfg Config, times []des.Time, latencies []float64, dropped []bool) []State {
+	if len(times) != len(latencies) || len(times) != len(dropped) {
+		panic("macro: Label inputs must have equal lengths")
+	}
+	c := New(cfg)
+	out := make([]State, len(times))
+	for i := range times {
+		// The state fed to the model for observation i is the regime as of
+		// the packets before it — the model cannot see its own outcome.
+		out[i] = c.Current()
+		c.Observe(times[i], latencies[i], dropped[i])
+	}
+	return out
+}

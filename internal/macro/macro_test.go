@@ -1,0 +1,167 @@
+package macro
+
+import (
+	"testing"
+
+	"approxsim/internal/des"
+)
+
+const us = des.Microsecond
+
+func feed(c *Classifier, start des.Time, n int, latency float64, dropEvery int) des.Time {
+	t := start
+	for i := 0; i < n; i++ {
+		dropped := dropEvery > 0 && i%dropEvery == 0
+		c.Observe(t, latency, dropped)
+		t += 5 * us
+	}
+	return t
+}
+
+func TestStartsMinimal(t *testing.T) {
+	c := New(Config{})
+	if got := c.Current(); got != Minimal {
+		t.Errorf("initial state = %v, want minimal", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{
+		Minimal: "minimal", Increasing: "increasing",
+		High: "high", Decreasing: "decreasing", State(7): "unknown",
+	}
+	for s, want := range names {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", s, got, want)
+		}
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	for s := State(0); s < NumStates; s++ {
+		v := s.OneHot()
+		for i, x := range v {
+			want := 0.0
+			if State(i) == s {
+				want = 1
+			}
+			if x != want {
+				t.Errorf("OneHot(%v)[%d] = %v", s, i, x)
+			}
+		}
+	}
+}
+
+func TestLowLatencyIsMinimal(t *testing.T) {
+	c := New(Config{})
+	feed(c, 0, 100, 5e-6, 0) // steady 5us latency, no drops
+	if got := c.Current(); got != Minimal {
+		t.Errorf("steady low latency classified as %v", got)
+	}
+}
+
+func TestRisingLatencyIsIncreasing(t *testing.T) {
+	c := New(Config{})
+	t0 := feed(c, 0, 40, 5e-6, 0)
+	t1 := feed(c, t0, 40, 20e-6, 0)
+	feed(c, t1, 40, 60e-6, 0)
+	if got := c.Current(); got != Increasing {
+		t.Errorf("rising latency classified as %v, want increasing", got)
+	}
+}
+
+func TestHeavyDropsAreHigh(t *testing.T) {
+	c := New(Config{})
+	t0 := feed(c, 0, 40, 5e-6, 0)
+	feed(c, t0, 60, 80e-6, 3) // 1-in-3 drops
+	if got := c.Current(); got != High {
+		t.Errorf("heavy drops classified as %v, want high", got)
+	}
+}
+
+func TestDrainingIsDecreasing(t *testing.T) {
+	c := New(Config{})
+	t0 := feed(c, 0, 40, 5e-6, 0)
+	t1 := feed(c, t0, 60, 100e-6, 3) // high congestion
+	if got := c.Current(); got != High {
+		t.Fatalf("setup failed: %v", got)
+	}
+	t2 := feed(c, t1, 40, 60e-6, 0) // drops stop, latency falling
+	feed(c, t2, 40, 30e-6, 0)
+	if got := c.Current(); got != Decreasing {
+		t.Errorf("draining classified as %v, want decreasing", got)
+	}
+}
+
+func TestRecoveryReturnsToMinimal(t *testing.T) {
+	c := New(Config{})
+	t0 := feed(c, 0, 40, 5e-6, 0)
+	t1 := feed(c, t0, 60, 100e-6, 3)
+	t2 := feed(c, t1, 60, 30e-6, 0)
+	feed(c, t2, 60, 5e-6, 0) // back to baseline
+	if got := c.Current(); got != Minimal {
+		t.Errorf("recovered network classified as %v, want minimal", got)
+	}
+}
+
+func TestAllDropWindowIsHigh(t *testing.T) {
+	c := New(Config{})
+	t0 := feed(c, 0, 40, 5e-6, 0)
+	feed(c, t0, 30, 0, 1) // every packet dropped
+	if got := c.Current(); got != High {
+		t.Errorf("all-drop window classified as %v, want high", got)
+	}
+}
+
+func TestQuietPeriodKeepsPrior(t *testing.T) {
+	c := New(Config{})
+	t0 := feed(c, 0, 40, 5e-6, 0)
+	t1 := feed(c, t0, 40, 50e-6, 0)
+	feed(c, t1, 40, 80e-6, 0)
+	before := c.Current()
+	// No observations for a long stretch; state must not change.
+	if got := c.Current(); got != before {
+		t.Errorf("state changed from %v to %v with no new data", before, got)
+	}
+}
+
+func TestLabelLengthAndCausality(t *testing.T) {
+	times := []des.Time{0, 5 * us, 10 * us, 15 * us}
+	lats := []float64{5e-6, 5e-6, 5e-6, 5e-6}
+	drops := []bool{false, false, false, false}
+	labels := Label(Config{}, times, lats, drops)
+	if len(labels) != 4 {
+		t.Fatalf("Label returned %d states", len(labels))
+	}
+	// First label must be the prior (Minimal), not influenced by its own
+	// observation.
+	if labels[0] != Minimal {
+		t.Errorf("first label = %v, want minimal", labels[0])
+	}
+}
+
+func TestLabelPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Label inputs did not panic")
+		}
+	}()
+	Label(Config{}, []des.Time{1}, nil, nil)
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Window == 0 || cfg.LowLatencyFactor == 0 || cfg.HighDropRate == 0 {
+		t.Errorf("defaults missing: %+v", cfg)
+	}
+}
+
+func BenchmarkObserveClassify(b *testing.B) {
+	c := New(Config{})
+	for i := 0; i < b.N; i++ {
+		c.Observe(des.Time(i)*us, 10e-6, i%100 == 0)
+		if i%16 == 0 {
+			c.Current()
+		}
+	}
+}

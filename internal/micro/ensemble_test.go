@@ -1,0 +1,90 @@
+package micro
+
+import (
+	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/macro"
+	"approxsim/internal/nn"
+	"approxsim/internal/topology"
+	"approxsim/internal/trace"
+)
+
+func trainEnsembleFixture(t *testing.T) (*Ensemble, []trace.Record, *topology.Topology) {
+	t.Helper()
+	topo, records := captureTraining(t, 6)
+	e, err := TrainEnsemble(topo, trace.Egress, records, TrainConfig{
+		Hidden: 8, Layers: 1,
+		NN:   nn.TrainConfig{LR: 0.02, Batches: 25, Batch: 8, BPTT: 8, Seed: 1},
+		Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, records, topo
+}
+
+func TestEnsembleTrainsFallbackAlways(t *testing.T) {
+	e, _, _ := trainEnsembleFixture(t)
+	if e.Fallback == nil {
+		t.Fatal("no fallback generalist")
+	}
+	// At least the dominant regime should have enough data for an expert.
+	if e.LiveExperts() == 0 {
+		t.Error("no per-regime expert trained despite a multi-ms capture")
+	}
+}
+
+func TestEnsemblePredictionsPlausible(t *testing.T) {
+	e, records, _ := trainEnsembleFixture(t)
+	_ = records
+	for i := 0; i < 200; i++ {
+		st := macro.State(i % macro.NumStates)
+		drop, lat := e.Predict(des.Time(i)*5000, 0, 8, uint64(i), 1000, false, st)
+		if !drop {
+			if lat < e.LatencyFloor || lat > e.LatencyCeiling {
+				t.Fatalf("latency %v outside [%v, %v]", lat, e.LatencyFloor, e.LatencyCeiling)
+			}
+		}
+	}
+	// Routing must actually have used more than one slot across 4 states
+	// (experts where trained, fallback elsewhere).
+	picks := e.Picks()
+	used := 0
+	for _, n := range picks {
+		if n > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("expert routing degenerate: picks = %v", picks)
+	}
+}
+
+func TestEnsembleRejectsEmptyCapture(t *testing.T) {
+	topo := buildTopo(t)
+	if _, err := TrainEnsemble(topo, trace.Egress, nil, TrainConfig{}); err == nil {
+		t.Error("empty capture accepted")
+	}
+}
+
+func TestEnsembleFallbackForRareRegime(t *testing.T) {
+	e, _, _ := trainEnsembleFixture(t)
+	// Find a regime without a trained expert (if all regimes trained, the
+	// fallback path is still reachable via nil checks — skip).
+	var rare macro.State = -1
+	for s := macro.State(0); s < macro.NumStates; s++ {
+		if e.Experts[s] == nil {
+			rare = s
+			break
+		}
+	}
+	if rare < 0 {
+		t.Skip("every regime had enough data; fallback path untestable here")
+	}
+	before := e.Picks()[macro.NumStates]
+	e.Predict(0, 0, 8, 1, 100, false, rare)
+	if e.Picks()[macro.NumStates] != before+1 {
+		t.Error("rare-regime prediction did not route to the fallback")
+	}
+}

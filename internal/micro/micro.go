@@ -1,0 +1,351 @@
+// Package micro implements the paper's "micro" models (§4.2): per-packet
+// LSTM predictors that, given a packet arriving at a cluster boundary,
+// output a drop decision and the latency the fabric would impose.
+//
+// One predictor is trained per direction — ingress (core → servers) and
+// egress (servers → core) — "because the distribution of flows in either
+// direction can differ significantly at a given point of time."
+//
+// The feature vector follows the paper exactly: "the origin and destination
+// servers; the ToR, Cluster, and Core switches that the packet would pass
+// through in the cluster replaced by approximation; the time since the last
+// packet arrived at the model; a moving average of these times; and finally,
+// the current macro state of the cluster." All of these "can be calculated
+// directly from the packet header information, simulation time, and
+// knowledge of routing strategy" — PathFor supplies the routing knowledge.
+package micro
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"approxsim/internal/des"
+	"approxsim/internal/macro"
+	"approxsim/internal/nn"
+	"approxsim/internal/packet"
+	"approxsim/internal/rng"
+	"approxsim/internal/topology"
+	"approxsim/internal/trace"
+)
+
+// FeatureDim is the width of the per-packet feature vector:
+// src, dst, ToR, Agg, Core, size, isAck, gap, gapMA + 4 macro one-hot.
+const FeatureDim = 13
+
+// latencyLogScale normalizes latency labels: y = log1p(ns) / latencyLogScale
+// maps the microsecond-to-millisecond fabric range into roughly [0.4, 0.9],
+// where the MSE head resolves well.
+var latencyLogScale = math.Log1p(100e6) // 100ms in ns
+
+// NormalizeLatency maps a fabric latency to the model's label space.
+func NormalizeLatency(lat des.Time) float64 {
+	if lat < 0 {
+		lat = 0
+	}
+	return math.Log1p(float64(lat)) / latencyLogScale
+}
+
+// DenormalizeLatency inverts NormalizeLatency.
+func DenormalizeLatency(y float64) des.Time {
+	if y < 0 {
+		y = 0
+	}
+	return des.Time(math.Expm1(y * latencyLogScale))
+}
+
+// Featurizer turns boundary arrivals into model inputs. It is stateful (the
+// inter-arrival gap and its moving average) and must see packets in arrival
+// order; use one per predictor instance.
+type Featurizer struct {
+	topo *topology.Topology
+
+	lastArrival des.Time
+	gapEWMA     float64 // nanoseconds
+	hasLast     bool
+}
+
+// NewFeaturizer creates a featurizer bound to a topology (for host counts
+// and deterministic ECMP path enumeration).
+func NewFeaturizer(topo *topology.Topology) *Featurizer {
+	return &Featurizer{topo: topo}
+}
+
+// gapScale log-normalizes inter-arrival gaps (1ns..1s useful range).
+var gapScale = math.Log1p(1e9)
+
+// Features computes the model input for a packet arriving at the boundary
+// now, and advances the inter-arrival state.
+func (f *Featurizer) Features(now des.Time, src, dst packet.HostID, flow uint64,
+	size int32, isAck bool, st macro.State) []float64 {
+
+	gap := float64(0)
+	if f.hasLast {
+		gap = float64(now - f.lastArrival)
+	}
+	f.lastArrival = now
+	f.hasLast = true
+	// EWMA with the usual 1/8 gain (same constant TCP uses for SRTT).
+	f.gapEWMA += (gap - f.gapEWMA) / 8
+
+	nHosts := float64(len(f.topo.Hosts))
+	path := f.topo.PathFor(src, dst, flow)
+	nt := float64(len(f.topo.ToRs))
+	na := float64(len(f.topo.Aggs))
+	nc := float64(len(f.topo.Cores))
+
+	norm := func(id packet.NodeID, n float64) float64 {
+		if id < 0 || n == 0 {
+			return -1 // "no such hop" marker, distinct from any real index
+		}
+		return float64(id) / (nHosts + nt + na + nc)
+	}
+	x := make([]float64, 0, FeatureDim)
+	x = append(x,
+		float64(src)/nHosts,
+		float64(dst)/nHosts,
+		norm(path.SrcToR, nt),
+		norm(path.SrcAgg, na),
+		norm(path.Core, nc),
+		float64(size)/float64(packet.MaxFrameSize),
+		boolTo01(isAck),
+		math.Log1p(gap)/gapScale,
+		math.Log1p(f.gapEWMA)/gapScale,
+	)
+	oh := st.OneHot()
+	x = append(x, oh[:]...)
+	return x
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// PacketPredictor is the contract an approximated fabric needs from a
+// model: one streaming per-packet decision. Both the monolithic Predictor
+// and the regime Ensemble satisfy it.
+type PacketPredictor interface {
+	Predict(now des.Time, src, dst packet.HostID, flow uint64,
+		size int32, isAck bool, st macro.State) (drop bool, latency des.Time)
+}
+
+// DropPolicy selects how the drop head's probability becomes the paper's
+// "binary decision whether to drop the packet".
+type DropPolicy int8
+
+// Drop policies.
+const (
+	// Sample draws a Bernoulli with the predicted probability (default):
+	// matches the predicted drop *rate* even when probabilities hover
+	// below 1/2.
+	Sample DropPolicy = iota
+	// Threshold drops iff probability > 1/2: fully deterministic.
+	Threshold
+)
+
+// Predictor is a trained micro model for one direction plus the streaming
+// state needed to apply it packet by packet.
+type Predictor struct {
+	Model *nn.Model
+	Dir   trace.Direction
+
+	feat   *Featurizer
+	state  *nn.State
+	policy DropPolicy
+	src    *rng.Source
+
+	// LatencyFloor clamps predictions: the fabric cannot beat the physical
+	// minimum of its links. Set by the trainer to the smallest latency in
+	// the training data.
+	LatencyFloor des.Time
+	// LatencyCeiling clamps predictions from above. An under-trained model
+	// can emit a latency-head value whose denormalization is astronomically
+	// large; anything beyond the label-normalization scale (100ms) is
+	// nonphysical for a fabric transit, so the default ceiling is 100ms.
+	LatencyCeiling des.Time
+}
+
+// NewPredictor wraps a trained model for streaming inference.
+func NewPredictor(m *nn.Model, dir trace.Direction, topo *topology.Topology,
+	policy DropPolicy, seed uint64, floor des.Time) *Predictor {
+	return &Predictor{
+		Model: m, Dir: dir,
+		feat:           NewFeaturizer(topo),
+		state:          m.NewState(),
+		policy:         policy,
+		src:            rng.NewLabeled(seed, fmt.Sprintf("micro-%v", dir)),
+		LatencyFloor:   floor,
+		LatencyCeiling: 100 * des.Millisecond,
+	}
+}
+
+// Predict consumes one boundary arrival and returns the model's decision:
+// whether the fabric drops the packet and, if not, its transit latency.
+func (p *Predictor) Predict(now des.Time, src, dst packet.HostID, flow uint64,
+	size int32, isAck bool, st macro.State) (drop bool, latency des.Time) {
+
+	x := p.feat.Features(now, src, dst, flow, size, isAck, st)
+	prob, latRaw := p.Model.Predict(x, p.state)
+	switch p.policy {
+	case Threshold:
+		drop = prob > 0.5
+	default:
+		drop = p.src.Float64() < prob
+	}
+	latency = DenormalizeLatency(latRaw)
+	if latency < p.LatencyFloor {
+		latency = p.LatencyFloor
+	}
+	if p.LatencyCeiling > 0 && latency > p.LatencyCeiling {
+		latency = p.LatencyCeiling
+	}
+	return drop, latency
+}
+
+// Reset clears the recurrent and inter-arrival state (new simulation run).
+func (p *Predictor) Reset(topo *topology.Topology) {
+	p.state = p.Model.NewState()
+	p.feat = NewFeaturizer(topo)
+}
+
+// TrainConfig configures model fitting for one direction.
+type TrainConfig struct {
+	Hidden int // LSTM width (default 32; paper prototype: 128)
+	Layers int // stacked LSTM layers (default 2, as in the paper)
+	Macro  macro.Config
+	NN     nn.TrainConfig
+	Seed   uint64
+	// NoMacro ablates the macro-state feature: training and inference both
+	// see a constant Minimal state. Used by the feature-ablation
+	// experiments to quantify what the hierarchical design buys.
+	NoMacro bool
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	if c.Layers == 0 {
+		c.Layers = 2
+	}
+	return c
+}
+
+// BuildExamples converts one direction's boundary records into training
+// examples: features from a streaming featurizer + macro labeler, labels
+// from the recorded outcome. It also returns the smallest observed latency
+// (the physical floor). Records must be in entry order.
+func BuildExamples(topo *topology.Topology, records []trace.Record,
+	mcfg macro.Config) (examples []nn.Example, floor des.Time) {
+
+	cls := macro.New(mcfg)
+	feat := NewFeaturizer(topo)
+	floor = des.MaxTime
+	for _, r := range records {
+		if !r.Dropped && r.Latency <= 0 {
+			// Unresolved traversal (still inside the fabric when capture
+			// ended): no label exists for it.
+			continue
+		}
+		st := cls.Current()
+		x := feat.Features(r.Entry, r.Src, r.Dst, r.Flow, r.Size, r.IsAck, st)
+		ex := nn.Example{X: x, Dropped: r.Dropped}
+		if !r.Dropped {
+			ex.Latency = NormalizeLatency(r.Latency)
+			if r.Latency < floor {
+				floor = r.Latency
+			}
+		}
+		examples = append(examples, ex)
+		cls.Observe(r.Entry, r.Latency.Seconds(), r.Dropped)
+	}
+	if floor == des.MaxTime {
+		floor = 0
+	}
+	return examples, floor
+}
+
+// buildExamplesNoMacro is BuildExamples with the macro feature pinned to
+// Minimal (the ablation arm).
+func buildExamplesNoMacro(topo *topology.Topology, records []trace.Record) ([]nn.Example, des.Time) {
+	feat := NewFeaturizer(topo)
+	floor := des.MaxTime
+	var examples []nn.Example
+	for _, r := range records {
+		if !r.Dropped && r.Latency <= 0 {
+			continue
+		}
+		x := feat.Features(r.Entry, r.Src, r.Dst, r.Flow, r.Size, r.IsAck, macro.Minimal)
+		ex := nn.Example{X: x, Dropped: r.Dropped}
+		if !r.Dropped {
+			ex.Latency = NormalizeLatency(r.Latency)
+			if r.Latency < floor {
+				floor = r.Latency
+			}
+		}
+		examples = append(examples, ex)
+	}
+	if floor == des.MaxTime {
+		floor = 0
+	}
+	return examples, floor
+}
+
+// Train fits a predictor for one direction from boundary records.
+func Train(topo *topology.Topology, dir trace.Direction, records []trace.Record,
+	cfg TrainConfig) (*Predictor, nn.TrainStats, error) {
+
+	cfg = cfg.withDefaults()
+	var dirRecords []trace.Record
+	for _, r := range records {
+		if r.Dir == dir {
+			dirRecords = append(dirRecords, r)
+		}
+	}
+	var examples []nn.Example
+	var floor des.Time
+	if cfg.NoMacro {
+		examples, floor = buildExamplesNoMacro(topo, dirRecords)
+	} else {
+		examples, floor = BuildExamples(topo, dirRecords, cfg.Macro)
+	}
+	bptt := cfg.NN.BPTT
+	if bptt == 0 {
+		bptt = 16
+	}
+	if len(examples) < bptt {
+		return nil, nn.TrainStats{}, fmt.Errorf(
+			"micro: only %d %v records; need at least one BPTT window (%d)",
+			len(examples), dir, bptt)
+	}
+	m := nn.NewModel(FeatureDim, cfg.Hidden, cfg.Layers, rng.NewLabeled(cfg.Seed, "micro-init"))
+	stats := nn.Train(m, examples, cfg.NN)
+	p := NewPredictor(m, dir, topo, Sample, cfg.Seed, floor)
+	return p, stats, nil
+}
+
+// Save writes the predictor's model and metadata.
+func (p *Predictor) Save(w io.Writer) error {
+	// Direction and floor ride in a tiny header before the gob model.
+	if _, err := fmt.Fprintf(w, "approxsim-micro %d %d\n", int(p.Dir), int64(p.LatencyFloor)); err != nil {
+		return fmt.Errorf("micro: writing header: %w", err)
+	}
+	return p.Model.Save(w)
+}
+
+// LoadPredictor reads a predictor written by Save and binds it to topo.
+func LoadPredictor(r io.Reader, topo *topology.Topology, seed uint64) (*Predictor, error) {
+	var dir int
+	var floor int64
+	if _, err := fmt.Fscanf(r, "approxsim-micro %d %d\n", &dir, &floor); err != nil {
+		return nil, fmt.Errorf("micro: reading header: %w", err)
+	}
+	m, err := nn.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewPredictor(m, trace.Direction(dir), topo, Sample, seed, des.Time(floor)), nil
+}

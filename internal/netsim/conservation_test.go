@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"approxsim/internal/des"
+	"approxsim/internal/packet"
+	"approxsim/internal/rng"
+)
+
+// TestPropertyPacketConservation: packets sent into a port are either
+// delivered or counted as drops — nothing vanishes, nothing duplicates.
+func TestPropertyPacketConservation(t *testing.T) {
+	f := func(seed uint64, nPackets uint16, queueFrames uint8) bool {
+		n := int(nPackets)%500 + 1
+		qf := int64(queueFrames)%32 + 1
+		k := des.NewKernel()
+		cfg := LinkConfig{
+			BandwidthBps: 1e9,
+			PropDelay:    100,
+			QueueBytes:   qf * packet.MaxFrameSize,
+		}
+		src := &sink{id: 1, k: k}
+		dst := &sink{id: 2, k: k}
+		a := NewPort(k, src, 0, cfg)
+		b := NewPort(k, dst, 0, cfg)
+		Connect(a, b)
+
+		r := rng.New(seed)
+		sent := 0
+		// Spread sends over time so queues fill and drain irregularly.
+		for i := 0; i < n; i++ {
+			at := des.Time(r.Intn(2_000_000))
+			k.At(at, func() {
+				a.Send(&packet.Packet{PayloadLen: int32(r.Intn(packet.MSS + 1))})
+			})
+			sent++
+		}
+		k.RunAll()
+		delivered := len(dst.got)
+		dropped := int(a.Stats().Drops)
+		return delivered+dropped == sent && uint64(delivered) == a.Stats().TxPackets
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyQueueNeverExceedsCap: the configured byte cap bounds queue
+// occupancy at all times.
+func TestPropertyQueueNeverExceedsCap(t *testing.T) {
+	f := func(seed uint64, queueFrames uint8) bool {
+		qf := int64(queueFrames)%16 + 1
+		capBytes := qf * packet.MaxFrameSize
+		k := des.NewKernel()
+		cfg := LinkConfig{BandwidthBps: 1e9, QueueBytes: capBytes}
+		src := &sink{id: 1, k: k}
+		dst := &sink{id: 2, k: k}
+		a := NewPort(k, src, 0, cfg)
+		Connect(a, NewPort(k, dst, 0, cfg))
+		r := rng.New(seed)
+		ok := true
+		for i := 0; i < 300; i++ {
+			k.At(des.Time(r.Intn(500_000)), func() {
+				a.Send(&packet.Packet{PayloadLen: int32(r.Intn(packet.MSS + 1))})
+				if a.QueuedBytes() > capBytes {
+					ok = false
+				}
+			})
+		}
+		k.RunAll()
+		return ok && a.Stats().MaxQueue <= capBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBytesAccounting: TxBytes equals the sum of delivered packet sizes.
+func TestBytesAccounting(t *testing.T) {
+	k := des.NewKernel()
+	cfg := LinkConfig{BandwidthBps: 1e9, QueueBytes: 1 << 20}
+	src := &sink{id: 1, k: k}
+	dst := &sink{id: 2, k: k}
+	a := NewPort(k, src, 0, cfg)
+	Connect(a, NewPort(k, dst, 0, cfg))
+	sizes := []int32{0, 1, 100, packet.MSS}
+	var want uint64
+	for _, sz := range sizes {
+		a.Send(&packet.Packet{PayloadLen: sz})
+		want += uint64(sz) + packet.HeaderBytes
+	}
+	k.RunAll()
+	if got := a.Stats().TxBytes; got != want {
+		t.Errorf("TxBytes = %d, want %d", got, want)
+	}
+}
+
+// TestSwitchFanOutUnderLoad: a switch with many ports forwarding to
+// distinct destinations delivers everything when queues are deep enough.
+func TestSwitchFanOutUnderLoad(t *testing.T) {
+	k := des.NewKernel()
+	const fan = 16
+	router := RouterFunc(func(_ packet.NodeID, p *packet.Packet) (int, bool) {
+		return int(p.Dst) % fan, true
+	})
+	sw := NewSwitch(k, 100, router)
+	cfg := LinkConfig{BandwidthBps: 1e9, PropDelay: 100, QueueBytes: 1 << 20}
+	sinks := make([]*sink, fan)
+	for i := 0; i < fan; i++ {
+		out := sw.AddPort(cfg)
+		sinks[i] = &sink{id: packet.NodeID(i), k: k}
+		Connect(out, NewPort(k, sinks[i], 0, cfg))
+	}
+	const per = 50
+	for d := 0; d < fan; d++ {
+		for i := 0; i < per; i++ {
+			sw.Receive(&packet.Packet{Dst: packet.HostID(d), PayloadLen: 100, TTL: 4}, 0)
+		}
+	}
+	k.RunAll()
+	for i, s := range sinks {
+		if len(s.got) != per {
+			t.Errorf("sink %d got %d packets, want %d", i, len(s.got), per)
+		}
+	}
+}
+
+// TestSerializationRounding: sub-nanosecond serialization truncates toward
+// zero but never goes negative, and tiny packets still take time on slow
+// links.
+func TestSerializationRounding(t *testing.T) {
+	fast := LinkConfig{BandwidthBps: 100e9}
+	if d := fast.SerializationDelay(1); d < 0 {
+		t.Errorf("negative serialization %v", d)
+	}
+	slow := LinkConfig{BandwidthBps: 1e6}
+	if d := slow.SerializationDelay(packet.MaxFrameSize); d != des.Time(int64(packet.MaxFrameSize)*8*1000) {
+		t.Errorf("1Mbps full frame = %v", d)
+	}
+}

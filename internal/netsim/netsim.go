@@ -1,0 +1,316 @@
+// Package netsim implements the packet-level network devices of the
+// full-fidelity simulator: duplex links with exact serialization and
+// propagation delay, drop-tail output queues with optional ECN marking,
+// store-and-forward switches, and end hosts.
+//
+// The modeling granularity deliberately matches what the paper used
+// (OMNeT++/INET): every packet is individually enqueued, serialized at link
+// rate, propagated, and processed hop by hop, so the event count per packet
+// per hop — the quantity approximation later removes — is realistic.
+package netsim
+
+import (
+	"fmt"
+
+	"approxsim/internal/des"
+	"approxsim/internal/packet"
+)
+
+// Device is anything that can terminate a link: a switch, a host, or an
+// approximated cluster fabric.
+type Device interface {
+	// NodeID returns the device's unique topology-wide identifier.
+	NodeID() packet.NodeID
+	// Receive delivers a packet that finished propagating over the link
+	// attached to the device's port inPort.
+	Receive(pkt *packet.Packet, inPort int)
+}
+
+// LinkConfig describes one direction of a link and the output queue that
+// feeds it.
+type LinkConfig struct {
+	// BandwidthBps is the line rate in bits per second.
+	BandwidthBps int64
+	// PropDelay is the one-way propagation delay.
+	PropDelay des.Time
+	// QueueBytes caps the output queue occupancy (excluding the packet in
+	// transmission). Zero means a 1-packet (unbuffered) output.
+	QueueBytes int64
+	// ECNThresholdBytes marks ECN-capable packets with CE when the queue
+	// occupancy at enqueue is at or above this many bytes. Zero disables
+	// marking.
+	ECNThresholdBytes int64
+}
+
+// SerializationDelay returns the time to clock size bytes onto the wire.
+func (c LinkConfig) SerializationDelay(size int32) des.Time {
+	// bits * ns-per-second / bits-per-second, in integer arithmetic.
+	return des.Time(int64(size) * 8 * int64(des.Second) / c.BandwidthBps)
+}
+
+// PortStats counts per-port activity.
+type PortStats struct {
+	TxPackets uint64 // packets fully serialized onto the link
+	TxBytes   uint64
+	Drops     uint64 // packets dropped at enqueue (queue full)
+	ECNMarks  uint64 // packets CE-marked at enqueue
+	MaxQueue  int64  // high-water mark of queued bytes
+}
+
+// Port is one direction of a link: an output queue plus a transmitter.
+// A duplex link between devices A and B is a pair of ports, one owned by
+// each side, cross-connected with Connect.
+type Port struct {
+	kernel *des.Kernel
+	owner  Device
+	index  int // the port's index at its owner
+	cfg    LinkConfig
+
+	peer     Device
+	peerPort int
+
+	queue       []*packet.Packet
+	queuedBytes int64
+	busy        bool
+
+	stats PortStats
+
+	// OnDrop, if non-nil, observes each packet dropped at this port.
+	OnDrop func(*packet.Packet)
+}
+
+// NewPort creates an unconnected output port owned by owner at index.
+func NewPort(k *des.Kernel, owner Device, index int, cfg LinkConfig) *Port {
+	if cfg.BandwidthBps <= 0 {
+		panic("netsim: port bandwidth must be positive")
+	}
+	return &Port{kernel: k, owner: owner, index: index, cfg: cfg}
+}
+
+// Connect cross-wires two ports into a duplex link. Packets sent on a reach
+// b's owner (arriving on b's index) and vice versa.
+func Connect(a, b *Port) {
+	a.peer, a.peerPort = b.owner, b.index
+	b.peer, b.peerPort = a.owner, a.index
+}
+
+// Config returns the port's link configuration.
+func (p *Port) Config() LinkConfig { return p.cfg }
+
+// Index returns the port's index at its owning device (the inPort value the
+// owner sees for arrivals on this port).
+func (p *Port) Index() int { return p.index }
+
+// Stats returns a snapshot of the port counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// QueuedBytes returns the current output-queue occupancy in bytes.
+func (p *Port) QueuedBytes() int64 { return p.queuedBytes }
+
+// Peer returns the device and port index on the far side of the link.
+func (p *Port) Peer() (Device, int) { return p.peer, p.peerPort }
+
+// Send enqueues a packet for transmission, dropping it if the queue is full
+// (drop-tail). It applies ECN marking at enqueue when configured.
+func (p *Port) Send(pkt *packet.Packet) {
+	if p.peer == nil {
+		panic(fmt.Sprintf("netsim: send on unconnected port %d of node %d",
+			p.index, p.owner.NodeID()))
+	}
+	if !p.busy {
+		p.transmit(pkt)
+		return
+	}
+	size := int64(pkt.Size())
+	if p.queuedBytes+size > p.cfg.QueueBytes {
+		p.stats.Drops++
+		if p.OnDrop != nil {
+			p.OnDrop(pkt)
+		}
+		return
+	}
+	if p.cfg.ECNThresholdBytes > 0 && pkt.ECNCapable &&
+		p.queuedBytes >= p.cfg.ECNThresholdBytes {
+		pkt.ECNMarked = true
+		p.stats.ECNMarks++
+	}
+	pkt.EnqueueTime = p.kernel.Now()
+	p.queue = append(p.queue, pkt)
+	p.queuedBytes += size
+	if p.queuedBytes > p.stats.MaxQueue {
+		p.stats.MaxQueue = p.queuedBytes
+	}
+}
+
+// transmit clocks pkt onto the wire. The transmitter stays busy for the
+// serialization delay; arrival at the peer happens one propagation delay
+// after serialization completes.
+func (p *Port) transmit(pkt *packet.Packet) {
+	p.busy = true
+	ser := p.cfg.SerializationDelay(pkt.Size())
+	arrival := ser + p.cfg.PropDelay
+	peer, peerPort := p.peer, p.peerPort
+	p.kernel.Schedule(arrival, func() {
+		peer.Receive(pkt, peerPort)
+	})
+	p.kernel.Schedule(ser, func() {
+		p.stats.TxPackets++
+		p.stats.TxBytes += uint64(pkt.Size())
+		if len(p.queue) == 0 {
+			p.busy = false
+			return
+		}
+		next := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		p.queuedBytes -= int64(next.Size())
+		if len(p.queue) == 0 {
+			// Reset the backing array so a long-drained queue does not
+			// pin its high-water-mark allocation forever.
+			p.queue = nil
+		}
+		p.transmit(next)
+	})
+}
+
+// Router chooses the output port for a packet at a switch. Implementations
+// live in the topology package (up/down Clos routing with ECMP).
+type Router interface {
+	// Route returns the output port index at switch sw for pkt.
+	// ok is false when the destination is unreachable from sw.
+	Route(sw packet.NodeID, pkt *packet.Packet) (port int, ok bool)
+}
+
+// RouterFunc adapts a function to the Router interface.
+type RouterFunc func(sw packet.NodeID, pkt *packet.Packet) (int, bool)
+
+// Route implements Router.
+func (f RouterFunc) Route(sw packet.NodeID, pkt *packet.Packet) (int, bool) {
+	return f(sw, pkt)
+}
+
+// Switch is an output-queued store-and-forward switch.
+type Switch struct {
+	id     packet.NodeID
+	kernel *des.Kernel
+	ports  []*Port
+	router Router
+
+	// OnReceive, if non-nil, observes every packet as it arrives, before
+	// forwarding. The trace package uses this to instrument cluster
+	// boundaries.
+	OnReceive func(pkt *packet.Packet, inPort int)
+
+	// RouteDrops counts packets discarded for TTL expiry or no route.
+	RouteDrops uint64
+}
+
+// NewSwitch creates a switch with no ports; add them with AddPort.
+func NewSwitch(k *des.Kernel, id packet.NodeID, router Router) *Switch {
+	return &Switch{id: id, kernel: k, router: router}
+}
+
+// NodeID implements Device.
+func (s *Switch) NodeID() packet.NodeID { return s.id }
+
+// AddPort creates, attaches, and returns the switch's next output port.
+func (s *Switch) AddPort(cfg LinkConfig) *Port {
+	p := NewPort(s.kernel, s, len(s.ports), cfg)
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// Port returns the i'th port.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// NumPorts returns how many ports the switch has.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// Receive implements Device: route the packet and enqueue it on the chosen
+// output port.
+func (s *Switch) Receive(pkt *packet.Packet, inPort int) {
+	if s.OnReceive != nil {
+		s.OnReceive(pkt, inPort)
+	}
+	pkt.Hops++
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		s.RouteDrops++
+		return
+	}
+	out, ok := s.router.Route(s.id, pkt)
+	if !ok {
+		s.RouteDrops++
+		return
+	}
+	if out < 0 || out >= len(s.ports) {
+		panic(fmt.Sprintf("netsim: switch %d routed to invalid port %d", s.id, out))
+	}
+	s.ports[out].Send(pkt)
+}
+
+// Host is an end host: a single NIC plus a transport demultiplexer.
+type Host struct {
+	id     packet.HostID
+	nodeID packet.NodeID
+	kernel *des.Kernel
+	nic    *Port
+
+	// Handler receives every packet delivered to the host. The TCP stack
+	// installs its demux here.
+	Handler func(pkt *packet.Packet)
+
+	// OnReceive, if non-nil, observes arrivals before Handler runs.
+	OnReceive func(pkt *packet.Packet)
+
+	// RxPackets counts delivered packets.
+	RxPackets uint64
+}
+
+// NewHost creates a host. The NIC is created by AttachNIC.
+func NewHost(k *des.Kernel, id packet.HostID, nodeID packet.NodeID) *Host {
+	return &Host{id: id, nodeID: nodeID, kernel: k}
+}
+
+// ID returns the host identifier used in packet addressing.
+func (h *Host) ID() packet.HostID { return h.id }
+
+// NodeID implements Device.
+func (h *Host) NodeID() packet.NodeID { return h.nodeID }
+
+// AttachNIC creates the host's single network interface.
+func (h *Host) AttachNIC(cfg LinkConfig) *Port {
+	if h.nic != nil {
+		panic("netsim: host already has a NIC")
+	}
+	h.nic = NewPort(h.kernel, h, 0, cfg)
+	return h.nic
+}
+
+// NIC returns the host's interface port.
+func (h *Host) NIC() *Port { return h.nic }
+
+// Kernel returns the event kernel the host schedules on.
+func (h *Host) Kernel() *des.Kernel { return h.kernel }
+
+// Send stamps and transmits a packet from the host's NIC.
+func (h *Host) Send(pkt *packet.Packet) {
+	if pkt.SendTime == 0 {
+		pkt.SendTime = h.kernel.Now()
+	}
+	if pkt.TTL == 0 {
+		pkt.TTL = 64
+	}
+	h.nic.Send(pkt)
+}
+
+// Receive implements Device: deliver the packet to the transport handler.
+func (h *Host) Receive(pkt *packet.Packet, _ int) {
+	h.RxPackets++
+	if h.OnReceive != nil {
+		h.OnReceive(pkt)
+	}
+	if h.Handler != nil {
+		h.Handler(pkt)
+	}
+}

@@ -1,0 +1,34 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"approxsim/internal/rng"
+)
+
+// FuzzLoad hardens model deserialization: arbitrary bytes must yield an
+// error or a usable model, never a panic.
+func FuzzLoad(f *testing.F) {
+	var seed bytes.Buffer
+	m := NewModel(3, 4, 2, rng.New(1))
+	_ = m.Save(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(seed.Bytes()[:len(seed.Bytes())/2]) // truncated
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully loaded model must predict without panicking.
+		st := m.NewState()
+		x := make([]float64, m.InDim)
+		p, _ := m.Predict(x, st)
+		if p < 0 || p > 1 {
+			t.Fatalf("loaded model produced probability %v", p)
+		}
+	})
+}

@@ -1,0 +1,353 @@
+// Package nn is a from-scratch neural-network library sufficient to
+// reproduce the paper's micro models: stacked LSTM layers (Hochreiter &
+// Schmidhuber) feeding two fully connected heads — one predicting packet
+// drop (binary cross-entropy on a logit) and one predicting latency (mean
+// squared error) — trained jointly with truncated backpropagation through
+// time and SGD with momentum, exactly the setup of §4.2 ("The
+// multi-dimensional hidden state output from the LSTM is given to one fully
+// connected layer to predict the latency and another ... to predict packet
+// drop").
+//
+// The paper used PyTorch 0.4 via ATEN; this package is the pure-Go
+// substitution. It trades GPU throughput for zero dependencies: the math is
+// identical (same gates, same losses, same optimizer), only slower, so model
+// sizes are configuration knobs rather than constants.
+package nn
+
+import (
+	"math"
+
+	"approxsim/internal/rng"
+)
+
+// tanh is a Padé(7,6) approximation of math.Tanh, clamped outside ~|x|>4.97
+// where the true function is within 1e-4 of ±1. It is ~5x faster than the
+// stdlib and smooth, which matters twice: activation evaluation dominates
+// inference cost (hundreds of gate activations per packet prediction), and
+// training back-propagates through the same approximation so gradients stay
+// exactly consistent with the forward pass.
+func tanh(x float64) float64 {
+	if x > 4.97 {
+		return 1
+	}
+	if x < -4.97 {
+		return -1
+	}
+	x2 := x * x
+	a := x * (135135 + x2*(17325+x2*(378+x2)))
+	b := 135135 + x2*(62370+x2*(3150+x2*28))
+	return a / b
+}
+
+// sigmoid is the logistic function, expressed through tanh so it shares the
+// fast approximation: sigma(x) = (1 + tanh(x/2)) / 2.
+func sigmoid(x float64) float64 {
+	return 0.5 + 0.5*tanh(0.5*x)
+}
+
+// dot is an unrolled dot product with a bounds-check hint; the row length
+// always equals len(x) by construction.
+func dot(row, x []float64) float64 {
+	row = row[:len(x)]
+	var s0, s1 float64
+	i := 0
+	for ; i+1 < len(x); i += 2 {
+		s0 += row[i] * x[i]
+		s1 += row[i+1] * x[i+1]
+	}
+	if i < len(x) {
+		s0 += row[i] * x[i]
+	}
+	return s0 + s1
+}
+
+// Dense is a fully connected layer y = Wx + b.
+type Dense struct {
+	In, Out int
+	W       []float64 // Out x In, row-major
+	B       []float64 // Out
+
+	dW, dB []float64
+}
+
+// NewDense creates a dense layer with Xavier/Glorot-uniform weights.
+func NewDense(in, out int, src *rng.Source) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W: make([]float64, out*in), B: make([]float64, out),
+		dW: make([]float64, out*in), dB: make([]float64, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.W {
+		d.W[i] = (2*src.Float64() - 1) * limit
+	}
+	return d
+}
+
+// Forward computes y = Wx + b into a fresh slice.
+func (d *Dense) Forward(x []float64) []float64 {
+	y := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		sum := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		y[o] = sum
+	}
+	return y
+}
+
+// Backward accumulates gradients given dy and the cached input x, and
+// returns dx.
+func (d *Dense) Backward(x, dy []float64) []float64 {
+	dx := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := dy[o]
+		d.dB[o] += g
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.dW[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			grow[i] += g * xi
+			dx[i] += row[i] * g
+		}
+	}
+	return dx
+}
+
+// lstmLayer is one LSTM layer. Weight rows are gate-major in the order
+// input (i), forget (f), candidate (g), output (o).
+type lstmLayer struct {
+	In, Hidden int
+	Wx         []float64 // 4H x In
+	Wh         []float64 // 4H x H
+	B          []float64 // 4H
+
+	dWx, dWh, dB []float64
+}
+
+func newLSTMLayer(in, hidden int, src *rng.Source) *lstmLayer {
+	l := &lstmLayer{
+		In: in, Hidden: hidden,
+		Wx: make([]float64, 4*hidden*in),
+		Wh: make([]float64, 4*hidden*hidden),
+		B:  make([]float64, 4*hidden),
+
+		dWx: make([]float64, 4*hidden*in),
+		dWh: make([]float64, 4*hidden*hidden),
+		dB:  make([]float64, 4*hidden),
+	}
+	limX := math.Sqrt(6.0 / float64(in+hidden))
+	for i := range l.Wx {
+		l.Wx[i] = (2*src.Float64() - 1) * limX
+	}
+	limH := math.Sqrt(6.0 / float64(2*hidden))
+	for i := range l.Wh {
+		l.Wh[i] = (2*src.Float64() - 1) * limH
+	}
+	// Forget-gate bias starts at 1: the standard trick that lets gradients
+	// flow early in training.
+	for h := 0; h < hidden; h++ {
+		l.B[hidden+h] = 1
+	}
+	return l
+}
+
+// stepCache holds the activations one forward step needs for backprop.
+type stepCache struct {
+	x, hPrev, cPrev []float64
+	i, f, g, o      []float64 // post-activation gates
+	c, tanhC        []float64
+}
+
+// forward computes one timestep. hPrev/cPrev are the layer's previous
+// hidden/cell state; returns h, c and the cache.
+func (l *lstmLayer) forward(x, hPrev, cPrev []float64) ([]float64, []float64, *stepCache) {
+	H := l.Hidden
+	z := make([]float64, 4*H)
+	for r := 0; r < 4*H; r++ {
+		z[r] = l.B[r] + dot(l.Wx[r*l.In:(r+1)*l.In], x) +
+			dot(l.Wh[r*H:(r+1)*H], hPrev)
+	}
+	cache := &stepCache{
+		x: x, hPrev: hPrev, cPrev: cPrev,
+		i: make([]float64, H), f: make([]float64, H),
+		g: make([]float64, H), o: make([]float64, H),
+		c: make([]float64, H), tanhC: make([]float64, H),
+	}
+	h := make([]float64, H)
+	for j := 0; j < H; j++ {
+		cache.i[j] = sigmoid(z[j])
+		cache.f[j] = sigmoid(z[H+j])
+		cache.g[j] = tanh(z[2*H+j])
+		cache.o[j] = sigmoid(z[3*H+j])
+		cache.c[j] = cache.f[j]*cPrev[j] + cache.i[j]*cache.g[j]
+		cache.tanhC[j] = tanh(cache.c[j])
+		h[j] = cache.o[j] * cache.tanhC[j]
+	}
+	return h, cache.c, cache
+}
+
+// backward consumes dh and dc for this step, accumulates weight gradients,
+// and returns (dx, dhPrev, dcPrev).
+func (l *lstmLayer) backward(cache *stepCache, dh, dc []float64) (dx, dhPrev, dcPrev []float64) {
+	H := l.Hidden
+	dz := make([]float64, 4*H)
+	dcPrev = make([]float64, H)
+	for j := 0; j < H; j++ {
+		do := dh[j] * cache.tanhC[j]
+		dct := dc[j] + dh[j]*cache.o[j]*(1-cache.tanhC[j]*cache.tanhC[j])
+		di := dct * cache.g[j]
+		df := dct * cache.cPrev[j]
+		dg := dct * cache.i[j]
+		dcPrev[j] = dct * cache.f[j]
+
+		dz[j] = di * cache.i[j] * (1 - cache.i[j])
+		dz[H+j] = df * cache.f[j] * (1 - cache.f[j])
+		dz[2*H+j] = dg * (1 - cache.g[j]*cache.g[j])
+		dz[3*H+j] = do * cache.o[j] * (1 - cache.o[j])
+	}
+	dx = make([]float64, l.In)
+	dhPrev = make([]float64, H)
+	for r := 0; r < 4*H; r++ {
+		g := dz[r]
+		if g == 0 {
+			continue
+		}
+		l.dB[r] += g
+		rowX := l.Wx[r*l.In : (r+1)*l.In]
+		growX := l.dWx[r*l.In : (r+1)*l.In]
+		for i, xi := range cache.x {
+			growX[i] += g * xi
+			dx[i] += rowX[i] * g
+		}
+		rowH := l.Wh[r*H : (r+1)*H]
+		growH := l.dWh[r*H : (r+1)*H]
+		for i, hi := range cache.hPrev {
+			growH[i] += g * hi
+			dhPrev[i] += rowH[i] * g
+		}
+	}
+	return dx, dhPrev, dcPrev
+}
+
+// Model is the paper's micro-model architecture: a stacked LSTM whose final
+// hidden state feeds a drop head (1 logit) and a latency head (1 value).
+type Model struct {
+	InDim, Hidden, Layers int
+	lstm                  []*lstmLayer
+	DropHead              *Dense
+	LatHead               *Dense
+}
+
+// NewModel builds a model with the given input width, hidden size, and
+// number of stacked LSTM layers. The paper's prototype is layers=2,
+// hidden=128 (§7); tests use smaller sizes.
+func NewModel(inDim, hidden, layers int, src *rng.Source) *Model {
+	if inDim <= 0 || hidden <= 0 || layers <= 0 {
+		panic("nn: model dimensions must be positive")
+	}
+	m := &Model{InDim: inDim, Hidden: hidden, Layers: layers}
+	for l := 0; l < layers; l++ {
+		in := inDim
+		if l > 0 {
+			in = hidden
+		}
+		m.lstm = append(m.lstm, newLSTMLayer(in, hidden, src))
+	}
+	m.DropHead = NewDense(hidden, 1, src)
+	m.LatHead = NewDense(hidden, 1, src)
+	return m
+}
+
+// State is the recurrent state of a Model mid-sequence, plus the scratch
+// space that keeps inference allocation-free (every boundary packet in a
+// hybrid simulation costs one Predict, so this path is hot).
+type State struct {
+	h, c [][]float64
+	z    []float64 // gate pre-activation scratch, 4*Hidden
+}
+
+// NewState returns zeroed recurrent state.
+func (m *Model) NewState() *State {
+	st := &State{z: make([]float64, 4*m.Hidden)}
+	for l := 0; l < m.Layers; l++ {
+		st.h = append(st.h, make([]float64, m.Hidden))
+		st.c = append(st.c, make([]float64, m.Hidden))
+	}
+	return st
+}
+
+// inferStep advances one layer in place: reads x and the old (h, c), writes
+// the new (h, c). z is caller scratch of size >= 4*Hidden. The gate math is
+// identical to forward; only the caching for backprop is omitted.
+func (l *lstmLayer) inferStep(x, h, c, z []float64) {
+	H := l.Hidden
+	// All of z depends only on the OLD h, so compute it fully before
+	// mutating h below.
+	for r := 0; r < 4*H; r++ {
+		z[r] = l.B[r] + dot(l.Wx[r*l.In:(r+1)*l.In], x) +
+			dot(l.Wh[r*H:(r+1)*H], h)
+	}
+	for j := 0; j < H; j++ {
+		ig := sigmoid(z[j])
+		fg := sigmoid(z[H+j])
+		gg := tanh(z[2*H+j])
+		og := sigmoid(z[3*H+j])
+		c[j] = fg*c[j] + ig*gg
+		h[j] = og * tanh(c[j])
+	}
+}
+
+// Predict runs one input through the model, updating st in place, and
+// returns the drop probability and the raw latency-head output. It performs
+// no heap allocation.
+func (m *Model) Predict(x []float64, st *State) (dropProb, latency float64) {
+	cur := x
+	for l, layer := range m.lstm {
+		layer.inferStep(cur, st.h[l], st.c[l], st.z)
+		cur = st.h[l]
+	}
+	return sigmoid(m.DropHead.forward1(cur)), m.LatHead.forward1(cur)
+}
+
+// forward1 is Forward for the common Out==1 head, without allocating.
+func (d *Dense) forward1(x []float64) float64 {
+	return d.B[0] + dot(d.W, x)
+}
+
+// params enumerates every (weights, grads) pair for the optimizer.
+func (m *Model) params() [][2][]float64 {
+	var ps [][2][]float64
+	for _, l := range m.lstm {
+		ps = append(ps,
+			[2][]float64{l.Wx, l.dWx},
+			[2][]float64{l.Wh, l.dWh},
+			[2][]float64{l.B, l.dB})
+	}
+	ps = append(ps,
+		[2][]float64{m.DropHead.W, m.DropHead.dW},
+		[2][]float64{m.DropHead.B, m.DropHead.dB},
+		[2][]float64{m.LatHead.W, m.LatHead.dW},
+		[2][]float64{m.LatHead.B, m.LatHead.dB})
+	return ps
+}
+
+// zeroGrads clears all accumulated gradients.
+func (m *Model) zeroGrads() {
+	for _, p := range m.params() {
+		g := p[1]
+		for i := range g {
+			g[i] = 0
+		}
+	}
+}
+
+// NumParams returns the trainable parameter count.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.params() {
+		n += len(p[0])
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+// Package packet defines the packet model shared by every layer of the
+// simulator: addressing, the TCP header fields the congestion-control stack
+// needs, ECN, and the bookkeeping (timestamps, hop counts, path record) that
+// the tracing and approximation subsystems consume.
+//
+// The simulator does not serialize packets to wire format — packets move
+// between modules as pointers — but sizes are modeled exactly so that link
+// serialization delays and queue occupancy in bytes match a real network.
+package packet
+
+import (
+	"fmt"
+
+	"approxsim/internal/des"
+)
+
+// HostID identifies a server (an end host). IDs are dense, assigned by the
+// topology builder.
+type HostID int32
+
+// NodeID identifies any device (host or switch) in a topology.
+type NodeID int32
+
+// Flags is the TCP flag set carried by a packet.
+type Flags uint8
+
+// TCP header flags used by the New Reno stack.
+const (
+	FlagSYN Flags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+)
+
+// String renders the flag set in the conventional "SYN|ACK" form.
+func (f Flags) String() string {
+	if f == 0 {
+		return "-"
+	}
+	s := ""
+	add := func(name string, bit Flags) {
+		if f&bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += name
+		}
+	}
+	add("SYN", FlagSYN)
+	add("ACK", FlagACK)
+	add("FIN", FlagFIN)
+	add("RST", FlagRST)
+	return s
+}
+
+// Standard size constants. The model charges a fixed header overhead per
+// packet (Ethernet + IP + TCP, uncounted options) which matches how INET's
+// byte-level accounting drives queueing and serialization delay.
+const (
+	HeaderBytes  = 66   // 14 Ethernet + 20 IP + 20 TCP + 12 options/preamble
+	MSS          = 1460 // maximum segment payload in bytes
+	MaxFrameSize = HeaderBytes + MSS
+)
+
+// Packet is one simulated frame. Packets are created by the TCP stack (or a
+// raw traffic source), forwarded pointer-wise through switches and links, and
+// eventually delivered or dropped. A packet is owned by exactly one module
+// at a time and is never shared across concurrent goroutines.
+type Packet struct {
+	// Addressing.
+	Src HostID
+	Dst HostID
+	// FlowID identifies the transport connection; ECMP hashes it together
+	// with the address pair, standing in for the port pair of a 5-tuple.
+	FlowID uint64
+
+	// Transport header (the subset TCP New Reno requires).
+	Flags  Flags
+	Seq    uint32 // first payload byte's sequence number
+	Ack    uint32 // cumulative acknowledgment (valid when FlagACK set)
+	Window uint32 // advertised receive window in bytes
+
+	// ECN models the two-bit codepoint: capable transport + congestion
+	// experienced. The switches mark CE above a threshold when enabled.
+	ECNCapable bool
+	ECNMarked  bool
+
+	// PayloadLen is payload bytes; total wire size adds HeaderBytes.
+	PayloadLen int32
+
+	// TTL guards against routing loops in misconfigured topologies.
+	TTL int8
+
+	// Bookkeeping for measurement and model features (not part of the
+	// "wire" representation).
+	SendTime    des.Time // when the sender's NIC first transmitted it
+	EnqueueTime des.Time // when it entered the queue it currently sits in
+	Hops        int8     // switch hops traversed so far
+	EchoTime    des.Time // TCP timestamp echo: sender clock reflected by ACKs
+}
+
+// Size returns the packet's total wire size in bytes.
+func (p *Packet) Size() int32 { return HeaderBytes + p.PayloadLen }
+
+// IsAck reports whether the packet is a bare acknowledgment (no payload).
+func (p *Packet) IsAck() bool { return p.Flags&FlagACK != 0 && p.PayloadLen == 0 }
+
+// String formats a packet compactly for traces and test failures.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{%d->%d flow=%d %s seq=%d ack=%d len=%d}",
+		p.Src, p.Dst, p.FlowID, p.Flags, p.Seq, p.Ack, p.PayloadLen)
+}
+
+// Clone returns a copy of the packet. Retransmissions clone the original so
+// per-hop bookkeeping never aliases between in-flight copies.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	return &q
+}

@@ -1,0 +1,94 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSize(t *testing.T) {
+	p := &Packet{PayloadLen: MSS}
+	if p.Size() != HeaderBytes+MSS {
+		t.Errorf("Size = %d, want %d", p.Size(), HeaderBytes+MSS)
+	}
+	empty := &Packet{}
+	if empty.Size() != HeaderBytes {
+		t.Errorf("empty Size = %d, want %d", empty.Size(), HeaderBytes)
+	}
+}
+
+func TestIsAck(t *testing.T) {
+	cases := []struct {
+		p    Packet
+		want bool
+	}{
+		{Packet{Flags: FlagACK}, true},
+		{Packet{Flags: FlagACK, PayloadLen: 10}, false}, // piggybacked data
+		{Packet{Flags: FlagSYN}, false},
+		{Packet{}, false},
+	}
+	for i, c := range cases {
+		if got := c.p.IsAck(); got != c.want {
+			t.Errorf("case %d: IsAck = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	cases := []struct {
+		f    Flags
+		want string
+	}{
+		{0, "-"},
+		{FlagSYN, "SYN"},
+		{FlagSYN | FlagACK, "SYN|ACK"},
+		{FlagFIN | FlagACK, "ACK|FIN"},
+		{FlagRST, "RST"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("Flags(%d).String() = %q, want %q", c.f, got, c.want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := &Packet{Src: 1, Dst: 2, Seq: 100, PayloadLen: MSS, Hops: 3}
+	q := p.Clone()
+	if q == p {
+		t.Fatal("Clone returned the same pointer")
+	}
+	q.Hops = 7
+	q.Seq = 200
+	if p.Hops != 3 || p.Seq != 100 {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestStringMentionsEndpoints(t *testing.T) {
+	p := &Packet{Src: 4, Dst: 9, FlowID: 77, Flags: FlagACK, Seq: 5, Ack: 6}
+	s := p.String()
+	for _, want := range []string{"4", "9", "77", "ACK"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPropertyCloneEquality(t *testing.T) {
+	f := func(src, dst int32, seq, ack uint32, pl int32, flags uint8) bool {
+		if pl < 0 {
+			pl = -pl
+		}
+		p := &Packet{
+			Src: HostID(src), Dst: HostID(dst),
+			Seq: seq, Ack: ack, PayloadLen: pl % (MSS + 1),
+			Flags: Flags(flags & 0x0f),
+		}
+		q := p.Clone()
+		return *q == *p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,253 @@
+package pdes
+
+import (
+	"fmt"
+	"time"
+
+	"approxsim/internal/des"
+	"approxsim/internal/netsim"
+	"approxsim/internal/packet"
+	"approxsim/internal/tcp"
+	"approxsim/internal/topology"
+	"approxsim/internal/traffic"
+)
+
+// LeafSpine is a leaf-spine network partitioned across logical processes —
+// the Fig. 1 experiment substrate. Racks (a ToR and its servers) are split
+// contiguously across LPs; spines are distributed round-robin. Every
+// ToR–spine link then has a high chance of crossing a partition, which is
+// precisely the dense connectivity that makes data centers hostile to PDES.
+type LeafSpine struct {
+	Sys    *System
+	Cfg    topology.Config
+	Hosts  []*netsim.Host
+	Stacks []*tcp.Stack
+	ToRs   []*netsim.Switch
+	Spines []*netsim.Switch
+
+	lpOfHost  []int
+	torBase   packet.NodeID
+	spineBase packet.NodeID
+}
+
+// BuildLeafSpine constructs an n-rack leaf-spine on lps logical processes.
+// cfg must be a LeafSpine topology config (use topology.DefaultLeafSpineConfig).
+func BuildLeafSpine(cfg topology.Config, lps int) (*LeafSpine, error) {
+	if cfg.Kind != topology.LeafSpine {
+		return nil, fmt.Errorf("pdes: BuildLeafSpine needs a LeafSpine config")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lps < 1 || lps > cfg.ToRsPerCluster {
+		return nil, fmt.Errorf("pdes: lps = %d, need 1..%d (one rack per LP minimum)",
+			lps, cfg.ToRsPerCluster)
+	}
+	ls := &LeafSpine{Sys: NewSystem(lps), Cfg: cfg}
+	nT, nS, perRack := cfg.ToRsPerCluster, cfg.AggsPerCluster, cfg.ServersPerToR
+	nH := nT * perRack
+	ls.torBase = packet.NodeID(nH)
+	ls.spineBase = ls.torBase + packet.NodeID(nT)
+
+	lpOfToR := func(t int) int { return t * lps / nT }
+	lpOfSpine := func(s int) int { return s % lps }
+
+	// Devices, each on its LP's kernel.
+	for t := 0; t < nT; t++ {
+		lp := ls.Sys.LP(lpOfToR(t))
+		ls.ToRs = append(ls.ToRs, netsim.NewSwitch(lp.Kernel(), ls.torBase+packet.NodeID(t), ls))
+	}
+	for s := 0; s < nS; s++ {
+		lp := ls.Sys.LP(lpOfSpine(s))
+		ls.Spines = append(ls.Spines, netsim.NewSwitch(lp.Kernel(), ls.spineBase+packet.NodeID(s), ls))
+	}
+	for h := 0; h < nH; h++ {
+		lp := ls.Sys.LP(lpOfToR(h / perRack))
+		host := netsim.NewHost(lp.Kernel(), packet.HostID(h), packet.NodeID(h))
+		ls.Hosts = append(ls.Hosts, host)
+		ls.Stacks = append(ls.Stacks, tcp.NewStack(host, tcp.Config{}))
+		ls.lpOfHost = append(ls.lpOfHost, lpOfToR(h/perRack))
+	}
+
+	// Host egress queues model the NIC transmit qdisc (see topology.wire).
+	nicCfg := cfg.HostLink
+	if min := int64(200 * packet.MaxFrameSize); nicCfg.QueueBytes < min {
+		nicCfg.QueueBytes = min
+	}
+
+	// Host <-> ToR: always same LP.
+	for h, host := range ls.Hosts {
+		t := h / perRack
+		lp := ls.Sys.LP(lpOfToR(t))
+		nic := host.AttachNIC(nicCfg)
+		tp := ls.ToRs[t].AddPort(cfg.HostLink)
+		if err := ls.Sys.Connect(lp, nic, lp, tp, host, ls.ToRs[t], 0); err != nil {
+			return nil, err
+		}
+	}
+	// ToR <-> spine: cross-LP when partitions differ. Port layout matches
+	// the topology package: ToR uplink s at port perRack+s; spine port t
+	// faces leaf t.
+	for t, tor := range ls.ToRs {
+		tLP := ls.Sys.LP(lpOfToR(t))
+		for s, spine := range ls.Spines {
+			sLP := ls.Sys.LP(lpOfSpine(s))
+			linkCfg := cfg.FabricLink
+			lookahead := linkCfg.PropDelay
+			if tLP != sLP {
+				linkCfg.PropDelay = 0
+			}
+			up := tor.AddPort(linkCfg)
+			for spine.NumPorts() <= t {
+				spine.AddPort(linkCfg)
+			}
+			if err := ls.Sys.Connect(tLP, up, sLP, spine.Port(t), tor, spine, lookahead); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ls, nil
+}
+
+// Route implements netsim.Router with the same arithmetic and ECMP spread
+// as the topology package's leaf-spine routing.
+func (ls *LeafSpine) Route(sw packet.NodeID, p *packet.Packet) (int, bool) {
+	cfg := ls.Cfg
+	dst := int(p.Dst)
+	if dst < 0 || dst >= len(ls.Hosts) {
+		return 0, false
+	}
+	dstToR := dst / cfg.ServersPerToR
+	switch {
+	case sw >= ls.spineBase:
+		return dstToR, true
+	case sw >= ls.torBase:
+		tor := int(sw - ls.torBase)
+		if dstToR == tor {
+			return dst % cfg.ServersPerToR, true
+		}
+		pick := int(ecmpHash(sw, p, cfg.ECMPSeed) % uint64(cfg.AggsPerCluster))
+		return cfg.ServersPerToR + pick, true
+	default:
+		return 0, false
+	}
+}
+
+// ecmpHash mirrors topology.ecmpHash so paths match across engines.
+func ecmpHash(sw packet.NodeID, p *packet.Packet, seed uint64) uint64 {
+	x := uint64(sw)*0x9e3779b97f4a7c15 ^ seed
+	x ^= uint64(uint32(p.Src))<<32 | uint64(uint32(p.Dst))
+	x ^= p.FlowID * 0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Schedule installs the workload: each flow arrival is scheduled on its
+// source host's LP.
+func (ls *LeafSpine) Schedule(specs []traffic.FlowSpec) {
+	for _, sp := range specs {
+		sp := sp
+		lp := ls.Sys.LP(ls.lpOfHost[sp.Src])
+		stack := ls.Stacks[sp.Src]
+		lp.Kernel().At(sp.At, func() {
+			stack.StartFlow(sp.Dst, sp.Size, sp.ID, nil)
+		})
+	}
+}
+
+// Results gathers every flow result across all stacks.
+func (ls *LeafSpine) Results() []tcp.FlowResult {
+	var out []tcp.FlowResult
+	for _, s := range ls.Stacks {
+		out = append(out, s.Results()...)
+	}
+	return out
+}
+
+// ExperimentResult is one Fig. 1 data point.
+type ExperimentResult struct {
+	ToRs, LPs      int
+	SimSeconds     float64
+	WallSeconds    float64
+	SimPerWall     float64 // the Fig. 1 y-axis: sim seconds per wall second
+	Events         uint64
+	Nulls          uint64
+	Barriers       uint64
+	CrossPkts      uint64
+	FlowsStarted   int
+	FlowsCompleted int
+}
+
+// SyncAlgo selects the conservative synchronization algorithm.
+type SyncAlgo int
+
+// Synchronization algorithms for parallel runs.
+const (
+	// NullMessages is Chandy-Misra-Bryant (OMNeT++'s default PDES mode).
+	NullMessages SyncAlgo = iota
+	// Barrier is time-stepped lockstep in windows of the minimum lookahead.
+	Barrier
+)
+
+// RunLeafSpine executes the Fig. 1 measurement: an n-ToR, n-spine leaf-spine
+// under Poisson web traffic at the given load, simulated for dur of virtual
+// time on `lps` logical processes (1 = plain single-threaded DES), using
+// null-message synchronization.
+func RunLeafSpine(n, lps int, load float64, dur des.Time, seed uint64) (*ExperimentResult, error) {
+	return RunLeafSpineSync(n, lps, load, dur, seed, NullMessages)
+}
+
+// RunLeafSpineSync is RunLeafSpine with an explicit synchronization
+// algorithm, for comparing the two conservative flavors.
+func RunLeafSpineSync(n, lps int, load float64, dur des.Time, seed uint64, algo SyncAlgo) (*ExperimentResult, error) {
+	cfg := topology.DefaultLeafSpineConfig(n)
+	ls, err := BuildLeafSpine(cfg, lps)
+	if err != nil {
+		return nil, err
+	}
+	hosts := make([]packet.HostID, len(ls.Hosts))
+	for i := range hosts {
+		hosts[i] = packet.HostID(i)
+	}
+	specs, err := traffic.GenerateSpecs(traffic.Config{
+		Load:             load,
+		HostBandwidthBps: cfg.HostLink.BandwidthBps,
+		Seed:             seed,
+	}, hosts, dur)
+	if err != nil {
+		return nil, err
+	}
+	ls.Schedule(specs)
+
+	start := time.Now()
+	if algo == Barrier {
+		ls.Sys.RunBarrier(dur)
+	} else {
+		ls.Sys.Run(dur)
+	}
+	wall := time.Since(start)
+
+	res := &ExperimentResult{
+		ToRs: n, LPs: lps,
+		SimSeconds:   dur.Seconds(),
+		WallSeconds:  wall.Seconds(),
+		Events:       ls.Sys.Stats().Events,
+		Nulls:        ls.Sys.Stats().Nulls,
+		Barriers:     ls.Sys.Stats().Barriers,
+		CrossPkts:    ls.Sys.Stats().CrossPkts,
+		FlowsStarted: len(specs),
+	}
+	if wall > 0 {
+		res.SimPerWall = res.SimSeconds / res.WallSeconds
+	}
+	for _, r := range ls.Results() {
+		if r.Completed {
+			res.FlowsCompleted++
+		}
+	}
+	return res, nil
+}

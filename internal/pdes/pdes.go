@@ -1,0 +1,375 @@
+// Package pdes implements conservative Parallel Discrete Event Simulation
+// (Chandy–Misra–Bryant with null messages; Fujimoto 1990) — the technique
+// behind OMNeT++'s MPI-based parallel mode that the paper's Figure 1
+// evaluates and finds wanting for highly interconnected data-center
+// topologies.
+//
+// The network is partitioned into logical processes (LPs), each owning a
+// subset of devices and its own event kernel, running on its own goroutine.
+// Packets that cross a partition boundary become timestamped messages; links
+// that cross a boundary contribute their propagation delay as lookahead.
+// Each LP may only execute events up to the minimum timestamp promise it has
+// received from every input channel (its earliest input time); to keep
+// neighbors from stalling, LPs continually send null messages promising they
+// will emit nothing earlier than (local horizon + lookahead).
+//
+// The overhead structure this creates — null-message chatter proportional to
+// connectivity and lookahead-bounded lockstep — is exactly why "for highly
+// interconnected networks like those found in data centers, synchronization
+// can actually cause PDES to perform worse than a single-threaded
+// implementation" (paper §2.2).
+package pdes
+
+import (
+	"fmt"
+	"sync"
+
+	"approxsim/internal/des"
+	"approxsim/internal/netsim"
+	"approxsim/internal/packet"
+)
+
+// message is one cross-LP communication: a packet delivery or, when pkt is
+// nil, a null message (pure timestamp promise).
+type message struct {
+	from int
+	at   des.Time
+	pkt  *packet.Packet
+	dst  netsim.Device
+	port int
+}
+
+// outLink is the sender-side view of a cross-LP channel.
+type outLink struct {
+	to        *LP
+	lookahead des.Time
+	lastSent  des.Time // monotone promise already made
+}
+
+// LP is one logical process: a kernel, its devices, and its channel state.
+type LP struct {
+	id     int
+	kernel *des.Kernel
+	inbox  chan message
+
+	// lastRecv[i] is the largest timestamp promise received from LP i;
+	// MaxTime for LPs we never receive from.
+	lastRecv []des.Time
+	inputs   []int // LP ids we receive from
+	outs     []*outLink
+	end      des.Time
+
+	// Counters for the Fig. 1 analysis.
+	Nulls      uint64 // null messages sent (CMB mode)
+	Barriers   uint64 // synchronization windows executed (barrier mode)
+	CrossPkts  uint64 // packets shipped to other LPs
+	MaxHorizon des.Time
+}
+
+// Kernel returns the LP's event kernel; devices owned by this LP must be
+// built on it.
+func (lp *LP) Kernel() *des.Kernel { return lp.kernel }
+
+// ID returns the LP index.
+func (lp *LP) ID() int { return lp.id }
+
+// System is a set of LPs ready to run to a common horizon.
+type System struct {
+	lps []*LP
+}
+
+// NewSystem creates n empty logical processes.
+func NewSystem(n int) *System {
+	if n < 1 {
+		panic("pdes: need at least one LP")
+	}
+	s := &System{}
+	for i := 0; i < n; i++ {
+		s.lps = append(s.lps, &LP{
+			id:     i,
+			kernel: des.NewKernel(),
+			inbox:  make(chan message, 1<<15),
+		})
+	}
+	return s
+}
+
+// LP returns logical process i.
+func (s *System) LP(i int) *LP { return s.lps[i] }
+
+// NumLPs returns the partition count.
+func (s *System) NumLPs() int { return len(s.lps) }
+
+// proxy is the sender-side stand-in for a device that lives on another LP.
+// The cross-boundary link is built with zero propagation delay so the
+// arrival event fires at serialization-complete time on the sender; the
+// proxy then ships the packet with the propagation delay added — making the
+// propagation delay the channel's lookahead.
+type proxy struct {
+	lp   *LP
+	out  *outLink
+	dst  netsim.Device
+	port int
+}
+
+// NodeID implements netsim.Device (proxies are invisible to routing).
+func (p *proxy) NodeID() packet.NodeID { return -1000 - packet.NodeID(p.lp.id) }
+
+// Receive forwards the packet across the LP boundary.
+func (p *proxy) Receive(pkt *packet.Packet, _ int) {
+	at := p.lp.kernel.Now() + p.out.lookahead
+	if at > p.out.lastSent {
+		p.out.lastSent = at
+	}
+	p.lp.CrossPkts++
+	p.out.to.inbox <- message{from: p.lp.id, at: at, pkt: pkt, dst: p.dst, port: p.port}
+}
+
+// Connect wires a duplex link between port a (on LP la, owned by aOwner)
+// and port b (on LP lb, owned by bOwner).
+//
+// Same-LP links connect directly and lookahead is ignored. Cross-LP links
+// require the caller to have built both ports with ZERO propagation delay:
+// the lookahead (the physical propagation delay, which must be positive) is
+// re-added as cross-LP message latency, making it the channel's conservative
+// lookahead — arrival events then fire on the sender at serialization-done
+// time, and the receiver gets a message stamped lookahead later.
+func (s *System) Connect(la *LP, a *netsim.Port, lb *LP, b *netsim.Port,
+	aOwner, bOwner netsim.Device, lookahead des.Time) error {
+
+	if la == lb {
+		netsim.Connect(a, b)
+		return nil
+	}
+	if lookahead <= 0 {
+		return fmt.Errorf("pdes: cross-LP links need positive lookahead")
+	}
+	if a.Config().PropDelay != 0 || b.Config().PropDelay != 0 {
+		return fmt.Errorf("pdes: cross-LP ports must be built with zero propagation delay")
+	}
+	outAB := s.ensureOut(la, lb, lookahead)
+	outBA := s.ensureOut(lb, la, lookahead)
+	pa := &proxy{lp: la, out: outAB, dst: bOwner, port: b.Index()}
+	pb := &proxy{lp: lb, out: outBA, dst: aOwner, port: a.Index()}
+	netsim.Connect(a, netsim.NewPort(la.kernel, pa, 0, a.Config()))
+	netsim.Connect(b, netsim.NewPort(lb.kernel, pb, 0, b.Config()))
+	return nil
+}
+
+// ensureOut returns (creating if needed) the from->to channel record.
+func (s *System) ensureOut(from, to *LP, lookahead des.Time) *outLink {
+	for _, o := range from.outs {
+		if o.to == to {
+			if lookahead < o.lookahead {
+				o.lookahead = lookahead
+			}
+			return o
+		}
+	}
+	o := &outLink{to: to, lookahead: lookahead}
+	from.outs = append(from.outs, o)
+	// Register the input on the receiving side.
+	to.inputs = append(to.inputs, from.id)
+	return o
+}
+
+// Run executes all LPs concurrently until the common virtual-time horizon.
+// It returns once every LP has reached it.
+func (s *System) Run(end des.Time) {
+	n := len(s.lps)
+	for _, lp := range s.lps {
+		lp.end = end
+		lp.lastRecv = make([]des.Time, n)
+		for i := range lp.lastRecv {
+			lp.lastRecv[i] = des.MaxTime
+		}
+		for _, in := range lp.inputs {
+			lp.lastRecv[in] = 0
+		}
+	}
+	if n == 1 {
+		s.lps[0].kernel.Run(end)
+		return
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var drainers sync.WaitGroup
+	for _, lp := range s.lps {
+		wg.Add(1)
+		go func(lp *LP) {
+			defer wg.Done()
+			lp.run()
+			// Keep the inbox draining so late senders never block, until
+			// the coordinator announces global completion.
+			drainers.Add(1)
+			go func() {
+				defer drainers.Done()
+				for {
+					select {
+					case <-lp.inbox:
+					case <-stop:
+						return
+					}
+				}
+			}()
+		}(lp)
+	}
+	wg.Wait()
+	close(stop)
+	drainers.Wait()
+}
+
+// eit is the earliest input time: the weakest promise across inputs.
+func (lp *LP) eit() des.Time {
+	min := des.MaxTime
+	for _, in := range lp.inputs {
+		if lp.lastRecv[in] < min {
+			min = lp.lastRecv[in]
+		}
+	}
+	return min
+}
+
+// run is the LP main loop.
+func (lp *LP) run() {
+	for {
+		lp.drain(false)
+		horizon := lp.eit()
+		if horizon > lp.end {
+			horizon = lp.end
+		}
+		if horizon > lp.MaxHorizon {
+			lp.MaxHorizon = horizon
+		}
+		lp.kernel.Run(horizon)
+		lp.sendNulls(horizon)
+		if horizon >= lp.end {
+			return
+		}
+		lp.drain(true)
+	}
+}
+
+// drain ingests inbox messages; when block is set it waits for at least one.
+func (lp *LP) drain(block bool) {
+	ingest := func(m message) {
+		if m.at > lp.lastRecv[m.from] {
+			lp.lastRecv[m.from] = m.at
+		}
+		if m.pkt != nil {
+			at := m.at
+			if now := lp.kernel.Now(); at < now {
+				at = now // cannot happen under correct promises; be safe
+			}
+			pkt, dst, port := m.pkt, m.dst, m.port
+			lp.kernel.At(at, func() { dst.Receive(pkt, port) })
+		}
+	}
+	if block {
+		ingest(<-lp.inbox)
+	}
+	for {
+		select {
+		case m := <-lp.inbox:
+			ingest(m)
+		default:
+			return
+		}
+	}
+}
+
+// sendNulls promises each downstream neighbor that no output will arrive
+// before (earliest possible local activity + lookahead).
+func (lp *LP) sendNulls(horizon des.Time) {
+	eot := horizon
+	if t, ok := lp.kernel.NextEventTime(); ok && t < eot {
+		eot = t
+	}
+	for _, o := range lp.outs {
+		promise := eot + o.lookahead
+		if promise <= o.lastSent {
+			continue // nothing new to promise
+		}
+		o.lastSent = promise
+		lp.Nulls++
+		o.to.inbox <- message{from: lp.id, at: promise}
+	}
+}
+
+// Stats aggregates LP counters.
+type Stats struct {
+	Events    uint64
+	Nulls     uint64
+	Barriers  uint64
+	CrossPkts uint64
+}
+
+// Stats sums counters across LPs.
+func (s *System) Stats() Stats {
+	var out Stats
+	for _, lp := range s.lps {
+		out.Events += lp.kernel.Stats().Executed
+		out.Nulls += lp.Nulls
+		out.Barriers += lp.Barriers
+		out.CrossPkts += lp.CrossPkts
+	}
+	return out
+}
+
+// RunBarrier executes all LPs to the horizon using time-stepped barrier
+// synchronization — the other classic conservative algorithm. All LPs
+// advance in lockstep windows of the global minimum lookahead; a barrier
+// separates windows. Any message sent during window [t, t+d) carries a
+// timestamp >= t+d (lookahead >= d), so delivering queued messages at the
+// next window boundary preserves causality.
+//
+// Compared to null messages, barriers trade per-channel chatter for
+// synchronization points whose count is horizon/lookahead — a different
+// flavor of the same Figure 1 overhead.
+func (s *System) RunBarrier(end des.Time) {
+	n := len(s.lps)
+	for _, lp := range s.lps {
+		lp.end = end
+		lp.lastRecv = make([]des.Time, n)
+	}
+	if n == 1 {
+		s.lps[0].kernel.Run(end)
+		return
+	}
+	delta := des.MaxTime
+	for _, lp := range s.lps {
+		for _, o := range lp.outs {
+			if o.lookahead < delta {
+				delta = o.lookahead
+			}
+		}
+	}
+	if delta == des.MaxTime {
+		// No cross-LP channels: the partitions are independent.
+		delta = end
+	}
+	if delta < 1 {
+		delta = 1
+	}
+	var wg sync.WaitGroup
+	for t := des.Time(0); t < end; t += delta {
+		horizon := t + delta
+		if horizon > end {
+			horizon = end
+		}
+		for _, lp := range s.lps {
+			wg.Add(1)
+			go func(lp *LP) {
+				defer wg.Done()
+				lp.drain(false)
+				lp.kernel.Run(horizon)
+				lp.Barriers++
+			}(lp)
+		}
+		wg.Wait()
+	}
+	// Final drain so late messages (timestamps beyond end) don't linger.
+	for _, lp := range s.lps {
+		lp.drain(false)
+	}
+}

@@ -1,0 +1,287 @@
+package pdes
+
+import (
+	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/netsim"
+	"approxsim/internal/packet"
+	"approxsim/internal/tcp"
+	"approxsim/internal/topology"
+)
+
+func TestSingleLPRunsLocally(t *testing.T) {
+	s := NewSystem(1)
+	fired := false
+	s.LP(0).Kernel().Schedule(100, func() { fired = true })
+	s.Run(des.Second)
+	if !fired {
+		t.Error("single-LP system did not execute local events")
+	}
+}
+
+func TestNewSystemPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSystem(0) did not panic")
+		}
+	}()
+	NewSystem(0)
+}
+
+// twoHostSystem wires host A on LP0 to host B on LP1 over one duplex link.
+func twoHostSystem(t *testing.T) (*System, *netsim.Host, *netsim.Host) {
+	t.Helper()
+	s := NewSystem(2)
+	a := netsim.NewHost(s.LP(0).Kernel(), 0, 0)
+	b := netsim.NewHost(s.LP(1).Kernel(), 1, 1)
+	cfg := netsim.LinkConfig{BandwidthBps: 1e9, PropDelay: 0, QueueBytes: 1 << 26}
+	na := a.AttachNIC(cfg)
+	nb := b.AttachNIC(cfg)
+	if err := s.Connect(s.LP(0), na, s.LP(1), nb, a, b, 10*des.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	return s, a, b
+}
+
+func TestCrossLPPacketDelivery(t *testing.T) {
+	s, a, b := twoHostSystem(t)
+	var got []*packet.Packet
+	var at []des.Time
+	b.Handler = func(p *packet.Packet) {
+		got = append(got, p)
+		at = append(at, s.LP(1).Kernel().Now())
+	}
+	s.LP(0).Kernel().Schedule(0, func() {
+		a.Send(&packet.Packet{Src: 0, Dst: 1, PayloadLen: 934})
+	})
+	s.Run(des.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d packets across LPs, want 1", len(got))
+	}
+	// ser(1000B @1G) = 8us + 10us lookahead = 18us.
+	if at[0] != 18*des.Microsecond {
+		t.Errorf("cross-LP arrival at %v, want 18us", at[0])
+	}
+}
+
+func TestCrossLPTimestampOrderPreserved(t *testing.T) {
+	s, a, b := twoHostSystem(t)
+	var at []des.Time
+	b.Handler = func(p *packet.Packet) {
+		at = append(at, s.LP(1).Kernel().Now())
+	}
+	s.LP(0).Kernel().Schedule(0, func() {
+		for i := 0; i < 20; i++ {
+			a.Send(&packet.Packet{Src: 0, Dst: 1, PayloadLen: 934})
+		}
+	})
+	s.Run(des.Millisecond)
+	if len(at) != 20 {
+		t.Fatalf("delivered %d, want 20", len(at))
+	}
+	for i := 1; i < len(at); i++ {
+		if at[i] < at[i-1] {
+			t.Fatal("cross-LP deliveries out of timestamp order")
+		}
+		if at[i]-at[i-1] != 8*des.Microsecond {
+			t.Errorf("spacing %v, want serialization 8us", at[i]-at[i-1])
+		}
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	s := NewSystem(2)
+	a := netsim.NewHost(s.LP(0).Kernel(), 0, 0)
+	b := netsim.NewHost(s.LP(1).Kernel(), 1, 1)
+	good := netsim.LinkConfig{BandwidthBps: 1e9, QueueBytes: 1 << 20}
+	na := a.AttachNIC(good)
+	nb := b.AttachNIC(good)
+	if err := s.Connect(s.LP(0), na, s.LP(1), nb, a, b, 0); err == nil {
+		t.Error("zero lookahead accepted for cross-LP link")
+	}
+	bad := netsim.LinkConfig{BandwidthBps: 1e9, PropDelay: 100, QueueBytes: 1 << 20}
+	c := netsim.NewHost(s.LP(0).Kernel(), 2, 2)
+	nc := c.AttachNIC(bad)
+	if err := s.Connect(s.LP(0), nc, s.LP(1), nb, c, b, 100); err == nil {
+		t.Error("nonzero port propagation accepted for cross-LP link")
+	}
+}
+
+func TestTCPFlowAcrossLPs(t *testing.T) {
+	s, a, b := twoHostSystem(t)
+	sa := tcp.NewStack(a, tcp.Config{})
+	tcp.NewStack(b, tcp.Config{})
+	done := false
+	s.LP(0).Kernel().Schedule(des.Microsecond, func() {
+		sa.StartFlow(1, 100_000, 1, func(tcp.FlowResult) { done = true })
+	})
+	s.Run(des.Second)
+	if !done {
+		t.Fatal("TCP flow across LP boundary never completed")
+	}
+}
+
+func TestNullMessagesFlow(t *testing.T) {
+	s, _, _ := twoHostSystem(t)
+	s.Run(des.Millisecond)
+	// Idle LPs must still exchange nulls to advance time in lookahead
+	// steps: 1ms / 10us lookahead = ~100 rounds each direction.
+	st := s.Stats()
+	if st.Nulls < 100 {
+		t.Errorf("only %d null messages for a 1ms idle run with 10us lookahead", st.Nulls)
+	}
+}
+
+func TestBuildLeafSpineValidation(t *testing.T) {
+	if _, err := BuildLeafSpine(topology.DefaultClosConfig(2), 1); err == nil {
+		t.Error("Clos config accepted by leaf-spine builder")
+	}
+	if _, err := BuildLeafSpine(topology.DefaultLeafSpineConfig(4), 0); err == nil {
+		t.Error("0 LPs accepted")
+	}
+	if _, err := BuildLeafSpine(topology.DefaultLeafSpineConfig(4), 8); err == nil {
+		t.Error("more LPs than racks accepted")
+	}
+}
+
+// runExperiment is a tiny Fig. 1 cell used by several tests.
+func runExperiment(t *testing.T, n, lps int) *ExperimentResult {
+	t.Helper()
+	res, err := RunLeafSpine(n, lps, 0.3, 2*des.Millisecond, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLeafSpineSingleThreaded(t *testing.T) {
+	res := runExperiment(t, 4, 1)
+	if res.FlowsStarted == 0 || res.FlowsCompleted == 0 {
+		t.Fatalf("no traffic: %+v", res)
+	}
+	if res.Nulls != 0 || res.CrossPkts != 0 {
+		t.Errorf("single-threaded run produced cross-LP traffic: %+v", res)
+	}
+	if res.SimPerWall <= 0 {
+		t.Error("no throughput measured")
+	}
+}
+
+func TestLeafSpineParallelMatchesSequential(t *testing.T) {
+	seq := runExperiment(t, 4, 1)
+	par := runExperiment(t, 4, 4)
+	if par.FlowsStarted != seq.FlowsStarted {
+		t.Fatalf("workloads differ: %d vs %d flows", par.FlowsStarted, seq.FlowsStarted)
+	}
+	if par.FlowsCompleted == 0 {
+		t.Fatal("parallel run completed no flows")
+	}
+	// Causality violations would desynchronize TCP wholesale; identical
+	// workloads should complete a very similar flow count. (Cross-LP tie
+	// ordering may differ, so exact equality is not guaranteed.)
+	lo, hi := seq.FlowsCompleted*8/10, seq.FlowsCompleted*12/10+1
+	if par.FlowsCompleted < lo || par.FlowsCompleted > hi {
+		t.Errorf("parallel completed %d flows, sequential %d: suspicious divergence",
+			par.FlowsCompleted, seq.FlowsCompleted)
+	}
+	if par.Nulls == 0 || par.CrossPkts == 0 {
+		t.Error("parallel run shows no synchronization traffic")
+	}
+}
+
+func TestParallelEventCountComparable(t *testing.T) {
+	seq := runExperiment(t, 4, 2)
+	// Total *useful* events should be in the same ballpark as sequential;
+	// the overhead is in messages and blocked time, not phantom events.
+	single := runExperiment(t, 4, 1)
+	ratio := float64(seq.Events) / float64(single.Events)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("event count ratio parallel/sequential = %.2f, want ~1", ratio)
+	}
+}
+
+func TestDeterministicSequentialExperiment(t *testing.T) {
+	a := runExperiment(t, 4, 1)
+	b := runExperiment(t, 4, 1)
+	if a.Events != b.Events || a.FlowsCompleted != b.FlowsCompleted {
+		t.Errorf("sequential experiment not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestBarrierModeDeliversAcrossLPs(t *testing.T) {
+	s, a, b := twoHostSystem(t)
+	var at []des.Time
+	b.Handler = func(p *packet.Packet) { at = append(at, s.LP(1).Kernel().Now()) }
+	s.LP(0).Kernel().Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			a.Send(&packet.Packet{Src: 0, Dst: 1, PayloadLen: 934})
+		}
+	})
+	s.RunBarrier(des.Millisecond)
+	if len(at) != 10 {
+		t.Fatalf("barrier mode delivered %d of 10", len(at))
+	}
+	for i := 1; i < len(at); i++ {
+		if at[i] < at[i-1] {
+			t.Fatal("barrier-mode deliveries out of order")
+		}
+	}
+	if s.LP(0).Barriers == 0 {
+		t.Error("no barrier windows counted")
+	}
+}
+
+func TestBarrierModeTCPFlow(t *testing.T) {
+	s, a, b := twoHostSystem(t)
+	sa := tcp.NewStack(a, tcp.Config{})
+	tcp.NewStack(b, tcp.Config{})
+	done := false
+	s.LP(0).Kernel().Schedule(des.Microsecond, func() {
+		sa.StartFlow(1, 80_000, 1, func(tcp.FlowResult) { done = true })
+	})
+	s.RunBarrier(des.Second)
+	if !done {
+		t.Fatal("TCP flow did not complete under barrier synchronization")
+	}
+}
+
+func TestBarrierMatchesNullMessageResults(t *testing.T) {
+	// The two conservative algorithms must deliver the same packets for
+	// the same scenario (ordering within a timestamp may differ).
+	run := func(barrier bool) int {
+		s, a, b := twoHostSystem(t)
+		got := 0
+		b.Handler = func(*packet.Packet) { got++ }
+		s.LP(0).Kernel().Schedule(0, func() {
+			for i := 0; i < 25; i++ {
+				a.Send(&packet.Packet{Src: 0, Dst: 1, PayloadLen: 500})
+			}
+		})
+		if barrier {
+			s.RunBarrier(des.Millisecond)
+		} else {
+			s.Run(des.Millisecond)
+		}
+		return got
+	}
+	if nm, bar := run(false), run(true); nm != bar {
+		t.Errorf("null-message delivered %d, barrier %d", nm, bar)
+	}
+}
+
+func TestRunLeafSpineSyncBarrier(t *testing.T) {
+	res, err := RunLeafSpineSync(4, 2, 0.3, des.Millisecond, 9, Barrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlowsCompleted == 0 {
+		t.Fatal("barrier-sync experiment completed nothing")
+	}
+	if res.Barriers == 0 {
+		t.Error("no barrier windows counted")
+	}
+	if res.Nulls != 0 {
+		t.Error("barrier mode sent null messages")
+	}
+}

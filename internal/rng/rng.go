@@ -1,0 +1,253 @@
+// Package rng provides deterministic pseudo-random number generation and
+// the distribution samplers used throughout the simulator.
+//
+// The simulator must be bit-reproducible: the same root seed must yield the
+// same event schedule on any platform and any Go release. The standard
+// library's math/rand does not guarantee a stable stream across Go versions,
+// so this package implements its own generators (splitmix64 for seeding,
+// xoshiro256** for the main stream) with fixed, documented algorithms.
+//
+// Every stochastic component of the simulation owns a Source derived from the
+// root seed and a component label, so adding a new consumer never perturbs
+// the streams seen by existing ones.
+package rng
+
+import "math"
+
+// Source is a deterministic xoshiro256** PRNG.
+//
+// The zero value is not valid; use New or NewLabeled.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances x and returns the next splitmix64 output. It is the
+// recommended seeding procedure for xoshiro generators.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed via splitmix64.
+func New(seed uint64) *Source {
+	var src Source
+	x := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&x)
+	}
+	// xoshiro256** must not be seeded with the all-zero state. splitmix64
+	// cannot produce four zero outputs in a row, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 1
+	}
+	return &src
+}
+
+// NewLabeled derives an independent Source from a root seed and a string
+// label. Distinct labels yield statistically independent streams, so each
+// simulation component can own a stream keyed by its name.
+func NewLabeled(seed uint64, label string) *Source {
+	// FNV-1a over the label, mixed into the seed through splitmix64.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	x := seed
+	a := splitmix64(&x)
+	return New(a ^ h)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative int64.
+func (r *Source) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation would be faster but
+	// the debiased modulo below is simpler and still exact.
+	max := uint64(n)
+	limit := (math.MaxUint64 / max) * max
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n called with n <= 0")
+	}
+	max := uint64(n)
+	limit := (math.MaxUint64 / max) * max
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int64(v % max)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Exp returns an exponentially distributed float64 with rate lambda
+// (mean 1/lambda). It panics if lambda <= 0.
+func (r *Source) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Exp called with lambda <= 0")
+	}
+	// Inverse-CDF. 1-Float64() is in (0,1], so Log never sees zero.
+	return -math.Log(1-r.Float64()) / lambda
+}
+
+// Pareto returns a bounded Pareto sample with shape alpha on [xmin, xmax].
+// Heavy-tailed flow sizes in data-center traffic are commonly modeled this
+// way. It panics on invalid parameters.
+func (r *Source) Pareto(alpha, xmin, xmax float64) float64 {
+	if alpha <= 0 || xmin <= 0 || xmax < xmin {
+		panic("rng: invalid Pareto parameters")
+	}
+	u := r.Float64()
+	la := math.Pow(xmin, alpha)
+	ha := math.Pow(xmax, alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+	if x < xmin {
+		x = xmin
+	}
+	if x > xmax {
+		x = xmax
+	}
+	return x
+}
+
+// Normal returns a normally distributed float64 with the given mean and
+// standard deviation, via the Marsaglia polar method.
+func (r *Source) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// EmpiricalCDF samples from a piecewise-linear empirical CDF, the standard
+// way published data-center flow-size distributions are specified
+// (value/probability breakpoints, linear interpolation between them).
+type EmpiricalCDF struct {
+	values []float64 // strictly increasing sample values
+	probs  []float64 // CDF at each value; probs[len-1] == 1
+}
+
+// NewEmpiricalCDF builds a sampler from CDF breakpoints. values must be
+// non-decreasing, probs must be non-decreasing with the final entry 1.
+// It panics on malformed input: distributions are program constants, so a
+// bad table is a programming error, not a runtime condition.
+func NewEmpiricalCDF(values, probs []float64) *EmpiricalCDF {
+	if len(values) != len(probs) || len(values) < 2 {
+		panic("rng: EmpiricalCDF needs >= 2 matched breakpoints")
+	}
+	for i := 1; i < len(values); i++ {
+		if values[i] < values[i-1] || probs[i] < probs[i-1] {
+			panic("rng: EmpiricalCDF breakpoints must be non-decreasing")
+		}
+	}
+	if probs[len(probs)-1] != 1 {
+		panic("rng: EmpiricalCDF must end at probability 1")
+	}
+	v := make([]float64, len(values))
+	p := make([]float64, len(probs))
+	copy(v, values)
+	copy(p, probs)
+	return &EmpiricalCDF{values: v, probs: p}
+}
+
+// Sample draws one value from the distribution using source r.
+func (c *EmpiricalCDF) Sample(r *Source) float64 {
+	u := r.Float64()
+	// Binary search for the first breakpoint with CDF >= u.
+	lo, hi := 0, len(c.probs)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.probs[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return c.values[0]
+	}
+	p0, p1 := c.probs[lo-1], c.probs[lo]
+	v0, v1 := c.values[lo-1], c.values[lo]
+	if p1 == p0 {
+		return v1
+	}
+	return v0 + (v1-v0)*(u-p0)/(p1-p0)
+}
+
+// Mean returns the analytic mean of the piecewise-linear distribution,
+// used to calibrate workload arrival rates to a target load.
+func (c *EmpiricalCDF) Mean() float64 {
+	var mean float64
+	for i := 1; i < len(c.values); i++ {
+		pm := c.probs[i] - c.probs[i-1]
+		mean += pm * (c.values[i] + c.values[i-1]) / 2
+	}
+	return mean
+}

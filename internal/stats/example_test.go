@@ -1,0 +1,50 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"approxsim/internal/stats"
+)
+
+// ExampleSample shows the batch statistics used for the Fig. 4 CDFs.
+func ExampleSample() {
+	s := stats.NewSample(5)
+	for _, rtt := range []float64{0.8, 0.1, 0.5, 0.9, 0.3} {
+		s.Add(rtt)
+	}
+	fmt.Printf("median=%.2f p100=%.2f CDF(0.5)=%.1f\n",
+		s.Quantile(0.5), s.Quantile(1), s.CDFAt(0.5))
+	// Output:
+	// median=0.50 p100=0.90 CDF(0.5)=0.6
+}
+
+// ExampleKSDistance shows the accuracy metric comparing a full and an
+// approximate simulation's latency distributions.
+func ExampleKSDistance() {
+	truth, approx := stats.NewSample(4), stats.NewSample(4)
+	for _, v := range []float64{1, 2, 3, 4} {
+		truth.Add(v)
+		approx.Add(v) // identical distribution
+	}
+	fmt.Printf("identical: %.1f\n", stats.KSDistance(truth, approx))
+
+	shifted := stats.NewSample(4)
+	for _, v := range []float64{11, 12, 13, 14} {
+		shifted.Add(v)
+	}
+	fmt.Printf("disjoint: %.1f\n", stats.KSDistance(truth, shifted))
+	// Output:
+	// identical: 0.0
+	// disjoint: 1.0
+}
+
+// ExampleRunning shows the streaming accumulator used by reporting paths.
+func ExampleRunning() {
+	var r stats.Running
+	for _, v := range []float64{2, 4, 6} {
+		r.Add(v)
+	}
+	fmt.Printf("n=%d mean=%.0f min=%.0f max=%.0f\n", r.Count(), r.Mean(), r.Min(), r.Max())
+	// Output:
+	// n=3 mean=4 min=2 max=6
+}

@@ -1,0 +1,69 @@
+package tcp
+
+// DCTCP support (Alizadeh et al., SIGCOMM 2010 — reference [3] of the
+// paper, the same work whose traffic distributions drive our workloads).
+//
+// DCTCP is the natural second protocol for the framework's modularity goal
+// (§3: "The method we choose must be able to model different protocols").
+// Switches mark ECN aggressively at a shallow threshold; receivers echo
+// marks per packet; senders estimate the marked fraction alpha with an
+// EWMA and cut cwnd in proportion to it once per window:
+//
+//	alpha <- (1-g)*alpha + g*F        (F = fraction marked last window)
+//	cwnd  <- cwnd * (1 - alpha/2)
+//
+// versus New Reno's halve-on-any-signal. Under persistent shallow marking
+// DCTCP holds a small stable queue instead of sawtoothing.
+//
+// The implementation extends conn with a per-window mark counter; the
+// switch-side marking already exists in netsim (ECNThresholdBytes).
+
+// dctcpState carries the sender-side DCTCP estimator.
+type dctcpState struct {
+	alpha     float64 // EWMA of marked fraction
+	ackedAll  int64   // bytes acked this observation window
+	ackedMark int64   // bytes acked with congestion echo this window
+	windowEnd int64   // sequence marking the end of the observation window
+}
+
+// dctcpG is the EWMA gain (the paper's recommended 1/16).
+const dctcpG = 1.0 / 16
+
+// dctcpOnAck folds one ACK into the estimator and applies the proportional
+// window reduction at each window boundary. newly is the byte count this
+// ACK acknowledged; marked is the congestion-echo bit.
+func (c *conn) dctcpOnAck(newly int64, marked bool) {
+	st := &c.dctcp
+	st.ackedAll += newly
+	if marked {
+		st.ackedMark += newly
+	}
+	if c.sndUna < st.windowEnd {
+		return
+	}
+	// One RTT's worth of data acknowledged: update alpha and react.
+	f := 0.0
+	if st.ackedAll > 0 {
+		f = float64(st.ackedMark) / float64(st.ackedAll)
+	}
+	st.alpha = (1-dctcpG)*st.alpha + dctcpG*f
+	st.ackedAll, st.ackedMark = 0, 0
+	st.windowEnd = c.sndNxt
+
+	if st.alpha > 0 {
+		mss := float64(c.stack.cfg.MSS)
+		c.cwnd *= 1 - st.alpha/2
+		if c.cwnd < mss {
+			c.cwnd = mss
+		}
+		// Keep ssthresh consistent so slow start does not immediately
+		// overshoot the reduced operating point.
+		if c.ssthresh > c.cwnd {
+			c.ssthresh = c.cwnd
+		}
+	}
+}
+
+// Alpha exposes a connection's current DCTCP congestion estimate for tests
+// and instrumentation.
+func (c *conn) dctcpAlpha() float64 { return c.dctcp.alpha }

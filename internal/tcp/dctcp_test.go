@@ -1,0 +1,154 @@
+package tcp
+
+import (
+	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/netsim"
+	"approxsim/internal/packet"
+)
+
+// markingLink returns a link config with DCTCP-style shallow ECN marking.
+func markingLink() netsim.LinkConfig {
+	cfg := fastLink()
+	cfg.ECNThresholdBytes = 10 * packet.MaxFrameSize
+	return cfg
+}
+
+func TestDCTCPPacketsAreECNCapable(t *testing.T) {
+	k, sa, sb, w := pair(markingLink(), Config{DCTCP: true})
+	_ = sb
+	sawCapable := false
+	w.drop = func(p *packet.Packet) bool {
+		if p.PayloadLen > 0 && p.ECNCapable {
+			sawCapable = true
+		}
+		return false
+	}
+	sa.StartFlow(1, 50_000, 1, nil)
+	k.RunAll()
+	if !sawCapable {
+		t.Error("DCTCP data packets not ECN-capable")
+	}
+}
+
+func TestDCTCPAlphaTracksMarking(t *testing.T) {
+	k, sa, _, w := pair(fastLink(), Config{DCTCP: true})
+	// Mark every data packet after the handshake: alpha must rise toward 1.
+	w.drop = func(p *packet.Packet) bool {
+		if p.PayloadLen > 0 {
+			p.ECNMarked = true
+		}
+		return false
+	}
+	sa.StartFlow(1, 2_000_000, 1, nil)
+	k.RunAll()
+	c := sa.conns[1]
+	if a := c.dctcpAlpha(); a < 0.3 {
+		t.Errorf("alpha = %v after full marking; want it climbing toward 1", a)
+	}
+}
+
+func TestDCTCPAlphaStaysZeroWithoutMarks(t *testing.T) {
+	k, sa, _, _ := pair(fastLink(), Config{DCTCP: true})
+	sa.StartFlow(1, 1_000_000, 1, nil)
+	k.RunAll()
+	if a := sa.conns[1].dctcpAlpha(); a != 0 {
+		t.Errorf("alpha = %v on a clean path, want 0", a)
+	}
+}
+
+func TestDCTCPProportionalReduction(t *testing.T) {
+	// Mark a fraction of packets: the window reduction must be gentler than
+	// classic ECN's halving. Compare steady cwnd under identical marking.
+	run := func(cfg Config) float64 {
+		k, sa, _, w := pair(fastLink(), cfg)
+		i := 0
+		w.drop = func(p *packet.Packet) bool {
+			if p.PayloadLen > 0 {
+				i++
+				if i%10 == 0 { // mark 10% of data packets
+					p.ECNMarked = true
+				}
+			}
+			return false
+		}
+		sa.StartFlow(1, 3_000_000, 1, nil)
+		// Sample cwnd over the flow's lifetime.
+		var sum float64
+		var n int
+		for k.Step() {
+			if c := sa.conns[1]; c != nil && c.established && !c.done {
+				sum += c.cwnd
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no samples")
+		}
+		return sum / float64(n)
+	}
+	dctcpCwnd := run(Config{DCTCP: true})
+	classicCwnd := run(Config{ECN: true})
+	if dctcpCwnd <= classicCwnd {
+		t.Errorf("DCTCP mean cwnd %v <= classic-ECN %v under 10%% marking; proportional reaction should keep more window",
+			dctcpCwnd, classicCwnd)
+	}
+}
+
+func TestDCTCPKeepsQueueShorterThanNewReno(t *testing.T) {
+	// The DCTCP promise: with shallow marking, the bottleneck queue stays
+	// short while throughput persists. Compare against New Reno (no ECN)
+	// through the same marking bottleneck.
+	run := func(cfg Config) (maxQueue int64, fct des.Time) {
+		k := des.NewKernel()
+		a := netsim.NewHost(k, 0, 0)
+		b := netsim.NewHost(k, 1, 1)
+		// Sender NIC is the 1 Gb/s bottleneck with a deep queue and shallow
+		// marking threshold.
+		bottleneck := netsim.LinkConfig{
+			BandwidthBps: gbps, PropDelay: 50 * des.Microsecond,
+			QueueBytes: 200 * packet.MaxFrameSize, ECNThresholdBytes: 10 * packet.MaxFrameSize,
+		}
+		na := a.AttachNIC(bottleneck)
+		nb := b.AttachNIC(bottleneck)
+		netsim.Connect(na, nb)
+		sa := NewStack(a, cfg)
+		NewStack(b, cfg)
+		var res *FlowResult
+		sa.StartFlow(1, 4_000_000, 1, func(r FlowResult) { res = &r })
+		k.RunAll()
+		if res == nil {
+			t.Fatal("flow incomplete")
+		}
+		return na.Stats().MaxQueue, res.FCT()
+	}
+	dctcpQ, dctcpFCT := run(Config{DCTCP: true})
+	renoQ, renoFCT := run(Config{})
+	if dctcpQ >= renoQ {
+		t.Errorf("DCTCP max queue %d >= New Reno %d; marking response not engaging", dctcpQ, renoQ)
+	}
+	// Throughput must not collapse: FCT within 2x of New Reno's.
+	if dctcpFCT > 2*renoFCT {
+		t.Errorf("DCTCP FCT %v vs New Reno %v: paid too much for the short queue", dctcpFCT, renoFCT)
+	}
+}
+
+func TestDCTCPFlowCompletesUnderLoss(t *testing.T) {
+	// DCTCP still falls back to loss recovery when packets actually drop.
+	k, sa, _, w := pair(fastLink(), Config{DCTCP: true, MinRTO: des.Millisecond, InitialRTO: des.Millisecond})
+	dropped := false
+	w.drop = func(p *packet.Packet) bool {
+		if !dropped && p.PayloadLen > 0 && p.Seq == 29200 {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	done := false
+	sa.StartFlow(1, 200*packet.MSS, 1, func(FlowResult) { done = true })
+	k.RunAll()
+	if !done {
+		t.Fatal("DCTCP flow did not survive a loss")
+	}
+}

@@ -1,0 +1,63 @@
+package tcp
+
+import "approxsim/internal/des"
+
+// rttEstimator implements the Jacobson/Karels smoothed RTT estimate and RTO
+// computation (RFC 6298). Samples come from echoed transmit timestamps, so
+// retransmission ambiguity (Karn's problem) never arises: each ACK echoes the
+// send time of the specific copy that triggered it.
+type rttEstimator struct {
+	srtt    des.Time
+	rttvar  des.Time
+	rto     des.Time
+	sampled bool
+
+	minRTO, maxRTO des.Time
+}
+
+func newRTTEstimator(initial, minRTO, maxRTO des.Time) *rttEstimator {
+	return &rttEstimator{rto: initial, minRTO: minRTO, maxRTO: maxRTO}
+}
+
+// sample folds one RTT measurement into the estimator.
+func (e *rttEstimator) sample(rtt des.Time) {
+	if rtt < 0 {
+		return
+	}
+	if !e.sampled {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.sampled = true
+	} else {
+		// RFC 6298: rttvar = 3/4 rttvar + 1/4 |srtt - rtt|,
+		//           srtt   = 7/8 srtt   + 1/8 rtt.
+		diff := e.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar = (3*e.rttvar + diff) / 4
+		e.srtt = (7*e.srtt + rtt) / 8
+	}
+	e.rto = e.clamp(e.srtt + 4*e.rttvar)
+}
+
+// backoff doubles the RTO after a retransmission timeout.
+func (e *rttEstimator) backoff() {
+	e.rto = e.clamp(e.rto * 2)
+}
+
+func (e *rttEstimator) clamp(v des.Time) des.Time {
+	if v < e.minRTO {
+		return e.minRTO
+	}
+	if v > e.maxRTO {
+		return e.maxRTO
+	}
+	return v
+}
+
+// current returns the retransmission timeout to arm next.
+func (e *rttEstimator) current() des.Time { return e.rto }
+
+// smoothed returns the smoothed RTT estimate (0 before the first sample).
+func (e *rttEstimator) smoothed() des.Time { return e.srtt }

@@ -1,0 +1,84 @@
+package tcp
+
+import (
+	"testing"
+
+	"approxsim/internal/des"
+)
+
+func TestRTTFirstSample(t *testing.T) {
+	e := newRTTEstimator(50*des.Millisecond, des.Millisecond, des.Second)
+	if e.current() != 50*des.Millisecond {
+		t.Errorf("initial RTO = %v", e.current())
+	}
+	e.sample(10 * des.Millisecond)
+	if e.smoothed() != 10*des.Millisecond {
+		t.Errorf("srtt = %v, want 10ms", e.smoothed())
+	}
+	// RTO = srtt + 4*rttvar = 10ms + 4*5ms = 30ms.
+	if e.current() != 30*des.Millisecond {
+		t.Errorf("RTO = %v, want 30ms", e.current())
+	}
+}
+
+func TestRTTSmoothing(t *testing.T) {
+	e := newRTTEstimator(50*des.Millisecond, des.Microsecond, des.Second)
+	e.sample(8 * des.Millisecond)
+	e.sample(12 * des.Millisecond)
+	// srtt = 7/8*8 + 1/8*12 = 8.5ms.
+	if got := e.smoothed(); got != 8500*des.Microsecond {
+		t.Errorf("srtt = %v, want 8.5ms", got)
+	}
+}
+
+func TestRTTConvergesOnSteadyInput(t *testing.T) {
+	e := newRTTEstimator(50*des.Millisecond, des.Microsecond, des.Second)
+	for i := 0; i < 100; i++ {
+		e.sample(5 * des.Millisecond)
+	}
+	if got := e.smoothed(); got < 4900*des.Microsecond || got > 5100*des.Microsecond {
+		t.Errorf("srtt = %v after steady 5ms samples", got)
+	}
+	// rttvar decays toward 0, so RTO approaches srtt but stays >= MinRTO.
+	if e.current() < des.Microsecond || e.current() > 6*des.Millisecond {
+		t.Errorf("RTO = %v after steady input", e.current())
+	}
+}
+
+func TestRTOClamping(t *testing.T) {
+	e := newRTTEstimator(50*des.Millisecond, 10*des.Millisecond, 100*des.Millisecond)
+	e.sample(des.Microsecond) // tiny RTT -> clamp to MinRTO
+	if e.current() != 10*des.Millisecond {
+		t.Errorf("RTO = %v, want MinRTO 10ms", e.current())
+	}
+	e.sample(time50ms())
+	e.sample(time50ms())
+	for i := 0; i < 10; i++ {
+		e.backoff()
+	}
+	if e.current() != 100*des.Millisecond {
+		t.Errorf("RTO = %v, want MaxRTO 100ms", e.current())
+	}
+}
+
+func time50ms() des.Time { return 50 * des.Millisecond }
+
+func TestBackoffDoubles(t *testing.T) {
+	e := newRTTEstimator(20*des.Millisecond, des.Millisecond, 10*des.Second)
+	e.backoff()
+	if e.current() != 40*des.Millisecond {
+		t.Errorf("after backoff RTO = %v, want 40ms", e.current())
+	}
+	e.backoff()
+	if e.current() != 80*des.Millisecond {
+		t.Errorf("after 2nd backoff RTO = %v, want 80ms", e.current())
+	}
+}
+
+func TestNegativeSampleIgnored(t *testing.T) {
+	e := newRTTEstimator(20*des.Millisecond, des.Millisecond, des.Second)
+	e.sample(-5)
+	if e.sampled {
+		t.Error("negative RTT accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Package tcp implements the TCP New Reno transport the paper's evaluation
+// runs over its Clos fabrics ("we tested a Clos topology with TCP New Reno
+// and ECMP", §6): three-way connection setup, slow start, congestion
+// avoidance, duplicate-ACK fast retransmit, New Reno partial-ACK fast
+// recovery (RFC 6582), retransmission timeouts with exponential backoff
+// (RFC 6298), and FIN teardown.
+//
+// Each simulated host runs a Stack that demultiplexes packets to connections
+// by flow ID. Senders drive one-directional bulk transfers ("flows") of a
+// known size — the standard unit of data-center workloads — and report flow
+// completion times. Receivers acknowledge every segment immediately, which
+// yields the exact duplicate-ACK dynamics fast retransmit depends on.
+//
+// The minimum congestion window is one segment, deliberately preserving the
+// pathological minimum-window behavior the paper highlights in §2.1: with
+// enough simultaneous connections the fair share drops below one window and
+// TCP cannot back off far enough to prevent sustained loss.
+package tcp
+
+import (
+	"fmt"
+
+	"approxsim/internal/des"
+	"approxsim/internal/netsim"
+	"approxsim/internal/packet"
+)
+
+// Config tunes the stack. Zero fields take defaults from DefaultConfig.
+type Config struct {
+	// MSS is the maximum segment (payload) size in bytes.
+	MSS int32
+	// InitCwnd is the initial congestion window in bytes (default 10 MSS,
+	// the modern RFC 6928 value).
+	InitCwnd int64
+	// RcvWnd is the receiver's advertised window in bytes.
+	RcvWnd int64
+	// InitialRTO arms the very first retransmission timer, before any RTT
+	// sample exists.
+	InitialRTO des.Time
+	// MinRTO / MaxRTO clamp the computed retransmission timeout. Data
+	// centers tune MinRTO far below the WAN default; the simulator's
+	// default is 10ms.
+	MinRTO des.Time
+	MaxRTO des.Time
+	// ECN enables classic ECN response: packets are sent ECN-capable, the
+	// receiver echoes congestion marks, and the sender halves its window at
+	// most once per RTT. Off by default (the paper's runs are plain
+	// New Reno; switches may still mark).
+	ECN bool
+	// DCTCP selects DCTCP congestion control (proportional reaction to the
+	// EWMA-estimated fraction of ECN-marked bytes) instead of the classic
+	// halve-on-echo response. Implies ECN-capable packets; switches must be
+	// configured with a marking threshold for it to engage.
+	DCTCP bool
+}
+
+// DefaultConfig returns the stack defaults used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		MSS:        packet.MSS,
+		InitCwnd:   10 * packet.MSS,
+		RcvWnd:     1 << 20,
+		InitialRTO: 50 * des.Millisecond,
+		MinRTO:     10 * des.Millisecond,
+		MaxRTO:     2 * des.Second,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MSS == 0 {
+		c.MSS = d.MSS
+	}
+	if c.InitCwnd == 0 {
+		c.InitCwnd = 10 * int64(c.MSS)
+	}
+	if c.RcvWnd == 0 {
+		c.RcvWnd = d.RcvWnd
+	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = d.InitialRTO
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = d.MinRTO
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = d.MaxRTO
+	}
+	return c
+}
+
+// FlowResult records the outcome of one flow, completed or not.
+type FlowResult struct {
+	FlowID    uint64
+	Src, Dst  packet.HostID
+	Size      int64
+	Start     des.Time
+	End       des.Time // when the last payload byte was cumulatively ACKed
+	Completed bool
+	Retrans   uint64 // segments retransmitted (fast retransmit + RTO)
+	Timeouts  uint64 // RTO firings
+}
+
+// FCT returns the flow completion time (valid when Completed).
+func (f FlowResult) FCT() des.Time { return f.End - f.Start }
+
+// Stack is one host's TCP endpoint: a demultiplexer plus per-flow state.
+type Stack struct {
+	host   *netsim.Host
+	kernel *des.Kernel
+	cfg    Config
+	conns  map[uint64]*conn
+
+	// OnRTTSample, if non-nil, observes every RTT measurement this host's
+	// senders take. The Fig. 4 harness collects these from hosts in the
+	// full-fidelity cluster.
+	OnRTTSample func(flowID uint64, rtt des.Time)
+
+	// OnFlowDone, if non-nil, observes each completed flow.
+	OnFlowDone func(FlowResult)
+}
+
+// NewStack installs a TCP stack on host, replacing its packet handler.
+func NewStack(host *netsim.Host, cfg Config) *Stack {
+	s := &Stack{
+		host:   host,
+		kernel: host.Kernel(),
+		cfg:    cfg.withDefaults(),
+		conns:  make(map[uint64]*conn),
+	}
+	host.Handler = s.handle
+	return s
+}
+
+// Host returns the host this stack is bound to.
+func (s *Stack) Host() *netsim.Host { return s.host }
+
+// Config returns the stack's effective (defaulted) configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// ConnCount returns how many connections the stack is tracking.
+func (s *Stack) ConnCount() int { return len(s.conns) }
+
+// StartFlow begins a size-byte transfer to dst identified by flowID, which
+// must be unique network-wide. onDone (may be nil) fires when the final
+// payload byte is cumulatively acknowledged.
+func (s *Stack) StartFlow(dst packet.HostID, size int64, flowID uint64, onDone func(FlowResult)) {
+	if size <= 0 {
+		panic(fmt.Sprintf("tcp: flow %d has non-positive size %d", flowID, size))
+	}
+	if _, exists := s.conns[flowID]; exists {
+		panic(fmt.Sprintf("tcp: duplicate flow id %d", flowID))
+	}
+	c := newSenderConn(s, dst, size, flowID, onDone)
+	s.conns[flowID] = c
+	c.sendSYN()
+}
+
+// Results returns the FlowResult of every locally initiated flow, in
+// unspecified order. Incomplete flows report their progress so far.
+func (s *Stack) Results() []FlowResult {
+	var out []FlowResult
+	for _, c := range s.conns {
+		if c.role == roleSender {
+			out = append(out, c.result())
+		}
+	}
+	return out
+}
+
+// handle demultiplexes an arriving packet to its connection. A SYN for an
+// unknown flow instantiates the receiving side (the simulator's equivalent
+// of a listening socket that accepts everything).
+func (s *Stack) handle(p *packet.Packet) {
+	c, ok := s.conns[p.FlowID]
+	if !ok {
+		if p.Flags&packet.FlagSYN != 0 && p.Flags&packet.FlagACK == 0 {
+			c = newReceiverConn(s, p.Src, p.FlowID)
+			s.conns[p.FlowID] = c
+		} else {
+			// Stray segment for a forgotten connection; ignore, as a real
+			// stack would RST.
+			return
+		}
+	}
+	c.receive(p)
+}

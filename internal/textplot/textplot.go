@@ -1,0 +1,136 @@
+// Package textplot renders small ASCII charts for the figure harness: CDF
+// overlays (Fig. 4) and log-scale scatter/line series (Figs. 1 and 5) that
+// read directly in a terminal, mirroring how the paper presents its results.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// Plot renders series into a width x height character grid with simple
+// axes. X and Y ranges are the unions across series; logX/logY select
+// log10 axes (points with non-positive coordinates are skipped on log
+// axes). It returns the multi-line chart, never an error: an empty or
+// degenerate input yields a note instead of a panic, because plotting is a
+// reporting path that must not take the experiment down.
+func Plot(title string, series []Series, width, height int, logX, logY bool) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	type pt struct{ x, y float64 }
+	var all []pt
+	transform := func(v float64, log bool) (float64, bool) {
+		if !log {
+			return v, true
+		}
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+	perSeries := make([][]pt, len(series))
+	for i, s := range series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for j := 0; j < n; j++ {
+			x, okx := transform(s.X[j], logX)
+			y, oky := transform(s.Y[j], logY)
+			if !okx || !oky {
+				continue
+			}
+			p := pt{x, y}
+			perSeries[i] = append(perSeries[i], p)
+			all = append(all, p)
+		}
+	}
+	if len(all) == 0 {
+		return title + "\n(no plottable points)\n"
+	}
+	minX, maxX := all[0].x, all[0].x
+	minY, maxY := all[0].y, all[0].y
+	for _, p := range all {
+		minX, maxX = math.Min(minX, p.x), math.Max(maxX, p.x)
+		minY, maxY = math.Min(minY, p.y), math.Max(maxY, p.y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i, ps := range perSeries {
+		marker := series[i].Marker
+		if marker == 0 {
+			marker = "*+ox#@"[i%6]
+		}
+		for _, p := range ps {
+			col := int((p.x - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((p.y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = marker
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	axisLabel := func(v float64, log bool) string {
+		if log {
+			return fmt.Sprintf("%.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	for r, row := range grid {
+		prefix := "          |"
+		if r == 0 {
+			prefix = fmt.Sprintf("%10s|", axisLabel(maxY, logY))
+		}
+		if r == height-1 {
+			prefix = fmt.Sprintf("%10s|", axisLabel(minY, logY))
+		}
+		b.WriteString(prefix)
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("          +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "%11s%s%*s\n", axisLabel(minX, logX), "",
+		width-len(axisLabel(minX, logX))+9, axisLabel(maxX, logX))
+	// Legend.
+	for i, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = "*+ox#@"[i%6]
+		}
+		fmt.Fprintf(&b, "  %c %s\n", marker, s.Name)
+	}
+	return b.String()
+}
+
+// CDFOverlay renders two cumulative distributions on one chart with a log
+// x-axis — the Fig. 4 presentation.
+func CDFOverlay(title string, aName string, aX, aY []float64,
+	bName string, bX, bY []float64, width, height int) string {
+	return Plot(title, []Series{
+		{Name: aName, X: aX, Y: aY, Marker: '*'},
+		{Name: bName, X: bX, Y: bY, Marker: 'o'},
+	}, width, height, true, false)
+}

@@ -1,0 +1,89 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	out := Plot("test", []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+	}, 40, 10, false, false)
+	if !strings.Contains(out, "test") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "a") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing data markers")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotEmptyInput(t *testing.T) {
+	out := Plot("empty", nil, 40, 10, false, false)
+	if !strings.Contains(out, "no plottable points") {
+		t.Errorf("empty plot output: %q", out)
+	}
+	// Log axes with all-nonpositive values also degenerate gracefully.
+	out = Plot("neg", []Series{{Name: "n", X: []float64{-1}, Y: []float64{-1}}}, 40, 10, true, true)
+	if !strings.Contains(out, "no plottable points") {
+		t.Error("nonpositive-on-log-axis should yield the empty note")
+	}
+}
+
+func TestPlotLogAxisSkipsNonpositive(t *testing.T) {
+	out := Plot("log", []Series{
+		{Name: "s", X: []float64{0, 1e-6, 1e-3}, Y: []float64{0.5, 0.5, 0.9}},
+	}, 40, 8, true, false)
+	if strings.Contains(out, "no plottable points") {
+		t.Fatal("positive points were skipped")
+	}
+}
+
+func TestPlotDistinctMarkers(t *testing.T) {
+	out := Plot("two", []Series{
+		{Name: "first", X: []float64{1, 2}, Y: []float64{1, 1}},
+		{Name: "second", X: []float64{1, 2}, Y: []float64{2, 2}},
+	}, 30, 8, false, false)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("series should use distinct default markers")
+	}
+}
+
+func TestPlotSinglePointDoesNotPanic(t *testing.T) {
+	out := Plot("one", []Series{{Name: "p", X: []float64{5}, Y: []float64{7}}}, 30, 6, false, false)
+	if out == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	out := Plot("tiny", []Series{{Name: "p", X: []float64{1, 2}, Y: []float64{1, 2}}}, 1, 1, false, false)
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Error("dimensions not clamped to a usable minimum")
+	}
+}
+
+func TestCDFOverlay(t *testing.T) {
+	out := CDFOverlay("cdf", "truth", []float64{1e-5, 1e-4, 1e-3}, []float64{0.2, 0.6, 1.0},
+		"approx", []float64{5e-6, 5e-5, 5e-4}, []float64{0.3, 0.7, 1.0}, 50, 12)
+	if !strings.Contains(out, "truth") || !strings.Contains(out, "approx") {
+		t.Error("overlay legend incomplete")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("overlay markers missing")
+	}
+}
+
+func TestMismatchedXYLengths(t *testing.T) {
+	// Extra Xs beyond Ys are ignored rather than panicking.
+	out := Plot("mm", []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1}}}, 30, 6, false, false)
+	if out == "" {
+		t.Error("empty output")
+	}
+}

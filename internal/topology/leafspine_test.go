@@ -1,0 +1,110 @@
+package topology
+
+import (
+	"testing"
+
+	"approxsim/internal/netsim"
+
+	"approxsim/internal/des"
+	"approxsim/internal/packet"
+)
+
+func buildLS(t *testing.T, n int) (*des.Kernel, *Topology) {
+	t.Helper()
+	k := des.NewKernel()
+	topo, err := Build(k, DefaultLeafSpineConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, topo
+}
+
+func TestLeafSpinePathForMatchesTraversal(t *testing.T) {
+	k, topo := buildLS(t, 4)
+	for flow := uint64(1); flow <= 30; flow++ {
+		src := packet.HostID(flow % 4)   // rack 0
+		dst := packet.HostID(8 + flow%4) // rack 2
+		want := topo.PathFor(src, dst, flow)
+		if want.SrcAgg != want.DstAgg {
+			t.Fatalf("leaf-spine path should use one spine: %+v", want)
+		}
+		if want.Core != -1 {
+			t.Fatalf("leaf-spine path has a core hop: %+v", want)
+		}
+		var visited []packet.NodeID
+		all := append(append([]*netsim.Switch{}, topo.ToRs...), topo.Aggs...)
+		for _, sw := range all {
+			sw := sw
+			sw.OnReceive = func(p *packet.Packet, _ int) {
+				if p.FlowID == flow {
+					visited = append(visited, sw.NodeID())
+				}
+			}
+		}
+		if p := send(k, topo, src, dst, flow); p == nil {
+			t.Fatalf("flow %d not delivered", flow)
+		}
+		for _, sw := range all {
+			sw.OnReceive = nil
+		}
+		wantSeq := []packet.NodeID{want.SrcToR, want.SrcAgg, want.DstToR}
+		if len(visited) != len(wantSeq) {
+			t.Fatalf("flow %d visited %v, want %v", flow, visited, wantSeq)
+		}
+		for i := range wantSeq {
+			if visited[i] != wantSeq[i] {
+				t.Fatalf("flow %d visited %v, want %v", flow, visited, wantSeq)
+			}
+		}
+	}
+}
+
+func TestLeafSpineECMPSpreadsAcrossSpines(t *testing.T) {
+	_, topo := buildLS(t, 4)
+	spines := map[packet.NodeID]int{}
+	for flow := uint64(0); flow < 400; flow++ {
+		p := topo.PathFor(0, 8, flow)
+		spines[p.SrcAgg]++
+	}
+	if len(spines) != 4 {
+		t.Fatalf("ECMP used %d of 4 spines", len(spines))
+	}
+	for id, n := range spines {
+		if n < 50 {
+			t.Errorf("spine %d got only %d of 400 flows", id, n)
+		}
+	}
+}
+
+func TestIndexConverters(t *testing.T) {
+	_, topo := buildClos(t, 2)
+	for i, sw := range topo.Cores {
+		if got := topo.CoreIndex(sw.NodeID()); got != i {
+			t.Errorf("CoreIndex(%d) = %d, want %d", sw.NodeID(), got, i)
+		}
+	}
+	for i, sw := range topo.ToRs {
+		if got := topo.ToRIndex(sw.NodeID()); got != i {
+			t.Errorf("ToRIndex = %d, want %d", got, i)
+		}
+	}
+	for i, sw := range topo.Aggs {
+		if got := topo.AggIndex(sw.NodeID()); got != i {
+			t.Errorf("AggIndex = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestNICQueueDeepenedButBounded(t *testing.T) {
+	_, topo := buildClos(t, 2)
+	nicCap := topo.Hosts[0].NIC().Config().QueueBytes
+	torPort, _ := topo.Hosts[0].NIC().Peer()
+	_ = torPort
+	fabricCap := topo.ToRs[0].Port(0).Config().QueueBytes
+	if nicCap <= fabricCap {
+		t.Errorf("host NIC queue %d not deeper than fabric %d", nicCap, fabricCap)
+	}
+	if nicCap > 1<<24 {
+		t.Errorf("host NIC queue %d unbounded; sender bufferbloat must be capped", nicCap)
+	}
+}

@@ -1,0 +1,423 @@
+// Package topology builds the data-center networks the paper simulates:
+// 3-layer Clos fabrics (servers → ToR → Cluster → Core switches, Fig. 2) and
+// 2-layer leaf-spine fabrics (the Fig. 1 scaling experiment), and implements
+// deterministic up/down routing with per-flow ECMP across equal-cost uplinks.
+//
+// The builder assigns dense identifiers: hosts get HostIDs (and equal
+// NodeIDs) 0..H-1, then ToRs, then Cluster/spine switches, then Cores. All
+// routing is arithmetic on these indices — there are no routing tables to
+// build or keep consistent — and the same arithmetic exposes PathFor, the
+// deterministic path enumeration the approximation features require
+// ("the ToR, Cluster, and Core switches that the packet would pass through",
+// paper §4.2).
+package topology
+
+import (
+	"fmt"
+
+	"approxsim/internal/des"
+	"approxsim/internal/netsim"
+	"approxsim/internal/packet"
+)
+
+// Kind selects the fabric family.
+type Kind int
+
+// Supported topology kinds.
+const (
+	// ThreeTierClos is the paper's Fig. 2 structure: clusters of ToR and
+	// Cluster (aggregation) switches joined by Core switches.
+	ThreeTierClos Kind = iota
+	// LeafSpine is the 2-layer fabric of the Fig. 1 experiment: every ToR
+	// connects to every spine.
+	LeafSpine
+)
+
+// Config sizes a topology. The zero value is not valid; start from
+// DefaultClosConfig or DefaultLeafSpineConfig.
+type Config struct {
+	Kind Kind
+
+	// Clusters is the number of clusters (ThreeTierClos only).
+	Clusters int
+	// ToRsPerCluster is ToR switches per cluster; for LeafSpine it is the
+	// total ToR count and Clusters must be 1.
+	ToRsPerCluster int
+	// AggsPerCluster is Cluster switches per cluster; for LeafSpine it is
+	// the spine count.
+	AggsPerCluster int
+	// ServersPerToR is hosts attached to each ToR.
+	ServersPerToR int
+	// CoresPerAgg is Core switches per aggregation position
+	// (ThreeTierClos only). Total cores = AggsPerCluster * CoresPerAgg.
+	CoresPerAgg int
+
+	// HostLink configures server↔ToR links, FabricLink the ToR↔Agg links,
+	// and CoreLink the Agg↔Core links (spine links for LeafSpine reuse
+	// FabricLink).
+	HostLink   netsim.LinkConfig
+	FabricLink netsim.LinkConfig
+	CoreLink   netsim.LinkConfig
+
+	// ECMPSeed salts the per-switch flow hash so different runs can explore
+	// different path assignments deterministically.
+	ECMPSeed uint64
+}
+
+// Default link parameters: 10 GbE everywhere, small intra-DC propagation
+// delays, queues of 16 full frames per port — deliberately shallow so
+// realistic loads exercise queueing and loss, as in the paper's traces.
+func defaultLink() netsim.LinkConfig {
+	return netsim.LinkConfig{
+		BandwidthBps: 10e9,
+		PropDelay:    1 * des.Microsecond,
+		QueueBytes:   16 * packet.MaxFrameSize,
+	}
+}
+
+// DefaultClosConfig returns the paper's evaluation cluster shape: clusters of
+// 4 switches (2 ToR + 2 Agg) and 8 servers (§6.2), with one core switch per
+// aggregation position.
+func DefaultClosConfig(clusters int) Config {
+	return Config{
+		Kind:           ThreeTierClos,
+		Clusters:       clusters,
+		ToRsPerCluster: 2,
+		AggsPerCluster: 2,
+		ServersPerToR:  4,
+		CoresPerAgg:    1,
+		HostLink:       defaultLink(),
+		FabricLink:     defaultLink(),
+		CoreLink:       defaultLink(),
+		ECMPSeed:       1,
+	}
+}
+
+// DefaultLeafSpineConfig returns the Fig. 1 shape: n ToRs and n spines with
+// racks of four servers, 10 GbE links.
+func DefaultLeafSpineConfig(n int) Config {
+	return Config{
+		Kind:           LeafSpine,
+		Clusters:       1,
+		ToRsPerCluster: n,
+		AggsPerCluster: n,
+		ServersPerToR:  4,
+		HostLink:       defaultLink(),
+		FabricLink:     defaultLink(),
+		ECMPSeed:       1,
+	}
+}
+
+// Validate reports the first structural problem in the config, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Clusters < 1:
+		return fmt.Errorf("topology: Clusters = %d, need >= 1", c.Clusters)
+	case c.ToRsPerCluster < 1:
+		return fmt.Errorf("topology: ToRsPerCluster = %d, need >= 1", c.ToRsPerCluster)
+	case c.AggsPerCluster < 1:
+		return fmt.Errorf("topology: AggsPerCluster = %d, need >= 1", c.AggsPerCluster)
+	case c.ServersPerToR < 1:
+		return fmt.Errorf("topology: ServersPerToR = %d, need >= 1", c.ServersPerToR)
+	case c.Kind == ThreeTierClos && c.CoresPerAgg < 1:
+		return fmt.Errorf("topology: CoresPerAgg = %d, need >= 1", c.CoresPerAgg)
+	case c.Kind == LeafSpine && c.Clusters != 1:
+		return fmt.Errorf("topology: LeafSpine requires Clusters == 1, got %d", c.Clusters)
+	case c.HostLink.BandwidthBps <= 0 || c.FabricLink.BandwidthBps <= 0:
+		return fmt.Errorf("topology: link bandwidths must be positive")
+	case c.Kind == ThreeTierClos && c.CoreLink.BandwidthBps <= 0:
+		return fmt.Errorf("topology: core link bandwidth must be positive")
+	}
+	return nil
+}
+
+// Counts of each device tier implied by the config.
+func (c Config) NumHosts() int { return c.Clusters * c.ToRsPerCluster * c.ServersPerToR }
+
+// NumToRs returns the total ToR switch count.
+func (c Config) NumToRs() int { return c.Clusters * c.ToRsPerCluster }
+
+// NumAggs returns the total Cluster-switch (or spine) count.
+func (c Config) NumAggs() int {
+	if c.Kind == LeafSpine {
+		return c.AggsPerCluster
+	}
+	return c.Clusters * c.AggsPerCluster
+}
+
+// NumCores returns the Core switch count (zero for leaf-spine).
+func (c Config) NumCores() int {
+	if c.Kind == LeafSpine {
+		return 0
+	}
+	return c.AggsPerCluster * c.CoresPerAgg
+}
+
+// Topology is a fully wired network: devices plus the index arithmetic that
+// routes packets over them.
+type Topology struct {
+	Cfg    Config
+	Kernel *des.Kernel
+
+	Hosts []*netsim.Host
+	ToRs  []*netsim.Switch
+	Aggs  []*netsim.Switch // Cluster switches (spines for LeafSpine)
+	Cores []*netsim.Switch
+
+	hostBase, torBase, aggBase, coreBase packet.NodeID
+}
+
+// Build constructs and wires every device of the configured topology on
+// kernel k. It returns an error rather than panicking so CLIs can report
+// bad flags cleanly.
+func Build(k *des.Kernel, cfg Config) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Topology{Cfg: cfg, Kernel: k}
+	nh, nt, na, nc := cfg.NumHosts(), cfg.NumToRs(), cfg.NumAggs(), cfg.NumCores()
+	t.hostBase = 0
+	t.torBase = packet.NodeID(nh)
+	t.aggBase = t.torBase + packet.NodeID(nt)
+	t.coreBase = t.aggBase + packet.NodeID(na)
+
+	for i := 0; i < nh; i++ {
+		t.Hosts = append(t.Hosts, netsim.NewHost(k, packet.HostID(i), t.hostBase+packet.NodeID(i)))
+	}
+	for i := 0; i < nt; i++ {
+		t.ToRs = append(t.ToRs, netsim.NewSwitch(k, t.torBase+packet.NodeID(i), t))
+	}
+	for i := 0; i < na; i++ {
+		t.Aggs = append(t.Aggs, netsim.NewSwitch(k, t.aggBase+packet.NodeID(i), t))
+	}
+	for i := 0; i < nc; i++ {
+		t.Cores = append(t.Cores, netsim.NewSwitch(k, t.coreBase+packet.NodeID(i), t))
+	}
+
+	t.wire()
+	return t, nil
+}
+
+// Port layout (referenced by the Route arithmetic below):
+//
+//	ToR:  ports [0, ServersPerToR) face hosts (by in-rack position);
+//	      ports [ServersPerToR, ServersPerToR+uplinks) face aggs/spines.
+//	Agg:  ports [0, ToRsPerCluster) face ToRs (leaf index for LeafSpine);
+//	      ports [ToRsPerCluster, +CoresPerAgg) face its core group.
+//	Core: port c faces cluster c's agg at this core's aggregation position.
+func (t *Topology) wire() {
+	cfg := t.Cfg
+	// Host <-> ToR. The host's egress queue models the NIC transmit queue
+	// (a Linux qdisc of a few hundred frames): much deeper than a switch
+	// port — a sender rarely drops its own packets — but bounded, so
+	// sender-side bufferbloat cannot grow without limit. The ToR->host
+	// direction keeps cfg.HostLink, so incast loss at the rack edge is
+	// preserved.
+	nicCfg := cfg.HostLink
+	if min := int64(200 * packet.MaxFrameSize); nicCfg.QueueBytes < min {
+		nicCfg.QueueBytes = min
+	}
+	nicCfg.ECNThresholdBytes = 0
+	for h, host := range t.Hosts {
+		tor := t.ToRs[h/cfg.ServersPerToR]
+		nic := host.AttachNIC(nicCfg)
+		tp := tor.AddPort(cfg.HostLink)
+		netsim.Connect(nic, tp)
+	}
+	// ToR <-> Agg.
+	if cfg.Kind == LeafSpine {
+		for ti, tor := range t.ToRs {
+			for si, spine := range t.Aggs {
+				up := tor.AddPort(cfg.FabricLink)
+				// Spine port index == leaf index; add lazily in order.
+				for spine.NumPorts() <= ti {
+					spine.AddPort(cfg.FabricLink)
+				}
+				netsim.Connect(up, spine.Port(ti))
+				_ = si
+			}
+		}
+		return
+	}
+	for c := 0; c < cfg.Clusters; c++ {
+		for a := 0; a < cfg.AggsPerCluster; a++ {
+			agg := t.Aggs[c*cfg.AggsPerCluster+a]
+			for tr := 0; tr < cfg.ToRsPerCluster; tr++ {
+				tor := t.ToRs[c*cfg.ToRsPerCluster+tr]
+				up := tor.AddPort(cfg.FabricLink)   // ToR port ServersPerToR+a
+				down := agg.AddPort(cfg.FabricLink) // Agg port tr
+				netsim.Connect(up, down)
+			}
+		}
+	}
+	// Agg <-> Core.
+	for c := 0; c < cfg.Clusters; c++ {
+		for a := 0; a < cfg.AggsPerCluster; a++ {
+			agg := t.Aggs[c*cfg.AggsPerCluster+a]
+			for j := 0; j < cfg.CoresPerAgg; j++ {
+				core := t.Cores[a*cfg.CoresPerAgg+j]
+				up := agg.AddPort(cfg.CoreLink) // Agg port ToRsPerCluster+j
+				for core.NumPorts() <= c {
+					core.AddPort(cfg.CoreLink)
+				}
+				netsim.Connect(up, core.Port(c)) // Core port c
+			}
+		}
+	}
+}
+
+// --- Identity helpers ---
+
+// ClusterOf returns the cluster index of host h.
+func (t *Topology) ClusterOf(h packet.HostID) int {
+	return int(h) / (t.Cfg.ToRsPerCluster * t.Cfg.ServersPerToR)
+}
+
+// ToROf returns the global ToR index of host h.
+func (t *Topology) ToROf(h packet.HostID) int { return int(h) / t.Cfg.ServersPerToR }
+
+// HostsInCluster returns the hosts of cluster c in ID order.
+func (t *Topology) HostsInCluster(c int) []*netsim.Host {
+	per := t.Cfg.ToRsPerCluster * t.Cfg.ServersPerToR
+	return t.Hosts[c*per : (c+1)*per]
+}
+
+// ToRsInCluster returns cluster c's ToR switches.
+func (t *Topology) ToRsInCluster(c int) []*netsim.Switch {
+	return t.ToRs[c*t.Cfg.ToRsPerCluster : (c+1)*t.Cfg.ToRsPerCluster]
+}
+
+// AggsInCluster returns cluster c's Cluster switches.
+func (t *Topology) AggsInCluster(c int) []*netsim.Switch {
+	return t.Aggs[c*t.Cfg.AggsPerCluster : (c+1)*t.Cfg.AggsPerCluster]
+}
+
+// nodeTier classifies a NodeID. Values: 0 host, 1 ToR, 2 agg, 3 core.
+func (t *Topology) nodeTier(id packet.NodeID) int {
+	switch {
+	case id < t.torBase:
+		return 0
+	case id < t.aggBase:
+		return 1
+	case id < t.coreBase:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// --- ECMP ---
+
+// ecmpHash mixes the flow identity with a per-switch salt, modeling
+// hardware ECMP (each switch hashes the 5-tuple with its own seed so a flow
+// takes one deterministic path but different flows spread).
+func (t *Topology) ecmpHash(sw packet.NodeID, p *packet.Packet) uint64 {
+	x := uint64(sw)*0x9e3779b97f4a7c15 ^ t.Cfg.ECMPSeed
+	// Hash the canonical flow direction (src,dst,flow) — not symmetric:
+	// forward and reverse directions may take different paths, as in
+	// real ECMP.
+	x ^= uint64(uint32(p.Src))<<32 | uint64(uint32(p.Dst))
+	x ^= p.FlowID * 0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Route implements netsim.Router with pure index arithmetic.
+func (t *Topology) Route(sw packet.NodeID, p *packet.Packet) (int, bool) {
+	cfg := t.Cfg
+	dst := int(p.Dst)
+	if dst < 0 || dst >= len(t.Hosts) {
+		return 0, false
+	}
+	dstToR := dst / cfg.ServersPerToR
+	switch t.nodeTier(sw) {
+	case 1: // ToR
+		tor := int(sw - t.torBase)
+		if dstToR == tor {
+			return dst % cfg.ServersPerToR, true // down to host
+		}
+		uplinks := cfg.AggsPerCluster
+		pick := int(t.ecmpHash(sw, p) % uint64(uplinks))
+		return cfg.ServersPerToR + pick, true
+	case 2: // Agg / spine
+		agg := int(sw - t.aggBase)
+		if cfg.Kind == LeafSpine {
+			return dstToR, true // spine port index == leaf index
+		}
+		cluster := agg / cfg.AggsPerCluster
+		dstCluster := dst / (cfg.ToRsPerCluster * cfg.ServersPerToR)
+		if dstCluster == cluster {
+			return dstToR % cfg.ToRsPerCluster, true // down to ToR
+		}
+		pick := int(t.ecmpHash(sw, p) % uint64(cfg.CoresPerAgg))
+		return cfg.ToRsPerCluster + pick, true
+	case 3: // Core
+		dstCluster := dst / (cfg.ToRsPerCluster * cfg.ServersPerToR)
+		return dstCluster, true
+	default: // host: hosts do not route
+		return 0, false
+	}
+}
+
+// Path is the deterministic switch sequence a flow's packets traverse.
+type Path struct {
+	// Up-side devices from the source, in traversal order.
+	SrcToR packet.NodeID
+	SrcAgg packet.NodeID // unset (-1) for same-rack traffic
+	Core   packet.NodeID // unset (-1) unless inter-cluster
+	DstAgg packet.NodeID // unset (-1) for same-rack traffic
+	DstToR packet.NodeID
+}
+
+// PathFor enumerates the path packets of flow (src → dst, flowID) take,
+// by evaluating the same ECMP arithmetic Route uses. This is how the micro
+// model obtains its "switches the packet would pass through" features for
+// clusters that no longer physically exist in the hybrid simulation.
+func (t *Topology) PathFor(src, dst packet.HostID, flowID uint64) Path {
+	cfg := t.Cfg
+	probe := &packet.Packet{Src: src, Dst: dst, FlowID: flowID}
+	path := Path{SrcAgg: -1, Core: -1, DstAgg: -1}
+	srcToR := t.torBase + packet.NodeID(t.ToROf(src))
+	dstToR := t.torBase + packet.NodeID(t.ToROf(dst))
+	path.SrcToR, path.DstToR = srcToR, dstToR
+	if srcToR == dstToR {
+		return path
+	}
+	upPort, _ := t.Route(srcToR, probe)
+	aggPick := upPort - cfg.ServersPerToR
+	if cfg.Kind == LeafSpine {
+		path.SrcAgg = t.aggBase + packet.NodeID(aggPick)
+		path.DstAgg = path.SrcAgg // one spine hop serves both directions
+		return path
+	}
+	srcCluster := t.ClusterOf(src)
+	path.SrcAgg = t.aggBase + packet.NodeID(srcCluster*cfg.AggsPerCluster+aggPick)
+	if t.ClusterOf(dst) == srcCluster {
+		path.DstAgg = path.SrcAgg
+		return path
+	}
+	corePort, _ := t.Route(path.SrcAgg, probe)
+	corePick := corePort - cfg.ToRsPerCluster
+	path.Core = t.coreBase + packet.NodeID(aggPick*cfg.CoresPerAgg+corePick)
+	// Down side: the core connects to exactly one agg in the destination
+	// cluster — the one at the core's aggregation position.
+	path.DstAgg = t.aggBase + packet.NodeID(t.ClusterOf(dst)*cfg.AggsPerCluster+aggPick)
+	return path
+}
+
+// CoreFacingAggPort returns the agg-side port index wired toward core j of
+// the agg's core group; used when splicing approximated fabrics in.
+func (t *Topology) CoreFacingAggPort(j int) int { return t.Cfg.ToRsPerCluster + j }
+
+// CoreIndex converts a core switch NodeID to its index in Cores.
+func (t *Topology) CoreIndex(id packet.NodeID) int { return int(id - t.coreBase) }
+
+// ToRIndex converts a ToR NodeID to its index in ToRs.
+func (t *Topology) ToRIndex(id packet.NodeID) int { return int(id - t.torBase) }
+
+// AggIndex converts an agg/spine NodeID to its index in Aggs.
+func (t *Topology) AggIndex(id packet.NodeID) int { return int(id - t.aggBase) }

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"approxsim/internal/packet"
+	"approxsim/internal/topology"
+)
+
+// AttachWholeNetworkBoundary instruments the §7 "single black box" limit:
+// from the perspective of one real cluster, everything beyond its
+// aggregation switches — every core switch and every other cluster's fabric
+// — is one opaque region. ("In the limit, the rest of the network could be
+// modeled as a single black box.")
+//
+// Traversals are recorded with the same Record type as AttachBoundary but a
+// wider span:
+//
+//   - Egress (leaving the real cluster): enters when a core switch receives
+//     the packet from the real cluster's aggs; exits at delivery to a host
+//     of any other cluster. Covers core transit plus the remote fabric.
+//   - Ingress (entering the real cluster): enters when a remote ToR
+//     receives the packet from its host; exits when one of the real
+//     cluster's aggs receives it on a core-facing port.
+//
+// Drops anywhere inside the region (core ports, remote fabric ports, remote
+// ToR host ports) resolve the traversal as dropped.
+func AttachWholeNetworkBoundary(topo *topology.Topology, real int) *BoundaryRecorder {
+	r := &BoundaryRecorder{
+		topo:     topo,
+		cluster:  real,
+		inflight: make(map[*packet.Packet]int),
+	}
+	cfg := topo.Cfg
+
+	// Egress entries: any core receiving from the real cluster (its port
+	// index toward a cluster equals the cluster index).
+	for _, core := range topo.Cores {
+		core := core
+		r.chainSwitch(core, func(p *packet.Packet, inPort int) {
+			if inPort == real && r.outside(p.Dst) {
+				r.open(p, Egress)
+			}
+		})
+		for i := 0; i < core.NumPorts(); i++ {
+			r.chainDrop(core.Port(i))
+		}
+	}
+
+	for c := 0; c < cfg.Clusters; c++ {
+		if c == real {
+			continue
+		}
+		// Ingress entries: remote ToR receives from a host, destination in
+		// the real cluster. Egress exits: delivery at a remote host.
+		for _, tor := range topo.ToRsInCluster(c) {
+			tor := tor
+			r.chainSwitch(tor, func(p *packet.Packet, inPort int) {
+				if inPort < cfg.ServersPerToR && !r.outside(p.Dst) {
+					r.open(p, Ingress)
+				}
+			})
+			for i := 0; i < tor.NumPorts(); i++ {
+				r.chainDrop(tor.Port(i))
+			}
+		}
+		for _, agg := range topo.AggsInCluster(c) {
+			for i := 0; i < agg.NumPorts(); i++ {
+				r.chainDrop(agg.Port(i))
+			}
+		}
+		for _, h := range topo.HostsInCluster(c) {
+			h := h
+			old := h.OnReceive
+			h.OnReceive = func(p *packet.Packet) {
+				if old != nil {
+					old(p)
+				}
+				r.close(p)
+			}
+			r.detach = append(r.detach, func() { h.OnReceive = old })
+		}
+	}
+
+	// Ingress exits: the real cluster's aggs receiving on core-facing ports.
+	for _, agg := range topo.AggsInCluster(real) {
+		agg := agg
+		r.chainSwitch(agg, func(p *packet.Packet, inPort int) {
+			if inPort >= cfg.ToRsPerCluster {
+				r.close(p)
+			}
+		})
+	}
+	return r
+}

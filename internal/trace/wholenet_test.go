@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/tcp"
+	"approxsim/internal/topology"
+)
+
+// wholeNetBed builds a 4-cluster Clos with stacks and a whole-network
+// recorder observing cluster 0.
+func wholeNetBed(t *testing.T) (*des.Kernel, *topology.Topology, []*tcp.Stack, *BoundaryRecorder) {
+	t.Helper()
+	k := des.NewKernel()
+	topo, err := topology.Build(k, topology.DefaultClosConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacks := make([]*tcp.Stack, len(topo.Hosts))
+	for i, h := range topo.Hosts {
+		stacks[i] = tcp.NewStack(h, tcp.Config{})
+	}
+	return k, topo, stacks, AttachWholeNetworkBoundary(topo, 0)
+}
+
+func TestWholeNetEgressSpansCoreAndRemoteFabric(t *testing.T) {
+	k, _, stacks, rec := wholeNetBed(t)
+	// Cluster 0 host -> cluster 2 host: outbound traversal covers
+	// core + remote fabric (two extra links vs the per-cluster boundary).
+	stacks[0].StartFlow(16, 3000, 1, nil)
+	k.RunAll()
+	eg, _ := Split(rec.Records)
+	if len(eg) == 0 {
+		t.Fatal("no outbound records")
+	}
+	for _, r := range eg {
+		if r.Dropped || r.Latency <= 0 {
+			continue
+		}
+		// Idle-path transit: core queue + core->agg + agg->ToR + ToR->host
+		// links; must exceed 3 propagation delays (3us) and stay tiny.
+		if r.Latency < 3*des.Microsecond || r.Latency > des.Millisecond {
+			t.Errorf("implausible whole-net egress latency %v", r.Latency)
+		}
+	}
+}
+
+func TestWholeNetIngressRecorded(t *testing.T) {
+	k, _, stacks, rec := wholeNetBed(t)
+	stacks[16].StartFlow(0, 3000, 1, nil)
+	k.RunAll()
+	_, ing := Split(rec.Records)
+	if len(ing) == 0 {
+		t.Fatal("no inbound records")
+	}
+	for _, r := range ing {
+		if !r.Dropped && r.Latency <= 0 {
+			t.Errorf("unresolved inbound traversal: %+v", r)
+		}
+	}
+}
+
+func TestWholeNetRemoteToRemoteNotRecorded(t *testing.T) {
+	k, _, stacks, rec := wholeNetBed(t)
+	// Cluster 1 -> cluster 2: never touches cluster 0's boundary region
+	// ... but it DOES transit the cores, which belong to the black box
+	// region. Such packets never exit toward cluster 0, so they must not
+	// produce records (their destination is outside the real cluster).
+	stacks[8].StartFlow(16, 3000, 1, nil)
+	k.RunAll()
+	_, ing := Split(rec.Records)
+	if len(ing) != 0 {
+		t.Errorf("remote-to-remote traffic produced %d inbound records", len(ing))
+	}
+	eg, _ := Split(rec.Records)
+	if len(eg) != 0 {
+		t.Errorf("remote-to-remote traffic produced %d outbound records", len(eg))
+	}
+}
+
+func TestWholeNetIntraRealClusterNotRecorded(t *testing.T) {
+	k, _, stacks, rec := wholeNetBed(t)
+	stacks[0].StartFlow(4, 3000, 1, nil) // within cluster 0
+	k.RunAll()
+	if len(rec.Records) != 0 {
+		t.Errorf("intra-real-cluster traffic produced %d records", len(rec.Records))
+	}
+}
+
+func TestWholeNetLatencyWiderThanClusterBoundary(t *testing.T) {
+	// The same flow observed by both recorders: whole-net egress spans a
+	// superset of the per-cluster egress, so its latency must be larger.
+	k, topo, stacks, wn := wholeNetBed(t)
+	cl := AttachBoundary(topo, 0)
+	stacks[0].StartFlow(16, 20_000, 1, nil)
+	k.RunAll()
+	egWN, _ := Split(wn.Records)
+	egCL, _ := Split(cl.Records)
+	if len(egWN) == 0 || len(egCL) == 0 {
+		t.Fatal("missing records from one recorder")
+	}
+	var meanWN, meanCL float64
+	var nWN, nCL int
+	for _, r := range egWN {
+		if !r.Dropped && r.Latency > 0 {
+			meanWN += r.Latency.Seconds()
+			nWN++
+		}
+	}
+	for _, r := range egCL {
+		if !r.Dropped && r.Latency > 0 {
+			meanCL += r.Latency.Seconds()
+			nCL++
+		}
+	}
+	meanWN /= float64(nWN)
+	meanCL /= float64(nCL)
+	if meanWN <= meanCL {
+		t.Errorf("whole-net mean egress latency %.3g <= cluster-boundary %.3g; spans are nested",
+			meanWN, meanCL)
+	}
+}

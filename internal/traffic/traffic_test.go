@@ -1,0 +1,375 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/packet"
+	"approxsim/internal/tcp"
+	"approxsim/internal/topology"
+)
+
+// testbed builds a 2-cluster Clos with TCP stacks on every host.
+// t may be nil for callers that rebuild inside closures.
+func testbed(t *testing.T) (*des.Kernel, *topology.Topology, []*tcp.Stack) {
+	if t != nil {
+		t.Helper()
+	}
+	k := des.NewKernel()
+	topo, err := topology.Build(k, topology.DefaultClosConfig(2))
+	if err != nil {
+		panic(err)
+	}
+	stacks := make([]*tcp.Stack, len(topo.Hosts))
+	for i, h := range topo.Hosts {
+		stacks[i] = tcp.NewStack(h, tcp.Config{})
+	}
+	return k, topo, stacks
+}
+
+func TestCDFsWellFormed(t *testing.T) {
+	// Construction panics on malformed tables, so building is the test;
+	// also sanity-check the means.
+	ws := WebSearchCDF()
+	dm := DataMiningCDF()
+	if m := ws.Mean(); m < 100e3 || m > 5e6 {
+		t.Errorf("web search mean %v bytes implausible", m)
+	}
+	if m := dm.Mean(); m < 100e3 || m > 20e6 {
+		t.Errorf("data mining mean %v bytes implausible", m)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Config{Load: 0.5, HostBandwidthBps: 1e9}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Load: 0, HostBandwidthBps: 1e9},
+		{Load: 1.5, HostBandwidthBps: 1e9},
+		{Load: 0.5},
+		{Load: 0.5, HostBandwidthBps: 1e9, Pattern: InterCluster},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p, want := range map[Pattern]string{
+		Uniform: "uniform", InterCluster: "intercluster",
+		IntraCluster: "intracluster", Incast: "incast", Pattern(9): "pattern(9)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestArrivalRateCalibration(t *testing.T) {
+	k, _, stacks := testbed(t)
+	_ = k
+	g, err := NewGenerator(k, stacks, Config{
+		Load: 0.5, HostBandwidthBps: 10e9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rate = 0.5 * 16 hosts * 10e9 bps / (mean*8 bits).
+	mean := WebSearchCDF().Mean()
+	want := 0.5 * 16 * 10e9 / (mean * 8)
+	if got := g.ArrivalRate(); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("ArrivalRate = %v, want %v", got, want)
+	}
+}
+
+func TestGeneratorRunsFlows(t *testing.T) {
+	k, _, stacks := testbed(t)
+	g, err := NewGenerator(k, stacks, Config{
+		Load: 0.3, HostBandwidthBps: 10e9, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(5 * des.Millisecond)
+	k.RunAll()
+	if g.Started() == 0 {
+		t.Fatal("no flows started in 5ms at 30% load")
+	}
+	if len(g.Results) == 0 {
+		t.Fatal("no flows completed")
+	}
+	comp := 0
+	for _, r := range g.Results {
+		if r.Completed {
+			comp++
+		}
+	}
+	if comp == 0 {
+		t.Error("zero completions")
+	}
+}
+
+func TestDeterministicWorkload(t *testing.T) {
+	run := func() (uint64, int) {
+		k, _, stacks := testbed(nil)
+		g, _ := NewGenerator(k, stacks, Config{
+			Load: 0.3, HostBandwidthBps: 10e9, Seed: 42,
+		})
+		g.Start(3 * des.Millisecond)
+		k.RunAll()
+		return g.Started(), len(g.Results)
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 || r1 != r2 {
+		t.Errorf("same seed diverged: (%d,%d) vs (%d,%d)", s1, r1, s2, r2)
+	}
+}
+
+func TestSeedChangesWorkload(t *testing.T) {
+	run := func(seed uint64) uint64 {
+		k, _, stacks := testbed(nil)
+		g, _ := NewGenerator(k, stacks, Config{
+			Load: 0.3, HostBandwidthBps: 10e9, Seed: seed,
+		})
+		g.Start(3 * des.Millisecond)
+		k.RunAll()
+		return g.Started()
+	}
+	// Different seeds should (overwhelmingly) give different arrival counts;
+	// accept equality of counts only if it happens for one pair.
+	if run(1) == run(2) && run(3) == run(4) {
+		t.Error("workloads identical across seeds; RNG not wired through")
+	}
+}
+
+func TestInterClusterPattern(t *testing.T) {
+	k, topo, stacks := testbed(t)
+	g, err := NewGenerator(k, stacks, Config{
+		Pattern: InterCluster, Load: 0.3, HostBandwidthBps: 10e9,
+		Seed: 3, ClusterSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(3 * des.Millisecond)
+	k.RunAll()
+	if len(g.Results) == 0 {
+		t.Fatal("no completions")
+	}
+	for _, r := range g.Results {
+		if topo.ClusterOf(r.Src) == topo.ClusterOf(r.Dst) {
+			t.Fatalf("flow %d is intra-cluster (%d->%d) under InterCluster pattern",
+				r.FlowID, r.Src, r.Dst)
+		}
+	}
+}
+
+func TestIntraClusterPattern(t *testing.T) {
+	k, topo, stacks := testbed(t)
+	g, err := NewGenerator(k, stacks, Config{
+		Pattern: IntraCluster, Load: 0.3, HostBandwidthBps: 10e9,
+		Seed: 3, ClusterSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(3 * des.Millisecond)
+	k.RunAll()
+	for _, r := range g.Results {
+		if topo.ClusterOf(r.Src) != topo.ClusterOf(r.Dst) {
+			t.Fatalf("flow %d crossed clusters under IntraCluster pattern", r.FlowID)
+		}
+	}
+}
+
+func TestIncastPattern(t *testing.T) {
+	k, _, stacks := testbed(t)
+	g, err := NewGenerator(k, stacks, Config{
+		Pattern: Incast, Load: 0.4, HostBandwidthBps: 10e9,
+		Seed: 5, IncastFanIn: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(3 * des.Millisecond)
+	k.RunAll()
+	// 16 hosts, fan-in 7 -> 2 receivers (hosts 0 and 1).
+	for _, r := range g.Results {
+		if r.Dst > 1 {
+			t.Fatalf("incast receiver %d outside expected set", r.Dst)
+		}
+		if r.Src <= 1 {
+			t.Fatalf("incast sender %d overlaps receiver set", r.Src)
+		}
+	}
+}
+
+func TestEligibleHostsRestriction(t *testing.T) {
+	k, _, stacks := testbed(t)
+	g, err := NewGenerator(k, stacks, Config{
+		Load: 0.3, HostBandwidthBps: 10e9, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := []packet.HostID{0, 1, 2, 3}
+	g.SetEligibleHosts(allowed)
+	g.Start(3 * des.Millisecond)
+	k.RunAll()
+	inSet := func(h packet.HostID) bool { return h <= 3 }
+	for _, r := range g.Results {
+		if !inSet(r.Src) || !inSet(r.Dst) {
+			t.Fatalf("flow %d->%d escaped eligible set", r.Src, r.Dst)
+		}
+	}
+}
+
+func TestFlowIDsUnique(t *testing.T) {
+	k, _, stacks := testbed(t)
+	g, _ := NewGenerator(k, stacks, Config{
+		Load: 0.5, HostBandwidthBps: 10e9, Seed: 11, FirstFlowID: 1000,
+	})
+	g.Start(3 * des.Millisecond)
+	k.RunAll()
+	seen := map[uint64]bool{}
+	for _, r := range g.Results {
+		if r.FlowID < 1000 {
+			t.Fatalf("flow id %d below FirstFlowID", r.FlowID)
+		}
+		if seen[r.FlowID] {
+			t.Fatalf("duplicate flow id %d", r.FlowID)
+		}
+		seen[r.FlowID] = true
+	}
+}
+
+func TestStopHaltsArrivals(t *testing.T) {
+	k, _, stacks := testbed(t)
+	g, _ := NewGenerator(k, stacks, Config{
+		Load: 0.3, HostBandwidthBps: 10e9, Seed: 13,
+	})
+	g.Start(50 * des.Millisecond)
+	k.Run(des.Millisecond)
+	g.Stop()
+	at := g.Started()
+	k.RunAll()
+	// One arrival may already be enqueued past the stop; allow +1.
+	if g.Started() > at+1 {
+		t.Errorf("arrivals continued after Stop: %d -> %d", at, g.Started())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []tcp.FlowResult{
+		{Completed: true, Size: 1000, Start: 0, End: des.Millisecond, Retrans: 1},
+		{Completed: true, Size: 2000, Start: 0, End: 2 * des.Millisecond, Timeouts: 1},
+		{Completed: false, Size: 500},
+	}
+	s := Summarize(results, 10*des.Millisecond)
+	if s.Flows != 3 || s.Completed != 2 {
+		t.Errorf("Flows/Completed = %d/%d", s.Flows, s.Completed)
+	}
+	if math.Abs(s.MeanFCT-0.0015) > 1e-12 {
+		t.Errorf("MeanFCT = %v, want 0.0015", s.MeanFCT)
+	}
+	if s.TotalBytes != 3000 || s.Retrans != 1 || s.Timeouts != 1 {
+		t.Errorf("aggregates wrong: %+v", s)
+	}
+	wantGoodput := 3000.0 * 8 / 0.01
+	if math.Abs(s.GoodputBps-wantGoodput) > 1e-6 {
+		t.Errorf("GoodputBps = %v, want %v", s.GoodputBps, wantGoodput)
+	}
+}
+
+func TestNeedTwoHosts(t *testing.T) {
+	k := des.NewKernel()
+	if _, err := NewGenerator(k, make([]*tcp.Stack, 5), Config{
+		Load: 0.5, HostBandwidthBps: 1e9,
+	}); err == nil {
+		t.Error("generator accepted zero participating hosts")
+	}
+}
+
+func TestMustTouchRestriction(t *testing.T) {
+	k, _, stacks := testbed(t)
+	g, err := NewGenerator(k, stacks, Config{
+		Load: 0.4, HostBandwidthBps: 10e9, Seed: 15,
+		MustTouch: []packet.HostID{0, 1, 2, 3, 4, 5, 6, 7}, // cluster 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(3 * des.Millisecond)
+	k.RunAll()
+	if len(g.Results) == 0 {
+		t.Fatal("no flows completed")
+	}
+	for _, r := range g.Results {
+		if r.Src > 7 && r.Dst > 7 {
+			t.Fatalf("flow %d->%d touches no cluster-0 host", r.Src, r.Dst)
+		}
+	}
+}
+
+func TestGenerateSpecs(t *testing.T) {
+	hosts := make([]packet.HostID, 16)
+	for i := range hosts {
+		hosts[i] = packet.HostID(i)
+	}
+	cfg := Config{Load: 0.4, HostBandwidthBps: 10e9, Seed: 77}
+	specs, err := GenerateSpecs(cfg, hosts, 5*des.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) == 0 {
+		t.Fatal("no specs generated")
+	}
+	for i, s := range specs {
+		if s.Src == s.Dst || s.Size < 1 || s.At > 5*des.Millisecond {
+			t.Fatalf("bad spec %d: %+v", i, s)
+		}
+		if i > 0 && s.At < specs[i-1].At {
+			t.Fatal("specs out of time order")
+		}
+	}
+	// Deterministic.
+	specs2, _ := GenerateSpecs(cfg, hosts, 5*des.Millisecond)
+	if len(specs2) != len(specs) || specs2[0] != specs[0] {
+		t.Error("GenerateSpecs not deterministic")
+	}
+	if _, err := GenerateSpecs(cfg, hosts[:1], des.Millisecond); err == nil {
+		t.Error("single-host spec generation accepted")
+	}
+}
+
+func TestPermutationPattern(t *testing.T) {
+	k, _, stacks := testbed(t)
+	g, err := NewGenerator(k, stacks, Config{
+		Pattern: Permutation, Load: 0.4, HostBandwidthBps: 10e9, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(4 * des.Millisecond)
+	k.RunAll()
+	if len(g.Results) == 0 {
+		t.Fatal("no completions")
+	}
+	// Every source must map to exactly one destination, never itself.
+	seen := map[packet.HostID]packet.HostID{}
+	for _, r := range g.Results {
+		if r.Src == r.Dst {
+			t.Fatalf("permutation produced a self-flow at host %d", r.Src)
+		}
+		if prev, ok := seen[r.Src]; ok && prev != r.Dst {
+			t.Fatalf("host %d sent to both %d and %d under Permutation", r.Src, prev, r.Dst)
+		}
+		seen[r.Src] = r.Dst
+	}
+}
