@@ -1,49 +1,142 @@
 // Command approxsim runs a single data-center simulation — full-fidelity,
-// hybrid (approximated), or flow-level — and prints a workload summary.
+// hybrid (approximated), flow-level, or PDES-parallel — and prints a
+// workload summary.
 //
 // Usage:
 //
 //	approxsim -mode full -clusters 4 -dur 10 -load 0.4
 //	approxsim -mode hybrid -clusters 8 -models models.bin
 //	approxsim -mode fluid -clusters 4
+//	approxsim -mode pdes -racks 8 -lps 4
 //
 // Hybrid mode loads models produced by the trainmodel command; if -models
 // is omitted it trains a small model in-process first (convenient for
 // exploration, slower to start).
+//
+// Observability:
+//
+//	-metrics       dump a JSON metrics snapshot to stdout at end of run
+//	-progress N    print a progress line to stderr every N virtual ms
+//	-pprof ADDR    serve net/http/pprof on ADDR (e.g. localhost:6060)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"approxsim/internal/core"
 	"approxsim/internal/des"
 	"approxsim/internal/flowsim"
+	"approxsim/internal/metrics"
 	"approxsim/internal/nn"
 	"approxsim/internal/packet"
+	"approxsim/internal/pdes"
 	"approxsim/internal/topology"
 	"approxsim/internal/traffic"
 )
 
 func main() {
 	var (
-		mode     = flag.String("mode", "full", "full | hybrid | blackbox | fluid")
-		clusters = flag.Int("clusters", 2, "number of clusters (4 switches + 8 servers each)")
-		durMS    = flag.Int("dur", 5, "virtual milliseconds of flow arrivals")
-		load     = flag.Float64("load", 0.4, "offered load fraction of host bandwidth")
-		seed     = flag.Uint64("seed", 1, "root random seed")
-		pattern  = flag.String("pattern", "uniform", "uniform | intercluster | intracluster | incast")
-		models   = flag.String("models", "", "model bundle from trainmodel (hybrid mode)")
-		dctcp    = flag.Bool("dctcp", false, "run DCTCP instead of TCP New Reno (shallow ECN marking everywhere)")
-		workload = flag.String("workload", "websearch", "flow-size distribution: websearch | datamining")
+		mode       = flag.String("mode", "full", "full | hybrid | blackbox | fluid | pdes")
+		clusters   = flag.Int("clusters", 2, "number of clusters (4 switches + 8 servers each)")
+		durMS      = flag.Int("dur", 5, "virtual milliseconds of flow arrivals")
+		load       = flag.Float64("load", 0.4, "offered load fraction of host bandwidth")
+		seed       = flag.Uint64("seed", 1, "root random seed")
+		pattern    = flag.String("pattern", "uniform", "uniform | intercluster | intracluster | incast")
+		models     = flag.String("models", "", "model bundle from trainmodel (hybrid mode)")
+		dctcp      = flag.Bool("dctcp", false, "run DCTCP instead of TCP New Reno (shallow ECN marking everywhere)")
+		workload   = flag.String("workload", "websearch", "flow-size distribution: websearch | datamining")
+		racks      = flag.Int("racks", 4, "leaf-spine racks (pdes mode)")
+		lps        = flag.Int("lps", 2, "logical processes (pdes mode; 1 = sequential)")
+		sync       = flag.String("sync", "null", "pdes synchronization: null | barrier")
+		metricsOut = flag.Bool("metrics", false, "dump a JSON metrics snapshot to stdout at end of run")
+		progressMS = flag.Int("progress", 0, "progress line to stderr every N virtual ms (0 = off)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
-	if err := run(*mode, *clusters, *durMS, *load, *seed, *pattern, *models, *dctcp, *workload); err != nil {
+	startPprof(*pprofAddr)
+	opts := obsOptions{
+		metrics:  *metricsOut,
+		progress: des.Time(*progressMS) * des.Millisecond,
+	}
+	if err := run(*mode, *clusters, *durMS, *load, *seed, *pattern, *models,
+		*dctcp, *workload, *racks, *lps, *sync, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "approxsim:", err)
 		os.Exit(1)
 	}
+}
+
+// obsOptions carries the observability flags into run.
+type obsOptions struct {
+	metrics  bool
+	progress des.Time
+}
+
+// registry returns the registry to wire into the run, nil when -metrics is
+// off.
+func (o obsOptions) registry() *metrics.Registry {
+	if !o.metrics {
+		return nil
+	}
+	return metrics.NewRegistry()
+}
+
+// startPprof serves the pprof HTTP endpoints for profiling live runs.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		fmt.Fprintf(os.Stderr, "approxsim: pprof on http://%s/debug/pprof/\n", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "approxsim: pprof:", err)
+		}
+	}()
+}
+
+// snapshotGroups are the subsystems every -metrics snapshot reports. Modes
+// that do not exercise a subsystem (e.g. pdes in a hybrid run) still emit
+// its headline counters as zeros so the JSON schema is stable across modes.
+var snapshotGroups = map[string][]string{
+	"des":    {"events_executed", "events_scheduled", "events_canceled"},
+	"pdes":   {"null_messages", "barriers", "cross_lp_packets", "causality_violations"},
+	"netsim": {"tx_packets", "drops", "ecn_marks"},
+	"tcp":    {"flows_started", "flows_completed", "retransmissions", "timeouts"},
+	"approx": {"egress_packets", "ingress_packets", "model_invocations"},
+}
+
+// dumpMetrics writes the snapshot JSON to stdout, stubbing zero counters for
+// any canonical group the selected mode did not register.
+func dumpMetrics(reg *metrics.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	present := map[string]bool{}
+	for _, g := range reg.Groups() {
+		present[g] = true
+	}
+	for _, g := range []string{"des", "pdes", "netsim", "tcp", "approx"} {
+		if present[g] {
+			continue
+		}
+		g := g
+		reg.RegisterFunc(g, func(e *metrics.Emitter) {
+			for _, name := range snapshotGroups[g] {
+				e.Counter(name, 0)
+			}
+		})
+	}
+	out, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
 }
 
 func parsePattern(s string) (traffic.Pattern, error) {
@@ -61,18 +154,24 @@ func parsePattern(s string) (traffic.Pattern, error) {
 	}
 }
 
-func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, modelPath string, dctcp bool, workload string) error {
+func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, modelPath string,
+	dctcp bool, workload string, racks, lps int, sync string, opts obsOptions) error {
+
 	pat, err := parsePattern(pattern)
 	if err != nil {
 		return err
 	}
+	reg := opts.registry()
 	cfg := core.Config{
-		Clusters: clusters,
-		Duration: des.Time(durMS) * des.Millisecond,
-		Load:     load,
-		Seed:     seed,
-		Pattern:  pat,
-		DCTCP:    dctcp,
+		Clusters:       clusters,
+		Duration:       des.Time(durMS) * des.Millisecond,
+		Load:           load,
+		Seed:           seed,
+		Pattern:        pat,
+		DCTCP:          dctcp,
+		Metrics:        reg,
+		ProgressEvery:  opts.progress,
+		ProgressWriter: os.Stderr,
 	}
 	switch workload {
 	case "websearch":
@@ -89,7 +188,7 @@ func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, m
 			return err
 		}
 		report("full", res)
-		return nil
+		return dumpMetrics(reg)
 	case "hybrid":
 		m, err := obtainModels(cfg, modelPath, seed)
 		if err != nil {
@@ -105,7 +204,7 @@ func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, m
 				i, fs.EgressPackets, fs.IngressPackets,
 				fs.EgressDrops, fs.IngressDrops, fs.Conflicts)
 		}
-		return nil
+		return dumpMetrics(reg)
 	case "blackbox":
 		m, err := obtainBlackBoxModels(cfg, modelPath, seed)
 		if err != nil {
@@ -119,12 +218,47 @@ func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, m
 		s := res.FabricStats[0]
 		fmt.Printf("blackbox: outbound=%d inbound=%d drops=%d/%d conflicts=%d\n",
 			s.EgressPackets, s.IngressPackets, s.EgressDrops, s.IngressDrops, s.Conflicts)
-		return nil
+		return dumpMetrics(reg)
 	case "fluid":
-		return runFluid(cfg)
+		if err := runFluid(cfg); err != nil {
+			return err
+		}
+		return dumpMetrics(reg)
+	case "pdes":
+		if err := runPDES(racks, lps, load, cfg.Duration, seed, sync, reg); err != nil {
+			return err
+		}
+		return dumpMetrics(reg)
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
+}
+
+// runPDES runs the leaf-spine PDES experiment (Fig. 1 substrate) on the
+// requested number of logical processes.
+func runPDES(racks, lps int, load float64, dur des.Time, seed uint64, sync string, reg *metrics.Registry) error {
+	var algo pdes.SyncAlgo
+	switch sync {
+	case "null":
+		algo = pdes.NullMessages
+	case "barrier":
+		algo = pdes.Barrier
+	default:
+		return fmt.Errorf("unknown sync %q (want null or barrier)", sync)
+	}
+	res, err := pdes.RunLeafSpineObserved(racks, lps, load, dur, seed, algo, reg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mode=pdes tors=%d lps=%d sim_time=%v wall=%.4fs sim_per_wall=%.4g events=%d\n",
+		res.ToRs, res.LPs, dur, res.WallSeconds, res.SimPerWall, res.Events)
+	fmt.Printf("nulls=%d barriers=%d cross_lp_packets=%d violations=%d eit_stalls=%d\n",
+		res.Nulls, res.Barriers, res.CrossPkts, res.Violations, res.EITStalls)
+	fmt.Printf("flows=%d completed=%d\n", res.FlowsStarted, res.FlowsCompleted)
+	if res.Violations != 0 {
+		return fmt.Errorf("pdes: %d causality violations (synchronization bug)", res.Violations)
+	}
+	return nil
 }
 
 // obtainModels loads a trained bundle or, if none was given, trains a small
@@ -141,6 +275,8 @@ func obtainModels(cfg core.Config, path string, seed uint64) (*core.Models, erro
 	fmt.Fprintln(os.Stderr, "approxsim: no -models given; training a small model in-process")
 	trainCfg := cfg
 	trainCfg.Clusters = 2
+	trainCfg.Metrics = nil // only the measured run reports metrics
+	trainCfg.ProgressEvery = 0
 	full, err := core.RunFull(trainCfg, true)
 	if err != nil {
 		return nil, err
@@ -166,6 +302,8 @@ func obtainBlackBoxModels(cfg core.Config, path string, seed uint64) (*core.Mode
 	}
 	fmt.Fprintln(os.Stderr, "approxsim: training whole-network black-box models in-process")
 	trainCfg := cfg
+	trainCfg.Metrics = nil // only the measured run reports metrics
+	trainCfg.ProgressEvery = 0
 	if trainCfg.Clusters < 2 {
 		trainCfg.Clusters = 2
 	}

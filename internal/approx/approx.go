@@ -18,9 +18,11 @@ package approx
 
 import (
 	"fmt"
+	"time"
 
 	"approxsim/internal/des"
 	"approxsim/internal/macro"
+	"approxsim/internal/metrics"
 	"approxsim/internal/micro"
 	"approxsim/internal/netsim"
 	"approxsim/internal/packet"
@@ -59,6 +61,38 @@ type Fabric struct {
 	noMacro bool
 
 	stats Stats
+
+	// Model-inference observability: how often the micro models run and how
+	// much wall-clock each prediction costs. Prediction latency is the
+	// hybrid simulator's hot path — "one event per traversal" only pays off
+	// while inference stays cheap — so it is measured directly rather than
+	// inferred from run totals.
+	invocations metrics.Counter
+	predNanos   metrics.Histogram
+}
+
+// predict times one micro-model invocation for either direction.
+func (f *Fabric) predict(p micro.PacketPredictor, now des.Time, pkt *packet.Packet,
+	st macro.State) (drop bool, lat des.Time) {
+
+	t0 := time.Now()
+	drop, lat = p.Predict(now, pkt.Src, pkt.Dst, pkt.FlowID, pkt.Size(), pkt.IsAck(), st)
+	f.predNanos.Observe(uint64(time.Since(t0)))
+	f.invocations.Inc()
+	return drop, lat
+}
+
+// CollectMetrics implements metrics.Collector. Register every fabric of a
+// hybrid run under one group for whole-run totals.
+func (f *Fabric) CollectMetrics(e *metrics.Emitter) {
+	e.Counter("egress_packets", f.stats.EgressPackets)
+	e.Counter("ingress_packets", f.stats.IngressPackets)
+	e.Counter("intra_packets", f.stats.IntraPackets)
+	e.Counter("egress_drops", f.stats.EgressDrops)
+	e.Counter("ingress_drops", f.stats.IngressDrops)
+	e.Counter("conflicts", f.stats.Conflicts)
+	e.Counter("model_invocations", f.invocations.Value())
+	e.Histogram("prediction_wall_ns", &f.predNanos)
 }
 
 // DisableMacro pins the macro-state feature to Minimal for this fabric's
@@ -148,8 +182,7 @@ func (f *Fabric) fromHost(pkt *packet.Packet) {
 		f.topo.ClusterOf(pkt.Dst) == f.cluster
 
 	st := f.macroFeature()
-	drop, lat := f.egress.Predict(now, pkt.Src, pkt.Dst, pkt.FlowID,
-		pkt.Size(), pkt.IsAck(), st)
+	drop, lat := f.predict(f.egress, now, pkt, st)
 	f.cls.Observe(now, lat.Seconds(), drop)
 
 	if dstInside {
@@ -204,8 +237,7 @@ func (f *Fabric) fromCore(pkt *packet.Packet, _ int) {
 	}
 	f.stats.IngressPackets++
 	st := f.macroFeature()
-	drop, lat := f.ingress.Predict(now, pkt.Src, pkt.Dst, pkt.FlowID,
-		pkt.Size(), pkt.IsAck(), st)
+	drop, lat := f.predict(f.ingress, now, pkt, st)
 	f.cls.Observe(now, lat.Seconds(), drop)
 	if drop {
 		f.stats.IngressDrops++

@@ -2,9 +2,11 @@ package approx
 
 import (
 	"fmt"
+	"time"
 
 	"approxsim/internal/des"
 	"approxsim/internal/macro"
+	"approxsim/internal/metrics"
 	"approxsim/internal/micro"
 	"approxsim/internal/netsim"
 	"approxsim/internal/packet"
@@ -39,6 +41,33 @@ type BlackBox struct {
 	aggFree  []des.Time // conflict resolution per real-agg uplink
 
 	stats Stats
+
+	// Model-inference observability, mirroring Fabric.
+	invocations metrics.Counter
+	predNanos   metrics.Histogram
+}
+
+// predict times one micro-model invocation for either direction.
+func (b *BlackBox) predict(p micro.PacketPredictor, now des.Time, pkt *packet.Packet,
+	st macro.State) (drop bool, lat des.Time) {
+
+	t0 := time.Now()
+	drop, lat = p.Predict(now, pkt.Src, pkt.Dst, pkt.FlowID, pkt.Size(), pkt.IsAck(), st)
+	b.predNanos.Observe(uint64(time.Since(t0)))
+	b.invocations.Inc()
+	return drop, lat
+}
+
+// CollectMetrics implements metrics.Collector.
+func (b *BlackBox) CollectMetrics(e *metrics.Emitter) {
+	e.Counter("egress_packets", b.stats.EgressPackets)
+	e.Counter("ingress_packets", b.stats.IngressPackets)
+	e.Counter("intra_packets", b.stats.IntraPackets)
+	e.Counter("egress_drops", b.stats.EgressDrops)
+	e.Counter("ingress_drops", b.stats.IngressDrops)
+	e.Counter("conflicts", b.stats.Conflicts)
+	e.Counter("model_invocations", b.invocations.Value())
+	e.Histogram("prediction_wall_ns", &b.predNanos)
 }
 
 // SpliceWholeNetwork rewires topo so that everything beyond cluster real's
@@ -138,8 +167,7 @@ func (b *BlackBox) fromRealCluster(pkt *packet.Packet) {
 	}
 	b.stats.EgressPackets++
 	st := b.macroFeature()
-	drop, lat := b.outbound.Predict(now, pkt.Src, pkt.Dst, pkt.FlowID,
-		pkt.Size(), pkt.IsAck(), st)
+	drop, lat := b.predict(b.outbound, now, pkt, st)
 	b.cls.Observe(now, lat.Seconds(), drop)
 	if drop {
 		b.stats.EgressDrops++
@@ -171,8 +199,7 @@ func (b *BlackBox) fromRemoteHost(pkt *packet.Packet) {
 		return
 	}
 	st := b.macroFeature()
-	drop, lat := b.inbound.Predict(now, pkt.Src, pkt.Dst, pkt.FlowID,
-		pkt.Size(), pkt.IsAck(), st)
+	drop, lat := b.predict(b.inbound, now, pkt, st)
 	b.cls.Observe(now, lat.Seconds(), drop)
 
 	if !b.inRealCluster(pkt.Dst) {

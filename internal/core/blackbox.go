@@ -87,6 +87,9 @@ func RunBlackBox(cfg Config, models *Models) (*RunResult, error) {
 	if models.NoMacro {
 		bb.DisableMacro()
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Register("approx", bb)
+	}
 	rtt := attachClusterRTT(topo, stacks, cfg.ObservedCluster)
 
 	wcfg := workloadConfig(cfg, topo)

@@ -19,11 +19,13 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"approxsim/internal/approx"
 	"approxsim/internal/des"
 	"approxsim/internal/macro"
+	"approxsim/internal/metrics"
 	"approxsim/internal/micro"
 	"approxsim/internal/nn"
 	"approxsim/internal/packet"
@@ -65,6 +67,19 @@ type Config struct {
 	// ObservedCluster is the full-fidelity cluster whose hosts' RTTs are
 	// measured (and whose boundary is traced during training runs).
 	ObservedCluster int
+	// Metrics, when non-nil, has every component of the run registered into
+	// it (kernel under "des", devices under "netsim", transport under "tcp",
+	// approximated fabrics under "approx"); snapshot it after the run
+	// returns. The registry adds zero cost to the simulation hot path.
+	Metrics *metrics.Registry
+	// ProgressEvery, when positive, schedules a kernel event every that much
+	// virtual time that writes a one-line progress report to ProgressWriter.
+	// Running progress off the kernel keeps it race-free: the report fires
+	// on the simulation goroutine, never concurrently with it.
+	ProgressEvery des.Time
+	// ProgressWriter receives progress lines (required when ProgressEvery is
+	// set).
+	ProgressWriter io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -127,7 +142,8 @@ func (r *RunResult) SimSecondsPerSecond() float64 {
 	return r.SimTime.Seconds() / r.Wall.Seconds()
 }
 
-// buildNetwork constructs kernel, topology and per-host stacks.
+// buildNetwork constructs kernel, topology and per-host stacks, registering
+// everything with cfg.Metrics when set.
 func buildNetwork(cfg Config) (*des.Kernel, *topology.Topology, []*tcp.Stack, error) {
 	k := des.NewKernel()
 	topo, err := topology.Build(k, cfg.TopologyConfig())
@@ -142,7 +158,40 @@ func buildNetwork(cfg Config) (*des.Kernel, *topology.Topology, []*tcp.Stack, er
 	for i, h := range topo.Hosts {
 		stacks[i] = tcp.NewStack(h, tcpCfg)
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Register("des", k)
+		cfg.Metrics.Register("netsim", topo)
+		for _, s := range stacks {
+			cfg.Metrics.Register("tcp", s)
+		}
+	}
+	installProgress(cfg, k)
 	return k, topo, stacks, nil
+}
+
+// installProgress schedules the recurring progress report on the kernel.
+func installProgress(cfg Config, k *des.Kernel) {
+	if cfg.ProgressEvery <= 0 || cfg.ProgressWriter == nil {
+		return
+	}
+	end := cfg.Duration + cfg.Drain
+	start := time.Now()
+	var tick func()
+	tick = func() {
+		st := k.Stats()
+		wall := time.Since(start).Seconds()
+		rate := float64(0)
+		if wall > 0 {
+			rate = k.Now().Seconds() / wall
+		}
+		fmt.Fprintf(cfg.ProgressWriter,
+			"progress t=%v wall=%.3fs sim_per_wall=%.4g events=%d pending=%d\n",
+			k.Now(), wall, rate, st.Executed, k.Pending())
+		if k.Now() < end {
+			k.Schedule(cfg.ProgressEvery, tick)
+		}
+	}
+	k.Schedule(cfg.ProgressEvery, tick)
 }
 
 func workloadConfig(cfg Config, topo *topology.Topology) traffic.Config {
@@ -297,6 +346,9 @@ func RunHybrid(cfg Config, models *Models) (*RunResult, error) {
 		}
 		if models.NoMacro {
 			fab.DisableMacro()
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.Register("approx", fab)
 		}
 		fabrics = append(fabrics, fab)
 	}

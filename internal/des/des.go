@@ -17,6 +17,8 @@ package des
 import (
 	"fmt"
 	"math"
+
+	"approxsim/internal/metrics"
 )
 
 // Time is virtual simulation time in nanoseconds since simulation start.
@@ -133,6 +135,7 @@ type Kernel struct {
 	nexec  uint64 // events executed
 	nsched uint64 // events scheduled
 	ncanc  uint64 // events canceled
+	heapHW int    // heap depth high-water mark
 	run    bool
 	stop   bool
 }
@@ -166,6 +169,9 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	e := &Event{at: t, seq: k.seq, fn: fn}
 	k.heap.push(e)
 	k.nsched++
+	if len(k.heap) > k.heapHW {
+		k.heapHW = len(k.heap)
+	}
 	return e
 }
 
@@ -254,12 +260,28 @@ func (k *Kernel) NextEventTime() (Time, bool) {
 
 // Stats reports scheduler work counters since kernel creation.
 type Stats struct {
-	Executed  uint64 // events run
-	Scheduled uint64 // events ever scheduled
-	Canceled  uint64 // events canceled before firing
+	Executed      uint64 // events run
+	Scheduled     uint64 // events ever scheduled
+	Canceled      uint64 // events canceled before firing
+	HeapHighWater int    // deepest the event heap has ever been
 }
 
 // Stats returns a snapshot of the kernel's work counters.
 func (k *Kernel) Stats() Stats {
-	return Stats{Executed: k.nexec, Scheduled: k.nsched, Canceled: k.ncanc}
+	return Stats{
+		Executed: k.nexec, Scheduled: k.nsched, Canceled: k.ncanc,
+		HeapHighWater: k.heapHW,
+	}
+}
+
+// CollectMetrics implements metrics.Collector. Registering several kernels
+// (one per PDES LP) under one group sums the counters and takes the maximum
+// of the gauges.
+func (k *Kernel) CollectMetrics(e *metrics.Emitter) {
+	e.Counter("events_executed", k.nexec)
+	e.Counter("events_scheduled", k.nsched)
+	e.Counter("events_canceled", k.ncanc)
+	e.Gauge("heap_high_water", int64(k.heapHW))
+	e.Gauge("pending_events", int64(len(k.heap)))
+	e.Gauge("virtual_time_ns", int64(k.now))
 }

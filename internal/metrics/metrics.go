@@ -1,0 +1,441 @@
+// Package metrics is the simulator-wide observability layer: allocation-free
+// counters, gauges, and log2-bucketed histograms owned by the component that
+// updates them, plus a registry that aggregates everything into a snapshot on
+// demand.
+//
+// Design constraints, in order:
+//
+//   - Zero cost on the hot path. Instruments are plain struct fields the
+//     owning component mutates directly (Counter.Inc is one add). There is no
+//     lock, no atomic, and no map lookup per update; the des kernel executes
+//     tens of millions of events per second and must not notice it is being
+//     observed.
+//   - Ownership follows the simulator's concurrency model. Each kernel/LP/
+//     device updates only its own instruments from its own goroutine; the
+//     registry reads them in Snapshot, which callers invoke only when the
+//     owning goroutines are quiescent (end of run, between barrier windows,
+//     or from a kernel-scheduled progress event).
+//   - Deterministic output. Snapshots iterate groups in registration order
+//     and metrics in first-emission order, so two identical runs serialize to
+//     byte-identical JSON — diffable in tests and across commits.
+//
+// Components implement Collector; same-named metrics emitted by multiple
+// collectors under one group are merged (counters sum, gauges take the max,
+// histograms pool their buckets), which is how per-port, per-LP, and per-stack
+// instruments roll up into subsystem totals.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing event count. It must be updated only
+// by its owning goroutine.
+type Counter struct{ n uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Gauge is a last-value instrument that also tracks its high-water mark.
+// It must be updated only by its owning goroutine.
+type Gauge struct{ cur, hi int64 }
+
+// Set records the current value, updating the high-water mark.
+func (g *Gauge) Set(v int64) {
+	g.cur = v
+	if v > g.hi {
+		g.hi = v
+	}
+}
+
+// Value returns the last value set.
+func (g *Gauge) Value() int64 { return g.cur }
+
+// HighWater returns the largest value ever set.
+func (g *Gauge) HighWater() int64 { return g.hi }
+
+// histBuckets is the bucket count: bucket i holds samples v with
+// bits.Len64(v) == i, i.e. [2^(i-1), 2^i).
+const histBuckets = 65
+
+// Histogram is a log2-bucketed distribution of non-negative samples.
+// Observe is allocation-free and O(1); quantiles are estimated from bucket
+// boundaries (exact min and max are tracked separately). It must be updated
+// only by its owning goroutine.
+type Histogram struct {
+	count    uint64
+	sum      uint64
+	min, max uint64
+	buckets  [histBuckets]uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)]++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// merge pools other into h.
+func (h *Histogram) merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+}
+
+// Quantile estimates the q'th quantile (q in [0,1]) as the geometric midpoint
+// of the bucket containing it, clamped to the observed min/max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen <= rank {
+			continue
+		}
+		var est float64
+		if i == 0 {
+			est = 0
+		} else {
+			lo := math.Exp2(float64(i - 1))
+			est = lo * 1.5 // midpoint of [2^(i-1), 2^i)
+		}
+		est = math.Max(est, float64(h.min))
+		est = math.Min(est, float64(h.max))
+		return est
+	}
+	return float64(h.max)
+}
+
+// Summary reduces the histogram to the fields a snapshot serializes.
+func (h *Histogram) Summary() HistogramSummary {
+	s := HistogramSummary{Count: h.count, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = float64(h.sum) / float64(h.count)
+		s.P50 = h.Quantile(0.50)
+		s.P99 = h.Quantile(0.99)
+	}
+	return s
+}
+
+// HistogramSummary is the serialized form of a Histogram.
+type HistogramSummary struct {
+	Count uint64  `json:"count"`
+	Min   uint64  `json:"min"`
+	Max   uint64  `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// Collector is implemented by any component that exposes metrics. It is
+// called with the owning goroutines quiescent and must emit every metric it
+// owns, zero-valued or not, so snapshot schemas stay stable across runs.
+type Collector interface {
+	CollectMetrics(e *Emitter)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(*Emitter)
+
+// CollectMetrics implements Collector.
+func (f CollectorFunc) CollectMetrics(e *Emitter) { f(e) }
+
+// Registry holds named collectors grouped by subsystem prefix ("des",
+// "pdes", "netsim", ...). Registration order fixes snapshot order.
+type Registry struct {
+	mu      sync.Mutex
+	entries []regEntry
+}
+
+type regEntry struct {
+	group string
+	c     Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a collector under group. Many collectors may share a group;
+// their same-named metrics merge in the snapshot.
+func (r *Registry) Register(group string, c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = append(r.entries, regEntry{group: group, c: c})
+}
+
+// RegisterFunc is Register for a bare function.
+func (r *Registry) RegisterFunc(group string, f func(*Emitter)) {
+	r.Register(group, CollectorFunc(f))
+}
+
+// Groups returns the distinct group names in registration order.
+func (r *Registry) Groups() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	seen := map[string]bool{}
+	for _, e := range r.entries {
+		if !seen[e.group] {
+			seen[e.group] = true
+			out = append(out, e.group)
+		}
+	}
+	return out
+}
+
+// Snapshot collects every registered metric. The caller must ensure the
+// goroutines owning the instruments are quiescent (see package comment).
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	entries := make([]regEntry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+
+	s := &Snapshot{index: map[string]int{}}
+	for _, e := range entries {
+		em := &Emitter{snap: s, group: e.group}
+		e.c.CollectMetrics(em)
+	}
+	return s
+}
+
+// Kind discriminates snapshot values.
+type Kind int8
+
+// Snapshot value kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+	KindFloat
+)
+
+// Value is one collected metric.
+type Value struct {
+	Kind    Kind
+	Counter uint64
+	Gauge   int64
+	Hist    HistogramSummary
+	Float   float64
+}
+
+// Metric is one named value inside a snapshot group.
+type Metric struct {
+	Group string
+	Name  string
+	Value Value
+
+	// hist retains the pooled histogram so later same-named emissions can
+	// merge into it before re-summarizing.
+	hist *Histogram
+}
+
+// Snapshot is an ordered, merged view of every registered metric.
+type Snapshot struct {
+	metrics []Metric
+	index   map[string]int // "group.name" -> metrics index
+}
+
+// Emitter receives metrics from one collector during a snapshot.
+type Emitter struct {
+	snap  *Snapshot
+	group string
+}
+
+func (e *Emitter) upsert(name string, v Value, mergeFn func(*Value, Value)) {
+	key := e.group + "." + name
+	if i, ok := e.snap.index[key]; ok {
+		have := &e.snap.metrics[i].Value
+		if have.Kind != v.Kind {
+			panic(fmt.Sprintf("metrics: %s emitted as both kind %d and %d", key, have.Kind, v.Kind))
+		}
+		mergeFn(have, v)
+		return
+	}
+	e.snap.index[key] = len(e.snap.metrics)
+	e.snap.metrics = append(e.snap.metrics, Metric{Group: e.group, Name: name, Value: v})
+}
+
+// Counter emits a counter; same-named counters in the group sum.
+func (e *Emitter) Counter(name string, v uint64) {
+	e.upsert(name, Value{Kind: KindCounter, Counter: v},
+		func(have *Value, v Value) { have.Counter += v.Counter })
+}
+
+// Gauge emits a gauge; same-named gauges in the group keep the maximum
+// (the aggregation that makes sense for high-water marks and occupancies).
+func (e *Emitter) Gauge(name string, v int64) {
+	e.upsert(name, Value{Kind: KindGauge, Gauge: v},
+		func(have *Value, v Value) {
+			if v.Gauge > have.Gauge {
+				have.Gauge = v.Gauge
+			}
+		})
+}
+
+// Float emits a floating-point reading; same-named floats in the group sum.
+func (e *Emitter) Float(name string, v float64) {
+	e.upsert(name, Value{Kind: KindFloat, Float: v},
+		func(have *Value, v Value) { have.Float += v.Float })
+}
+
+// Histogram emits a histogram summary; same-named histograms in the group
+// pool (bucket-merged before summarizing, so quantiles reflect the union).
+func (e *Emitter) Histogram(name string, h *Histogram) {
+	key := e.group + "." + name
+	if i, ok := e.snap.index[key]; ok {
+		have := &e.snap.metrics[i]
+		merged := have.hist
+		if merged == nil {
+			panic(fmt.Sprintf("metrics: %s emitted as both histogram and scalar", key))
+		}
+		merged.merge(h)
+		have.Value.Hist = merged.Summary()
+		return
+	}
+	pooled := &Histogram{}
+	pooled.merge(h)
+	e.snap.index[key] = len(e.snap.metrics)
+	e.snap.metrics = append(e.snap.metrics, Metric{
+		Group: e.group, Name: name,
+		Value: Value{Kind: KindHistogram, Hist: pooled.Summary()},
+		hist:  pooled,
+	})
+}
+
+// Get returns the metric group.name, if present.
+func (s *Snapshot) Get(group, name string) (Value, bool) {
+	i, ok := s.index[group+"."+name]
+	if !ok {
+		return Value{}, false
+	}
+	return s.metrics[i].Value, true
+}
+
+// Counter returns the named counter's value (zero if absent).
+func (s *Snapshot) Counter(group, name string) uint64 {
+	v, _ := s.Get(group, name)
+	return v.Counter
+}
+
+// Gauge returns the named gauge's value (zero if absent).
+func (s *Snapshot) Gauge(group, name string) int64 {
+	v, _ := s.Get(group, name)
+	return v.Gauge
+}
+
+// Metrics returns every metric in deterministic snapshot order.
+func (s *Snapshot) Metrics() []Metric { return s.metrics }
+
+// MarshalJSON serializes the snapshot as one object per group, groups in
+// registration order and metrics in emission order — deterministically.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('{')
+	groupOrder := []string{}
+	byGroup := map[string][]Metric{}
+	for _, m := range s.metrics {
+		if _, ok := byGroup[m.Group]; !ok {
+			groupOrder = append(groupOrder, m.Group)
+		}
+		byGroup[m.Group] = append(byGroup[m.Group], m)
+	}
+	for gi, g := range groupOrder {
+		if gi > 0 {
+			b.WriteByte(',')
+		}
+		gname, _ := json.Marshal(g)
+		b.Write(gname)
+		b.WriteByte(':')
+		b.WriteByte('{')
+		for mi, m := range byGroup[g] {
+			if mi > 0 {
+				b.WriteByte(',')
+			}
+			mname, _ := json.Marshal(m.Name)
+			b.Write(mname)
+			b.WriteByte(':')
+			var payload []byte
+			var err error
+			switch m.Value.Kind {
+			case KindCounter:
+				payload, err = json.Marshal(m.Value.Counter)
+			case KindGauge:
+				payload, err = json.Marshal(m.Value.Gauge)
+			case KindFloat:
+				payload, err = json.Marshal(roundFinite(m.Value.Float))
+			case KindHistogram:
+				h := m.Value.Hist
+				h.Mean = roundFinite(h.Mean)
+				h.P50 = roundFinite(h.P50)
+				h.P99 = roundFinite(h.P99)
+				payload, err = json.Marshal(h)
+			}
+			if err != nil {
+				return nil, err
+			}
+			b.Write(payload)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// roundFinite makes floats JSON-safe and snapshot-diff-friendly.
+func roundFinite(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
+}
+
+// Names returns "group.name" for every metric, sorted — convenient for
+// asserting schema coverage in tests.
+func (s *Snapshot) Names() []string {
+	out := make([]string, 0, len(s.metrics))
+	for _, m := range s.metrics {
+		out = append(out, m.Group+"."+m.Name)
+	}
+	sort.Strings(out)
+	return out
+}

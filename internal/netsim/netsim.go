@@ -11,8 +11,10 @@ package netsim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"approxsim/internal/des"
+	"approxsim/internal/metrics"
 	"approxsim/internal/packet"
 )
 
@@ -43,9 +45,28 @@ type LinkConfig struct {
 }
 
 // SerializationDelay returns the time to clock size bytes onto the wire.
+//
+// The naive int64 expression size*8*1e9/bw overflows for large frames at low
+// bandwidths (size*8e9 exceeds 2^63 once size passes ~1.15 GB), silently
+// going negative and corrupting every downstream timestamp. Compute the
+// 128-bit product bits*1e9 explicitly and divide, saturating at MaxTime when
+// even the quotient cannot be represented.
 func (c LinkConfig) SerializationDelay(size int32) des.Time {
-	// bits * ns-per-second / bits-per-second, in integer arithmetic.
-	return des.Time(int64(size) * 8 * int64(des.Second) / c.BandwidthBps)
+	if size <= 0 {
+		return 0
+	}
+	b := uint64(size) * 8
+	hi, lo := bits.Mul64(b, uint64(des.Second))
+	bw := uint64(c.BandwidthBps)
+	if hi >= bw {
+		// Quotient >= 2^64: beyond any representable virtual time.
+		return des.MaxTime
+	}
+	q, _ := bits.Div64(hi, lo, bw)
+	if q > uint64(des.MaxTime) {
+		return des.MaxTime
+	}
+	return des.Time(q)
 }
 
 // PortStats counts per-port activity.
@@ -173,6 +194,18 @@ func (p *Port) transmit(pkt *packet.Packet) {
 	})
 }
 
+// CollectMetrics implements metrics.Collector. Registering every port of a
+// simulation under one group yields network-wide totals (counters sum) and
+// the worst queue across all ports (gauges keep the max).
+func (p *Port) CollectMetrics(e *metrics.Emitter) {
+	e.Counter("tx_packets", p.stats.TxPackets)
+	e.Counter("tx_bytes", p.stats.TxBytes)
+	e.Counter("drops", p.stats.Drops)
+	e.Counter("ecn_marks", p.stats.ECNMarks)
+	e.Gauge("queue_high_water_bytes", p.stats.MaxQueue)
+	e.Gauge("queued_bytes", p.queuedBytes)
+}
+
 // Router chooses the output port for a packet at a switch. Implementations
 // live in the topology package (up/down Clos routing with ECMP).
 type Router interface {
@@ -225,6 +258,15 @@ func (s *Switch) Port(i int) *Port { return s.ports[i] }
 
 // NumPorts returns how many ports the switch has.
 func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// CollectMetrics implements metrics.Collector: the switch's route drops plus
+// every attached port's counters.
+func (s *Switch) CollectMetrics(e *metrics.Emitter) {
+	e.Counter("route_drops", s.RouteDrops)
+	for _, p := range s.ports {
+		p.CollectMetrics(e)
+	}
+}
 
 // Receive implements Device: route the packet and enqueue it on the chosen
 // output port.
@@ -302,6 +344,15 @@ func (h *Host) Send(pkt *packet.Packet) {
 		pkt.TTL = 64
 	}
 	h.nic.Send(pkt)
+}
+
+// CollectMetrics implements metrics.Collector: delivered packets plus the
+// NIC's port counters.
+func (h *Host) CollectMetrics(e *metrics.Emitter) {
+	e.Counter("rx_packets", h.RxPackets)
+	if h.nic != nil {
+		h.nic.CollectMetrics(e)
+	}
 }
 
 // Receive implements Device: deliver the packet to the transport handler.

@@ -1,0 +1,80 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/metrics"
+	"approxsim/internal/packet"
+)
+
+// TestSerializationDelayOverflowBoundary pins the overflow fix: the naive
+// int64 expression size*8*1e9 wraps negative once size*8e9 exceeds 2^63,
+// which happens for sizes above ~1.15 GB. The delay must stay exact (and in
+// particular non-negative and monotone in size) all the way to MaxInt32.
+func TestSerializationDelayOverflowBoundary(t *testing.T) {
+	cases := []struct {
+		size int32
+		bw   int64
+		want des.Time
+	}{
+		{1500, 1e9, 12_000},                      // the everyday case, unchanged
+		{0, 1e9, 0},                              // empty frame
+		{1 << 30, 1e9, 8 * 1 << 30},              // 1 GiB at 1G: pre-overflow
+		{math.MaxInt32, 1e9, 17_179_869_176},     // 2 GiB at 1G: naive math overflows
+		{math.MaxInt32, 1e3, 17_179_869_176_000_000}, // low bandwidth: even further past 2^63
+		// 2 GiB at 1 bps: the true delay (1.7e19 ns) exceeds MaxInt64, so the
+		// computation saturates instead of wrapping.
+		{math.MaxInt32, 1, des.MaxTime},
+	}
+	for _, c := range cases {
+		cfg := LinkConfig{BandwidthBps: c.bw}
+		got := cfg.SerializationDelay(c.size)
+		if got != c.want {
+			t.Errorf("SerializationDelay(%d) @ %d bps = %d, want %d",
+				c.size, c.bw, got, c.want)
+		}
+		if got < 0 {
+			t.Errorf("SerializationDelay(%d) @ %d bps went negative: %d",
+				c.size, c.bw, got)
+		}
+	}
+}
+
+// TestSerializationDelayMonotone sweeps the int32 size range; any overflow
+// would break monotonicity in size or sign.
+func TestSerializationDelayMonotone(t *testing.T) {
+	cfg := LinkConfig{BandwidthBps: 1000} // worst case: low bandwidth
+	prev := des.Time(-1)
+	for size := int32(1); size > 0 && size <= math.MaxInt32/2; size *= 2 {
+		d := cfg.SerializationDelay(size)
+		if d <= prev {
+			t.Fatalf("delay not strictly increasing at size %d: %d <= %d", size, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestPortMetricsCollection(t *testing.T) {
+	k := des.NewKernel()
+	cfg := LinkConfig{BandwidthBps: gbps, QueueBytes: 3000}
+	a, _ := mkLink(t, k, cfg)
+	for i := 0; i < 5; i++ {
+		a.Send(&packet.Packet{Src: 0, Dst: 1, PayloadLen: 1000})
+	}
+	k.RunAll()
+
+	r := metrics.NewRegistry()
+	r.Register("netsim", a)
+	s := r.Snapshot()
+	if got := s.Counter("netsim", "tx_packets"); got != uint64(a.Stats().TxPackets) {
+		t.Errorf("tx_packets = %d, want %d", got, a.Stats().TxPackets)
+	}
+	if got := s.Counter("netsim", "drops"); got != uint64(a.Stats().Drops) {
+		t.Errorf("drops = %d, want %d", got, a.Stats().Drops)
+	}
+	if got := s.Gauge("netsim", "queue_high_water_bytes"); got != a.Stats().MaxQueue {
+		t.Errorf("queue_high_water_bytes = %d, want %d", got, a.Stats().MaxQueue)
+	}
+}

@@ -1,0 +1,207 @@
+package pdes
+
+import (
+	"testing"
+	"time"
+
+	"approxsim/internal/des"
+	"approxsim/internal/netsim"
+	"approxsim/internal/packet"
+)
+
+// twoHostSystemInbox is twoHostSystem with an explicit inbox capacity, for
+// exercising the bounded-inbox deadlock path.
+func twoHostSystemInbox(t *testing.T, inboxCap int) (*System, *netsim.Host, *netsim.Host) {
+	t.Helper()
+	s := NewSystemWithInbox(2, inboxCap)
+	a := netsim.NewHost(s.LP(0).Kernel(), 0, 0)
+	b := netsim.NewHost(s.LP(1).Kernel(), 1, 1)
+	cfg := netsim.LinkConfig{BandwidthBps: 1e9, PropDelay: 0, QueueBytes: 1 << 26}
+	na := a.AttachNIC(cfg)
+	nb := b.AttachNIC(cfg)
+	if err := s.Connect(s.LP(0), na, s.LP(1), nb, a, b, 10*des.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	return s, a, b
+}
+
+// runWithWatchdog fails the test if fn does not return within the deadline —
+// the signature of a cross-LP send deadlock.
+func runWithWatchdog(t *testing.T, deadline time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(deadline):
+		t.Fatal("PDES run deadlocked (watchdog expired)")
+	}
+}
+
+// TestTinyInboxNoDeadlock is the regression test for the bounded-inbox
+// deadlock: with capacity-1 inboxes and heavy bidirectional cross-LP
+// traffic, the old blocking sends in proxy.Receive/sendNulls wedged both
+// LPs permanently (each blocked sending into the other's full inbox).
+// The drain-while-sending loop in LP.send must make this complete.
+func TestTinyInboxNoDeadlock(t *testing.T) {
+	s, a, b := twoHostSystemInbox(t, 1)
+	gotA, gotB := 0, 0
+	a.Handler = func(*packet.Packet) { gotA++ }
+	b.Handler = func(*packet.Packet) { gotB++ }
+	const burst = 200
+	s.LP(0).Kernel().Schedule(0, func() {
+		for i := 0; i < burst; i++ {
+			a.Send(&packet.Packet{Src: 0, Dst: 1, PayloadLen: 934})
+		}
+	})
+	s.LP(1).Kernel().Schedule(0, func() {
+		for i := 0; i < burst; i++ {
+			b.Send(&packet.Packet{Src: 1, Dst: 0, PayloadLen: 934})
+		}
+	})
+	runWithWatchdog(t, 30*time.Second, func() { s.Run(10 * des.Millisecond) })
+	if gotA != burst || gotB != burst {
+		t.Errorf("delivered %d/%d packets, want %d each way", gotA, gotB, burst)
+	}
+	if v := s.Stats().Violations; v != 0 {
+		t.Errorf("%d causality violations under tiny inboxes", v)
+	}
+}
+
+// TestTinyInboxBarrierNoDeadlock exercises the same bounded-inbox hazard in
+// barrier mode, where all LPs send concurrently inside each window.
+func TestTinyInboxBarrierNoDeadlock(t *testing.T) {
+	s, a, b := twoHostSystemInbox(t, 1)
+	gotA, gotB := 0, 0
+	a.Handler = func(*packet.Packet) { gotA++ }
+	b.Handler = func(*packet.Packet) { gotB++ }
+	const burst = 200
+	s.LP(0).Kernel().Schedule(0, func() {
+		for i := 0; i < burst; i++ {
+			a.Send(&packet.Packet{Src: 0, Dst: 1, PayloadLen: 934})
+		}
+	})
+	s.LP(1).Kernel().Schedule(0, func() {
+		for i := 0; i < burst; i++ {
+			b.Send(&packet.Packet{Src: 1, Dst: 0, PayloadLen: 934})
+		}
+	})
+	runWithWatchdog(t, 30*time.Second, func() { s.RunBarrier(10 * des.Millisecond) })
+	if gotA != burst || gotB != burst {
+		t.Errorf("delivered %d/%d packets, want %d each way", gotA, gotB, burst)
+	}
+	if v := s.Stats().Violations; v != 0 {
+		t.Errorf("%d causality violations under tiny inboxes (barrier)", v)
+	}
+}
+
+// postHorizonScenario sends exactly one packet timed so its serialization
+// completes inside the run but its cross-LP arrival stamp lands beyond the
+// horizon: send at 90us, tx done at 98us, arrival 98us + 10us lookahead =
+// 108us > end = 100us.
+func postHorizonScenario(t *testing.T) (*System, *int) {
+	t.Helper()
+	s, a, b := twoHostSystem(t)
+	got := 0
+	b.Handler = func(*packet.Packet) { got++ }
+	s.LP(0).Kernel().Schedule(90*des.Microsecond, func() {
+		a.Send(&packet.Packet{Src: 0, Dst: 1, PayloadLen: 934})
+	})
+	return s, &got
+}
+
+// checkPostHorizonClean asserts the post-run kernel state is clean: the
+// beyond-horizon packet must be dropped and accounted, never left as a
+// phantom pending event that skews Pending() after the run.
+func checkPostHorizonClean(t *testing.T, s *System, got int) {
+	t.Helper()
+	if got != 0 {
+		t.Errorf("beyond-horizon packet was delivered %d times, want 0", got)
+	}
+	for i := 0; i < s.NumLPs(); i++ {
+		if n := s.LP(i).Kernel().Pending(); n != 0 {
+			t.Errorf("LP %d kernel has %d pending events after the run, want 0", i, n)
+		}
+	}
+	st := s.Stats()
+	if st.PostHorizonDrops == 0 {
+		t.Error("beyond-horizon packet was not accounted as a post-horizon drop")
+	}
+	if st.Violations != 0 {
+		t.Errorf("%d causality violations", st.Violations)
+	}
+}
+
+func TestRunDropsPostHorizonPackets(t *testing.T) {
+	s, got := postHorizonScenario(t)
+	s.Run(100 * des.Microsecond)
+	checkPostHorizonClean(t, s, *got)
+}
+
+func TestRunBarrierDropsPostHorizonPackets(t *testing.T) {
+	s, got := postHorizonScenario(t)
+	s.RunBarrier(100 * des.Microsecond)
+	checkPostHorizonClean(t, s, *got)
+}
+
+// TestBarrierDeliversAtExactHorizon pins the other half of the RunBarrier
+// drain fix: a delivery stamped exactly at `end` must execute (as it does in
+// the null-message engine), not linger in the heap. Send at 82us: tx done
+// 90us, arrival 90+10 = 100us = end.
+func TestBarrierDeliversAtExactHorizon(t *testing.T) {
+	s, a, b := twoHostSystem(t)
+	got := 0
+	b.Handler = func(*packet.Packet) { got++ }
+	s.LP(0).Kernel().Schedule(82*des.Microsecond, func() {
+		a.Send(&packet.Packet{Src: 0, Dst: 1, PayloadLen: 934})
+	})
+	s.RunBarrier(100 * des.Microsecond)
+	if got != 1 {
+		t.Errorf("at-horizon packet delivered %d times, want 1", got)
+	}
+	if n := s.LP(1).Kernel().Pending(); n != 0 {
+		t.Errorf("receiver kernel has %d pending events after the run, want 0", n)
+	}
+}
+
+// TestLeafSpineStress is the PDES stress test: one LP per rack with dense
+// ToR-spine cross-LP connectivity and heavy traffic, designed to run under
+// the race detector. Any data race, deadlock, or causality violation in the
+// synchronization engine should surface here.
+func TestLeafSpineStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for _, algo := range []SyncAlgo{NullMessages, Barrier} {
+		algo := algo
+		name := "null"
+		if algo == Barrier {
+			name = "barrier"
+		}
+		t.Run(name, func(t *testing.T) {
+			var res *ExperimentResult
+			runWithWatchdog(t, 120*time.Second, func() {
+				var err error
+				res, err = RunLeafSpineSync(8, 8, 0.6, 2*des.Millisecond, 7, algo)
+				if err != nil {
+					t.Error(err)
+				}
+			})
+			if t.Failed() {
+				return
+			}
+			if res.FlowsStarted == 0 || res.FlowsCompleted == 0 {
+				t.Fatalf("stress run moved no traffic: %+v", res)
+			}
+			if res.CrossPkts == 0 {
+				t.Error("stress run shipped no cross-LP packets")
+			}
+			if res.Violations != 0 {
+				t.Errorf("%d causality violations under stress", res.Violations)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"approxsim/internal/des"
+	"approxsim/internal/metrics"
 	"approxsim/internal/netsim"
 	"approxsim/internal/packet"
 	"approxsim/internal/tcp"
@@ -159,6 +160,28 @@ func (ls *LeafSpine) Schedule(specs []traffic.FlowSpec) {
 	}
 }
 
+// RegisterMetrics registers every component of the experiment with reg:
+// per-LP kernels under "des", the synchronization engine under "pdes",
+// switches and hosts under "netsim", and the TCP stacks under "tcp".
+func (ls *LeafSpine) RegisterMetrics(reg *metrics.Registry) {
+	for i := 0; i < ls.Sys.NumLPs(); i++ {
+		reg.Register("des", ls.Sys.LP(i).Kernel())
+	}
+	reg.Register("pdes", ls.Sys)
+	for _, sw := range ls.ToRs {
+		reg.Register("netsim", sw)
+	}
+	for _, sw := range ls.Spines {
+		reg.Register("netsim", sw)
+	}
+	for _, h := range ls.Hosts {
+		reg.Register("netsim", h)
+	}
+	for _, st := range ls.Stacks {
+		reg.Register("tcp", st)
+	}
+}
+
 // Results gathers every flow result across all stacks.
 func (ls *LeafSpine) Results() []tcp.FlowResult {
 	var out []tcp.FlowResult
@@ -178,6 +201,8 @@ type ExperimentResult struct {
 	Nulls          uint64
 	Barriers       uint64
 	CrossPkts      uint64
+	Violations     uint64 // causality violations: nonzero means a sync bug
+	EITStalls      uint64
 	FlowsStarted   int
 	FlowsCompleted int
 }
@@ -204,10 +229,22 @@ func RunLeafSpine(n, lps int, load float64, dur des.Time, seed uint64) (*Experim
 // RunLeafSpineSync is RunLeafSpine with an explicit synchronization
 // algorithm, for comparing the two conservative flavors.
 func RunLeafSpineSync(n, lps int, load float64, dur des.Time, seed uint64, algo SyncAlgo) (*ExperimentResult, error) {
+	return RunLeafSpineObserved(n, lps, load, dur, seed, algo, nil)
+}
+
+// RunLeafSpineObserved is RunLeafSpineSync with the experiment's components
+// registered in reg (ignored when nil) so callers can snapshot metrics after
+// the run.
+func RunLeafSpineObserved(n, lps int, load float64, dur des.Time, seed uint64,
+	algo SyncAlgo, reg *metrics.Registry) (*ExperimentResult, error) {
+
 	cfg := topology.DefaultLeafSpineConfig(n)
 	ls, err := BuildLeafSpine(cfg, lps)
 	if err != nil {
 		return nil, err
+	}
+	if reg != nil {
+		ls.RegisterMetrics(reg)
 	}
 	hosts := make([]packet.HostID, len(ls.Hosts))
 	for i := range hosts {
@@ -231,14 +268,17 @@ func RunLeafSpineSync(n, lps int, load float64, dur des.Time, seed uint64, algo 
 	}
 	wall := time.Since(start)
 
+	st := ls.Sys.Stats()
 	res := &ExperimentResult{
 		ToRs: n, LPs: lps,
 		SimSeconds:   dur.Seconds(),
 		WallSeconds:  wall.Seconds(),
-		Events:       ls.Sys.Stats().Events,
-		Nulls:        ls.Sys.Stats().Nulls,
-		Barriers:     ls.Sys.Stats().Barriers,
-		CrossPkts:    ls.Sys.Stats().CrossPkts,
+		Events:       st.Events,
+		Nulls:        st.Nulls,
+		Barriers:     st.Barriers,
+		CrossPkts:    st.CrossPkts,
+		Violations:   st.Violations,
+		EITStalls:    st.EITStalls,
 		FlowsStarted: len(specs),
 	}
 	if wall > 0 {

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"approxsim/internal/des"
+	"approxsim/internal/metrics"
 	"approxsim/internal/netsim"
 	"approxsim/internal/packet"
 )
@@ -59,11 +60,30 @@ type LP struct {
 	outs     []*outLink
 	end      des.Time
 
-	// Counters for the Fig. 1 analysis.
+	// Counters for the Fig. 1 analysis and the observability layer. Each is
+	// written only by the LP's own goroutine (or, for PostHorizonDrops, by
+	// its drainer after the LP goroutine has finished — still race-free).
 	Nulls      uint64 // null messages sent (CMB mode)
 	Barriers   uint64 // synchronization windows executed (barrier mode)
 	CrossPkts  uint64 // packets shipped to other LPs
 	MaxHorizon des.Time
+
+	// Violations counts causality violations: cross-LP packets that arrived
+	// with a timestamp in this LP's past and had to be clamped to Now. Under
+	// a correct conservative synchronization protocol this is always zero;
+	// any nonzero value is a synchronization bug, surfaced here instead of
+	// being silently absorbed.
+	Violations uint64
+	// EITStalls counts the times the LP exhausted its input promises and had
+	// to block waiting for a neighbor — the paper's §2.2 lockstep overhead.
+	EITStalls uint64
+	// PostHorizonDrops counts cross-LP packets stamped beyond the run
+	// horizon. They can never execute inside this run, so they are dropped
+	// at ingest (with this accounting) rather than left to linger in the
+	// kernel heap where they would skew Pending() and event counts.
+	PostHorizonDrops uint64
+	// InboxHighWater is the deepest the inbox has been observed at drain.
+	InboxHighWater int
 }
 
 // Kernel returns the LP's event kernel; devices owned by this LP must be
@@ -79,16 +99,26 @@ type System struct {
 }
 
 // NewSystem creates n empty logical processes.
-func NewSystem(n int) *System {
+func NewSystem(n int) *System { return NewSystemWithInbox(n, 1<<15) }
+
+// NewSystemWithInbox is NewSystem with an explicit per-LP inbox capacity.
+// Correctness does not depend on the capacity — cross-LP sends drain the
+// sender's own inbox while waiting (see LP.send) — but small inboxes
+// increase synchronization stalls; the deadlock regression tests use
+// capacity 1 to exercise the worst case.
+func NewSystemWithInbox(n, inboxCap int) *System {
 	if n < 1 {
 		panic("pdes: need at least one LP")
+	}
+	if inboxCap < 1 {
+		panic("pdes: inbox capacity must be at least 1")
 	}
 	s := &System{}
 	for i := 0; i < n; i++ {
 		s.lps = append(s.lps, &LP{
 			id:     i,
 			kernel: des.NewKernel(),
-			inbox:  make(chan message, 1<<15),
+			inbox:  make(chan message, inboxCap),
 		})
 	}
 	return s
@@ -122,7 +152,30 @@ func (p *proxy) Receive(pkt *packet.Packet, _ int) {
 		p.out.lastSent = at
 	}
 	p.lp.CrossPkts++
-	p.out.to.inbox <- message{from: p.lp.id, at: at, pkt: pkt, dst: p.dst, port: p.port}
+	p.lp.send(p.out.to, message{from: p.lp.id, at: at, pkt: pkt, dst: p.dst, port: p.port})
+}
+
+// send delivers m to dst's inbox without risking deadlock. A naive blocking
+// send can wedge the whole system: inboxes are bounded, and two LPs that
+// fill each other's inboxes while both are mid-kernel.Run block forever
+// (likewise any longer send cycle). While the destination inbox is full the
+// sender therefore keeps draining its own inbox, so every LP blocked in a
+// send cycle is simultaneously consuming — some inbox on the cycle always
+// makes progress, and the cycle cannot wedge.
+func (lp *LP) send(dst *LP, m message) {
+	select {
+	case dst.inbox <- m: // fast path: room available
+		return
+	default:
+	}
+	for {
+		select {
+		case dst.inbox <- m:
+			return
+		case in := <-lp.inbox:
+			lp.ingest(in)
+		}
+	}
 }
 
 // Connect wires a duplex link between port a (on LP la, owned by aOwner)
@@ -200,13 +253,20 @@ func (s *System) Run(end des.Time) {
 			defer wg.Done()
 			lp.run()
 			// Keep the inbox draining so late senders never block, until
-			// the coordinator announces global completion.
+			// the coordinator announces global completion. Anything that
+			// arrives now is beyond this LP's horizon (its inputs promised
+			// nothing earlier); packets among it are accounted as
+			// post-horizon drops. Only this drainer touches the counter
+			// after lp.run returned, so the access is race-free.
 			drainers.Add(1)
 			go func() {
 				defer drainers.Done()
 				for {
 					select {
-					case <-lp.inbox:
+					case m := <-lp.inbox:
+						if m.pkt != nil {
+							lp.PostHorizonDrops++
+						}
 					case <-stop:
 						return
 					}
@@ -250,28 +310,49 @@ func (lp *LP) run() {
 	}
 }
 
+// ingest applies one inbox message: it advances the sender's promise and,
+// for packet messages, schedules the delivery event.
+//
+// A packet stamped before local Now is a causality violation — impossible
+// under correct conservative promises. It is counted (never silently
+// clamped) so synchronization bugs surface in metrics and tests, and then
+// delivered at Now as the least-bad recovery. A packet stamped beyond the
+// run horizon can never execute in this run; scheduling it would leave a
+// phantom event lingering in the kernel heap (skewing Pending() and event
+// accounting), so it is dropped and counted instead.
+func (lp *LP) ingest(m message) {
+	if m.at > lp.lastRecv[m.from] {
+		lp.lastRecv[m.from] = m.at
+	}
+	if m.pkt == nil {
+		return
+	}
+	at := m.at
+	if now := lp.kernel.Now(); at < now {
+		lp.Violations++
+		at = now
+	}
+	if at > lp.end {
+		lp.PostHorizonDrops++
+		return
+	}
+	pkt, dst, port := m.pkt, m.dst, m.port
+	lp.kernel.At(at, func() { dst.Receive(pkt, port) })
+}
+
 // drain ingests inbox messages; when block is set it waits for at least one.
 func (lp *LP) drain(block bool) {
-	ingest := func(m message) {
-		if m.at > lp.lastRecv[m.from] {
-			lp.lastRecv[m.from] = m.at
-		}
-		if m.pkt != nil {
-			at := m.at
-			if now := lp.kernel.Now(); at < now {
-				at = now // cannot happen under correct promises; be safe
-			}
-			pkt, dst, port := m.pkt, m.dst, m.port
-			lp.kernel.At(at, func() { dst.Receive(pkt, port) })
-		}
+	if n := len(lp.inbox); n > lp.InboxHighWater {
+		lp.InboxHighWater = n
 	}
 	if block {
-		ingest(<-lp.inbox)
+		lp.EITStalls++
+		lp.ingest(<-lp.inbox)
 	}
 	for {
 		select {
 		case m := <-lp.inbox:
-			ingest(m)
+			lp.ingest(m)
 		default:
 			return
 		}
@@ -292,7 +373,7 @@ func (lp *LP) sendNulls(horizon des.Time) {
 		}
 		o.lastSent = promise
 		lp.Nulls++
-		o.to.inbox <- message{from: lp.id, at: promise}
+		lp.send(o.to, message{from: lp.id, at: promise})
 	}
 }
 
@@ -302,6 +383,14 @@ type Stats struct {
 	Nulls     uint64
 	Barriers  uint64
 	CrossPkts uint64
+	// Violations is the total causality-violation count — always zero under
+	// a correct conservative protocol; tests fail when it is not.
+	Violations uint64
+	// EITStalls counts blocking waits for neighbor promises.
+	EITStalls uint64
+	// PostHorizonDrops counts cross-LP packets stamped beyond the horizon
+	// and dropped at ingest.
+	PostHorizonDrops uint64
 }
 
 // Stats sums counters across LPs.
@@ -312,8 +401,27 @@ func (s *System) Stats() Stats {
 		out.Nulls += lp.Nulls
 		out.Barriers += lp.Barriers
 		out.CrossPkts += lp.CrossPkts
+		out.Violations += lp.Violations
+		out.EITStalls += lp.EITStalls
+		out.PostHorizonDrops += lp.PostHorizonDrops
 	}
 	return out
+}
+
+// CollectMetrics implements metrics.Collector: counters sum across LPs,
+// gauges report the worst LP.
+func (s *System) CollectMetrics(e *metrics.Emitter) {
+	e.Gauge("lps", int64(len(s.lps)))
+	for _, lp := range s.lps {
+		e.Counter("null_messages", lp.Nulls)
+		e.Counter("barriers", lp.Barriers)
+		e.Counter("cross_lp_packets", lp.CrossPkts)
+		e.Counter("causality_violations", lp.Violations)
+		e.Counter("eit_stalls", lp.EITStalls)
+		e.Counter("post_horizon_drops", lp.PostHorizonDrops)
+		e.Gauge("inbox_high_water", int64(lp.InboxHighWater))
+		e.Gauge("max_horizon_ns", int64(lp.MaxHorizon))
+	}
 }
 
 // RunBarrier executes all LPs to the horizon using time-stepped barrier
@@ -351,25 +459,51 @@ func (s *System) RunBarrier(end des.Time) {
 	if delta < 1 {
 		delta = 1
 	}
-	var wg sync.WaitGroup
 	for t := des.Time(0); t < end; t += delta {
 		horizon := t + delta
 		if horizon > end {
 			horizon = end
 		}
+		// Two-phase window: every LP computes, then keeps draining its
+		// bounded inbox until ALL LPs have finished computing. Without the
+		// drain phase an LP that finishes early stops consuming, and a
+		// neighbor still mid-window can block forever sending into its full
+		// inbox. Ingesting here is safe: window messages carry timestamps
+		// >= horizon, so they only schedule future events. Once every LP has
+		// passed compute.Done no send is in flight, so stopping is safe.
+		var wg, compute sync.WaitGroup
+		stop := make(chan struct{})
 		for _, lp := range s.lps {
 			wg.Add(1)
+			compute.Add(1)
 			go func(lp *LP) {
 				defer wg.Done()
 				lp.drain(false)
 				lp.kernel.Run(horizon)
 				lp.Barriers++
+				compute.Done()
+				for {
+					select {
+					case m := <-lp.inbox:
+						lp.ingest(m)
+					case <-stop:
+						return
+					}
+				}
 			}(lp)
 		}
+		compute.Wait()
+		close(stop)
 		wg.Wait()
 	}
-	// Final drain so late messages (timestamps beyond end) don't linger.
+	// Final drain: messages sent during the last window carry timestamps at
+	// or beyond the window boundary. Ingest them — packets stamped beyond
+	// `end` are dropped and counted (they could never execute in this run;
+	// scheduling them would leave phantom events in the kernel heap) — then
+	// run each kernel once more so deliveries stamped exactly at `end`
+	// execute instead of lingering, matching the null-message engine.
 	for _, lp := range s.lps {
 		lp.drain(false)
+		lp.kernel.Run(end)
 	}
 }

@@ -152,6 +152,9 @@ func runExperiment(t *testing.T, n, lps int) *ExperimentResult {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if res.Violations != 0 {
+		t.Fatalf("%d causality violations (synchronization bug)", res.Violations)
+	}
 	return res
 }
 

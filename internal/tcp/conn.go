@@ -154,6 +154,7 @@ func (c *conn) onRTO() {
 		return
 	}
 	c.timeouts++
+	c.stack.timeoutTotal.Inc()
 	mss := float64(c.stack.cfg.MSS)
 	if !c.established {
 		// Lost SYN (or lost SYN|ACK): retransmit the SYN with backoff.
@@ -181,7 +182,7 @@ func (c *conn) onRTO() {
 	c.inRecovery = false
 	c.sndNxt = c.sndUna
 	c.est.backoff()
-	c.retrans++
+	c.countRetrans()
 	c.transmitWindow()
 	c.armRTO()
 }
@@ -286,7 +287,7 @@ func (c *conn) processAck(p *packet.Packet) {
 				// Partial acknowledgment: the next segment after ack was
 				// also lost. Retransmit it, deflate by the amount acked,
 				// and stay in recovery (RFC 6582 §3.2 step 5).
-				c.retrans++
+				c.countRetrans()
 				c.sendSegment(c.sndUna, c.segmentAt(c.sndUna))
 				c.cwnd -= float64(newly)
 				if float64(newly) >= mss {
@@ -355,7 +356,7 @@ func (c *conn) enterFastRecovery() {
 	c.recover = c.sndNxt
 	c.inRecovery = true
 	c.cwnd = c.ssthresh + 3*mss
-	c.retrans++
+	c.countRetrans()
 	c.sendSegment(c.sndUna, c.segmentAt(c.sndUna))
 	c.armRTO()
 }
@@ -380,13 +381,26 @@ func (c *conn) halveForECN() {
 }
 
 func (c *conn) sampleHook(rtt des.Time) {
+	if rtt >= 0 {
+		c.stack.rttNanos.Observe(uint64(rtt))
+		c.stack.cwndBytes.Observe(uint64(c.cwnd))
+	}
 	if c.stack.OnRTTSample != nil && rtt >= 0 {
 		c.stack.OnRTTSample(c.flow, rtt)
 	}
 }
 
+// countRetrans bumps both the per-flow and the stack-wide retransmission
+// counters; every retransmission site must go through it so the metrics
+// registry sees live totals.
+func (c *conn) countRetrans() {
+	c.retrans++
+	c.stack.retransTotal.Inc()
+}
+
 func (c *conn) complete() {
 	c.done = true
+	c.stack.flowsCompleted.Inc()
 	c.end = c.stack.kernel.Now()
 	res := c.result()
 	if c.onDone != nil {

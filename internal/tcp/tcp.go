@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"approxsim/internal/des"
+	"approxsim/internal/metrics"
 	"approxsim/internal/netsim"
 	"approxsim/internal/packet"
 )
@@ -118,6 +119,27 @@ type Stack struct {
 
 	// OnFlowDone, if non-nil, observes each completed flow.
 	OnFlowDone func(FlowResult)
+
+	// Live aggregate instruments, updated by connections as they run (the
+	// per-flow counters in FlowResult only become visible at flow end).
+	flowsStarted   metrics.Counter
+	flowsCompleted metrics.Counter
+	retransTotal   metrics.Counter
+	timeoutTotal   metrics.Counter
+	cwndBytes      metrics.Histogram // sender cwnd sampled at each RTT measurement
+	rttNanos       metrics.Histogram // RTT samples in nanoseconds
+}
+
+// CollectMetrics implements metrics.Collector. Register every host's stack
+// under one group for network-wide transport totals.
+func (s *Stack) CollectMetrics(e *metrics.Emitter) {
+	e.Counter("flows_started", s.flowsStarted.Value())
+	e.Counter("flows_completed", s.flowsCompleted.Value())
+	e.Counter("retransmissions", s.retransTotal.Value())
+	e.Counter("timeouts", s.timeoutTotal.Value())
+	e.Gauge("open_connections", int64(len(s.conns)))
+	e.Histogram("cwnd_bytes", &s.cwndBytes)
+	e.Histogram("rtt_ns", &s.rttNanos)
 }
 
 // NewStack installs a TCP stack on host, replacing its packet handler.
@@ -151,6 +173,7 @@ func (s *Stack) StartFlow(dst packet.HostID, size int64, flowID uint64, onDone f
 	if _, exists := s.conns[flowID]; exists {
 		panic(fmt.Sprintf("tcp: duplicate flow id %d", flowID))
 	}
+	s.flowsStarted.Inc()
 	c := newSenderConn(s, dst, size, flowID, onDone)
 	s.conns[flowID] = c
 	c.sendSYN()

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"approxsim/internal/des"
+	"approxsim/internal/metrics"
 	"approxsim/internal/netsim"
 	"approxsim/internal/packet"
 )
@@ -165,6 +166,22 @@ type Topology struct {
 	Cores []*netsim.Switch
 
 	hostBase, torBase, aggBase, coreBase packet.NodeID
+}
+
+// CollectMetrics implements metrics.Collector: it aggregates every switch
+// and host in the topology. Register the whole topology under one group
+// ("netsim") for network-wide totals; switches orphaned by approximation
+// splicing still report (their counters simply stop moving), which keeps the
+// snapshot schema identical between full and hybrid runs.
+func (t *Topology) CollectMetrics(e *metrics.Emitter) {
+	for _, tier := range [][]*netsim.Switch{t.ToRs, t.Aggs, t.Cores} {
+		for _, sw := range tier {
+			sw.CollectMetrics(e)
+		}
+	}
+	for _, h := range t.Hosts {
+		h.CollectMetrics(e)
+	}
 }
 
 // Build constructs and wires every device of the configured topology on
