@@ -8,6 +8,11 @@
 //	approxsim -mode hybrid -clusters 8 -models models.bin
 //	approxsim -mode fluid -clusters 4
 //	approxsim -mode pdes -racks 8 -lps 4
+//	approxsim -mode pdes -racks 8 -lps 4 -sync timewarp
+//
+// PDES mode synchronizes its logical processes with -sync: nullmsg
+// (conservative null messages, the default), barrier (global barriers), or
+// timewarp (optimistic with rollback).
 //
 // Hybrid mode loads models produced by the trainmodel command; if -models
 // is omitted it trains a small model in-process first (convenient for
@@ -53,7 +58,7 @@ func main() {
 		workload   = flag.String("workload", "websearch", "flow-size distribution: websearch | datamining")
 		racks      = flag.Int("racks", 4, "leaf-spine racks (pdes mode)")
 		lps        = flag.Int("lps", 2, "logical processes (pdes mode; 1 = sequential)")
-		sync       = flag.String("sync", "null", "pdes synchronization: null | barrier")
+		sync       = flag.String("sync", "nullmsg", "pdes synchronization: nullmsg | barrier | timewarp")
 		metricsOut = flag.Bool("metrics", false, "dump a JSON metrics snapshot to stdout at end of run")
 		progressMS = flag.Int("progress", 0, "progress line to stderr every N virtual ms (0 = off)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -104,7 +109,7 @@ func startPprof(addr string) {
 // its headline counters as zeros so the JSON schema is stable across modes.
 var snapshotGroups = map[string][]string{
 	"des":    {"events_executed", "events_scheduled", "events_canceled"},
-	"pdes":   {"null_messages", "barriers", "cross_lp_packets", "causality_violations"},
+	"pdes":   {"null_messages", "barriers", "cross_lp_packets", "causality_violations", "rollbacks", "anti_messages", "gvt_advances"},
 	"netsim": {"tx_packets", "drops", "ecn_marks"},
 	"tcp":    {"flows_started", "flows_completed", "retransmissions", "timeouts"},
 	"approx": {"egress_packets", "ingress_packets", "model_invocations"},
@@ -237,23 +242,22 @@ func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, m
 // runPDES runs the leaf-spine PDES experiment (Fig. 1 substrate) on the
 // requested number of logical processes.
 func runPDES(racks, lps int, load float64, dur des.Time, seed uint64, sync string, reg *metrics.Registry) error {
-	var algo pdes.SyncAlgo
-	switch sync {
-	case "null":
-		algo = pdes.NullMessages
-	case "barrier":
-		algo = pdes.Barrier
-	default:
-		return fmt.Errorf("unknown sync %q (want null or barrier)", sync)
+	algo, err := pdes.ParseSyncAlgo(sync)
+	if err != nil {
+		return err
 	}
 	res, err := pdes.RunLeafSpineObserved(racks, lps, load, dur, seed, algo, reg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mode=pdes tors=%d lps=%d sim_time=%v wall=%.4fs sim_per_wall=%.4g events=%d\n",
-		res.ToRs, res.LPs, dur, res.WallSeconds, res.SimPerWall, res.Events)
+	fmt.Printf("mode=pdes sync=%v tors=%d lps=%d sim_time=%v wall=%.4fs sim_per_wall=%.4g events=%d\n",
+		algo, res.ToRs, res.LPs, dur, res.WallSeconds, res.SimPerWall, res.Events)
 	fmt.Printf("nulls=%d barriers=%d cross_lp_packets=%d violations=%d eit_stalls=%d\n",
 		res.Nulls, res.Barriers, res.CrossPkts, res.Violations, res.EITStalls)
+	if algo == pdes.TimeWarp {
+		fmt.Printf("rollbacks=%d anti_messages=%d gvt_advances=%d\n",
+			res.Rollbacks, res.AntiMessages, res.GVTAdvances)
+	}
 	fmt.Printf("flows=%d completed=%d\n", res.FlowsStarted, res.FlowsCompleted)
 	if res.Violations != 0 {
 		return fmt.Errorf("pdes: %d causality violations (synchronization bug)", res.Violations)

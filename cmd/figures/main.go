@@ -28,6 +28,7 @@ import (
 	"approxsim/internal/des"
 	"approxsim/internal/flowsim"
 	"approxsim/internal/macro"
+	"approxsim/internal/metrics"
 	"approxsim/internal/nn"
 	"approxsim/internal/packet"
 	"approxsim/internal/pdes"
@@ -45,7 +46,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		paper   = flag.Bool("paper-scale", false, "train the paper's 2x128 LSTM (slow)")
 		batches = flag.Int("batches", 400, "training batches for figs 4/5")
-		sync    = flag.String("sync", "null", "PDES synchronization for fig 1: null | barrier")
+		sync    = flag.String("sync", "nullmsg", "PDES synchronization for fig 1: nullmsg | barrier | timewarp")
 	)
 	flag.Parse()
 	trainBatches = *batches
@@ -79,15 +80,18 @@ func main() {
 }
 
 // fig1 reproduces Figure 1: simulated seconds per wall-clock second on
-// leaf-spine fabrics of growing size, single-threaded vs conservative PDES
-// with 2, 4, and 8 LPs (the paper's "1, 2, 4 machines" axis).
+// leaf-spine fabrics of growing size, single-threaded vs PDES with 2, 4, and
+// 8 LPs (the paper's "1, 2, 4 machines" axis). Synchronization counters come
+// from the shared metrics registry: every kernel, LP, switch, and stack in
+// the experiment reports through it, so the columns here are the same
+// aggregates a -metrics snapshot of the approxsim command would show.
 func fig1(durMS int, load float64, seed uint64, quick bool, sync string) error {
 	if durMS == 0 {
 		durMS = 2
 	}
-	algo := pdes.NullMessages
-	if sync == "barrier" {
-		algo = pdes.Barrier
+	algo, err := pdes.ParseSyncAlgo(sync)
+	if err != nil {
+		return err
 	}
 	sizes := []int{4, 8, 16, 32, 64}
 	lpsSet := []int{1, 2, 4, 8}
@@ -95,8 +99,8 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync string) error {
 		sizes = []int{4, 8}
 		lpsSet = []int{1, 2}
 	}
-	fmt.Println("# Figure 1: leaf-spine scaling, sim-seconds per wall-second")
-	fmt.Println("tors\tlps\tsim_per_wall\tevents\tnulls\tcross_pkts\tflows")
+	fmt.Printf("# Figure 1: leaf-spine scaling, sim-seconds per wall-second (sync=%v)\n", algo)
+	fmt.Println("tors\tlps\tsim_per_wall\tevents\tsync_msgs\tcross_pkts\trollbacks\tflows")
 	curves := map[int]*textplot.Series{}
 	var order []int
 	for _, n := range sizes {
@@ -104,12 +108,17 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync string) error {
 			if lps > n {
 				continue
 			}
-			res, err := pdes.RunLeafSpineSync(n, lps, load, des.Time(durMS)*des.Millisecond, seed, algo)
+			reg := metrics.NewRegistry()
+			res, err := pdes.RunLeafSpineObserved(n, lps, load, des.Time(durMS)*des.Millisecond, seed, algo, reg)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%d\t%d\t%.6g\t%d\t%d\t%d\t%d\n",
-				n, lps, res.SimPerWall, res.Events, res.Nulls, res.CrossPkts, res.FlowsCompleted)
+			snap := reg.Snapshot()
+			syncMsgs := snap.Counter("pdes", "null_messages") + snap.Counter("pdes", "barriers")
+			fmt.Printf("%d\t%d\t%.6g\t%d\t%d\t%d\t%d\t%d\n",
+				n, lps, res.SimPerWall, snap.Counter("des", "events_executed"),
+				syncMsgs, snap.Counter("pdes", "cross_lp_packets"),
+				snap.Counter("pdes", "rollbacks"), res.FlowsCompleted)
 			c, ok := curves[lps]
 			if !ok {
 				c = &textplot.Series{Name: fmt.Sprintf("%d LP(s)", lps)}

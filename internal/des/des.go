@@ -62,6 +62,12 @@ type Event struct {
 	seq      uint64
 	fn       func()
 	canceled bool
+
+	// ctx is an optional caller-supplied value attached by AtCtx. The kernel
+	// never interprets it; Snapshot/Restore pass it to the caller's state
+	// callbacks so mutable objects captured by the closure (in practice:
+	// in-flight packets) can be checkpointed alongside the event.
+	ctx any
 }
 
 // Time reports when the event will fire (or would have fired, if canceled).
@@ -69,6 +75,13 @@ func (e *Event) Time() Time { return e.at }
 
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
+
+// Live reports whether the event is still pending: neither fired nor
+// canceled.
+func (e *Event) Live() bool { return e.fn != nil }
+
+// Ctx returns the context value attached by AtCtx (nil otherwise).
+func (e *Event) Ctx() any { return e.ctx }
 
 // eventHeap is a binary min-heap ordered by (time, seq). seq is a strictly
 // increasing schedule counter, so two events at the same virtual time fire in
@@ -159,6 +172,13 @@ func (k *Kernel) Schedule(delay Time, fn func()) *Event {
 
 // At runs fn at absolute virtual time t, which must not be before Now.
 func (k *Kernel) At(t Time, fn func()) *Event {
+	return k.AtCtx(t, nil, fn)
+}
+
+// AtCtx is At with a context value attached to the event. Snapshot/Restore
+// hand ctx to the caller's state callbacks, which is how the optimistic PDES
+// engine checkpoints the contents of packets captured by pending closures.
+func (k *Kernel) AtCtx(t Time, ctx any, fn func()) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("des: schedule at %v before now %v", t, k.now))
 	}
@@ -166,13 +186,21 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 		panic("des: nil event function")
 	}
 	k.seq++
-	e := &Event{at: t, seq: k.seq, fn: fn}
+	e := &Event{at: t, seq: k.seq, fn: fn, ctx: ctx}
 	k.heap.push(e)
 	k.nsched++
 	if len(k.heap) > k.heapHW {
 		k.heapHW = len(k.heap)
 	}
 	return e
+}
+
+// ScheduleCtx is Schedule with a context value attached (see AtCtx).
+func (k *Kernel) ScheduleCtx(delay Time, ctx any, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %d", delay))
+	}
+	return k.AtCtx(k.now+delay, ctx, fn)
 }
 
 // Cancel marks a pending event dead. Canceling an already-fired or

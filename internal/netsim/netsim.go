@@ -171,7 +171,10 @@ func (p *Port) transmit(pkt *packet.Packet) {
 	ser := p.cfg.SerializationDelay(pkt.Size())
 	arrival := ser + p.cfg.PropDelay
 	peer, peerPort := p.peer, p.peerPort
-	p.kernel.Schedule(arrival, func() {
+	// The packet rides as the event context so kernel snapshots (optimistic
+	// PDES rollback) can checkpoint the contents of packets in flight on the
+	// wire — switches mutate TTL/hops/ECN in place on delivery.
+	p.kernel.ScheduleCtx(arrival, pkt, func() {
 		peer.Receive(pkt, peerPort)
 	})
 	p.kernel.Schedule(ser, func() {

@@ -1,0 +1,102 @@
+package netsim
+
+import "approxsim/internal/packet"
+
+// Device state capture for optimistic PDES rollback.
+//
+// Ports, switches, and hosts implement the pdes StateSaver contract
+// (SaveState/RestoreState) structurally, without importing the pdes package.
+// SaveState returns a self-contained value; RestoreState writes it back into
+// the live object IN PLACE, so every pointer other components hold (the
+// switch owning a port, the closure capturing a host) stays valid. A saved
+// state may be restored more than once — cascading rollbacks reuse
+// checkpoints — so RestoreState must never hand out mutable internals of the
+// saved value itself.
+
+// portState is a checkpoint of one Port.
+type portState struct {
+	// queue holds the queued packets BY VALUE. Queued packets are never
+	// simultaneously captured by pending event closures (a packet is either
+	// waiting in a queue or in flight on the wire, not both), so restoring
+	// fresh copies cannot break aliasing with the event heap.
+	queue       []packet.Packet
+	queuedBytes int64
+	busy        bool
+	stats       PortStats
+}
+
+// SaveState implements the pdes StateSaver contract for a port.
+func (p *Port) SaveState() any {
+	st := portState{queuedBytes: p.queuedBytes, busy: p.busy, stats: p.stats}
+	if len(p.queue) > 0 {
+		st.queue = make([]packet.Packet, len(p.queue))
+		for i, pkt := range p.queue {
+			st.queue[i] = *pkt
+		}
+	}
+	return st
+}
+
+// RestoreState implements the pdes StateSaver contract for a port.
+func (p *Port) RestoreState(v any) {
+	st := v.(portState)
+	p.queuedBytes, p.busy, p.stats = st.queuedBytes, st.busy, st.stats
+	p.queue = nil
+	if len(st.queue) > 0 {
+		p.queue = make([]*packet.Packet, len(st.queue))
+		for i := range st.queue {
+			q := st.queue[i] // copy; the checkpoint stays pristine
+			p.queue[i] = &q
+		}
+	}
+}
+
+// switchState is a checkpoint of a Switch and all its ports.
+type switchState struct {
+	routeDrops uint64
+	ports      []any
+}
+
+// SaveState implements the pdes StateSaver contract for a switch.
+func (s *Switch) SaveState() any {
+	st := switchState{routeDrops: s.RouteDrops, ports: make([]any, len(s.ports))}
+	for i, p := range s.ports {
+		st.ports[i] = p.SaveState()
+	}
+	return st
+}
+
+// RestoreState implements the pdes StateSaver contract for a switch.
+func (s *Switch) RestoreState(v any) {
+	st := v.(switchState)
+	s.RouteDrops = st.routeDrops
+	for i, p := range s.ports {
+		if i < len(st.ports) {
+			p.RestoreState(st.ports[i])
+		}
+	}
+}
+
+// hostState is a checkpoint of a Host and its NIC.
+type hostState struct {
+	rxPackets uint64
+	nic       any
+}
+
+// SaveState implements the pdes StateSaver contract for a host.
+func (h *Host) SaveState() any {
+	st := hostState{rxPackets: h.RxPackets}
+	if h.nic != nil {
+		st.nic = h.nic.SaveState()
+	}
+	return st
+}
+
+// RestoreState implements the pdes StateSaver contract for a host.
+func (h *Host) RestoreState(v any) {
+	st := v.(hostState)
+	h.RxPackets = st.rxPackets
+	if h.nic != nil && st.nic != nil {
+		h.nic.RestoreState(st.nic)
+	}
+}

@@ -33,7 +33,10 @@ type LeafSpine struct {
 
 // BuildLeafSpine constructs an n-rack leaf-spine on lps logical processes.
 // cfg must be a LeafSpine topology config (use topology.DefaultLeafSpineConfig).
-func BuildLeafSpine(cfg topology.Config, lps int) (*LeafSpine, error) {
+// Options are passed through to NewSystem; every device and stack is
+// registered as a rollback saver on its owning LP, so the topology is ready
+// for any synchronization algorithm including Time Warp.
+func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, error) {
 	if cfg.Kind != topology.LeafSpine {
 		return nil, fmt.Errorf("pdes: BuildLeafSpine needs a LeafSpine config")
 	}
@@ -44,7 +47,7 @@ func BuildLeafSpine(cfg topology.Config, lps int) (*LeafSpine, error) {
 		return nil, fmt.Errorf("pdes: lps = %d, need 1..%d (one rack per LP minimum)",
 			lps, cfg.ToRsPerCluster)
 	}
-	ls := &LeafSpine{Sys: NewSystem(lps), Cfg: cfg}
+	ls := &LeafSpine{Sys: NewSystem(lps, opts...), Cfg: cfg}
 	nT, nS, perRack := cfg.ToRsPerCluster, cfg.AggsPerCluster, cfg.ServersPerToR
 	nH := nT * perRack
 	ls.torBase = packet.NodeID(nH)
@@ -53,20 +56,27 @@ func BuildLeafSpine(cfg topology.Config, lps int) (*LeafSpine, error) {
 	lpOfToR := func(t int) int { return t * lps / nT }
 	lpOfSpine := func(s int) int { return s % lps }
 
-	// Devices, each on its LP's kernel.
+	// Devices, each on its LP's kernel and in its LP's rollback saver list.
 	for t := 0; t < nT; t++ {
 		lp := ls.Sys.LP(lpOfToR(t))
-		ls.ToRs = append(ls.ToRs, netsim.NewSwitch(lp.Kernel(), ls.torBase+packet.NodeID(t), ls))
+		sw := netsim.NewSwitch(lp.Kernel(), ls.torBase+packet.NodeID(t), ls)
+		lp.AddSaver(sw)
+		ls.ToRs = append(ls.ToRs, sw)
 	}
 	for s := 0; s < nS; s++ {
 		lp := ls.Sys.LP(lpOfSpine(s))
-		ls.Spines = append(ls.Spines, netsim.NewSwitch(lp.Kernel(), ls.spineBase+packet.NodeID(s), ls))
+		sw := netsim.NewSwitch(lp.Kernel(), ls.spineBase+packet.NodeID(s), ls)
+		lp.AddSaver(sw)
+		ls.Spines = append(ls.Spines, sw)
 	}
 	for h := 0; h < nH; h++ {
 		lp := ls.Sys.LP(lpOfToR(h / perRack))
 		host := netsim.NewHost(lp.Kernel(), packet.HostID(h), packet.NodeID(h))
+		stack := tcp.NewStack(host, tcp.Config{})
+		lp.AddSaver(host)
+		lp.AddSaver(stack)
 		ls.Hosts = append(ls.Hosts, host)
-		ls.Stacks = append(ls.Stacks, tcp.NewStack(host, tcp.Config{}))
+		ls.Stacks = append(ls.Stacks, stack)
 		ls.lpOfHost = append(ls.lpOfHost, lpOfToR(h/perRack))
 	}
 
@@ -203,43 +213,35 @@ type ExperimentResult struct {
 	CrossPkts      uint64
 	Violations     uint64 // causality violations: nonzero means a sync bug
 	EITStalls      uint64
+	Rollbacks      uint64 // Time Warp: state restores
+	AntiMessages   uint64 // Time Warp: speculative sends cancelled
+	GVTAdvances    uint64 // Time Warp: committed GVT advances
 	FlowsStarted   int
 	FlowsCompleted int
 }
 
-// SyncAlgo selects the conservative synchronization algorithm.
-type SyncAlgo int
-
-// Synchronization algorithms for parallel runs.
-const (
-	// NullMessages is Chandy-Misra-Bryant (OMNeT++'s default PDES mode).
-	NullMessages SyncAlgo = iota
-	// Barrier is time-stepped lockstep in windows of the minimum lookahead.
-	Barrier
-)
-
 // RunLeafSpine executes the Fig. 1 measurement: an n-ToR, n-spine leaf-spine
 // under Poisson web traffic at the given load, simulated for dur of virtual
 // time on `lps` logical processes (1 = plain single-threaded DES), using
-// null-message synchronization.
-func RunLeafSpine(n, lps int, load float64, dur des.Time, seed uint64) (*ExperimentResult, error) {
-	return RunLeafSpineSync(n, lps, load, dur, seed, NullMessages)
+// null-message synchronization. Options are forwarded to the System.
+func RunLeafSpine(n, lps int, load float64, dur des.Time, seed uint64, opts ...Option) (*ExperimentResult, error) {
+	return RunLeafSpineSync(n, lps, load, dur, seed, NullMessages, opts...)
 }
 
 // RunLeafSpineSync is RunLeafSpine with an explicit synchronization
-// algorithm, for comparing the two conservative flavors.
-func RunLeafSpineSync(n, lps int, load float64, dur des.Time, seed uint64, algo SyncAlgo) (*ExperimentResult, error) {
-	return RunLeafSpineObserved(n, lps, load, dur, seed, algo, nil)
+// algorithm, for comparing the three flavors head to head.
+func RunLeafSpineSync(n, lps int, load float64, dur des.Time, seed uint64, algo SyncAlgo, opts ...Option) (*ExperimentResult, error) {
+	return RunLeafSpineObserved(n, lps, load, dur, seed, algo, nil, opts...)
 }
 
 // RunLeafSpineObserved is RunLeafSpineSync with the experiment's components
 // registered in reg (ignored when nil) so callers can snapshot metrics after
 // the run.
 func RunLeafSpineObserved(n, lps int, load float64, dur des.Time, seed uint64,
-	algo SyncAlgo, reg *metrics.Registry) (*ExperimentResult, error) {
+	algo SyncAlgo, reg *metrics.Registry, opts ...Option) (*ExperimentResult, error) {
 
 	cfg := topology.DefaultLeafSpineConfig(n)
-	ls, err := BuildLeafSpine(cfg, lps)
+	ls, err := BuildLeafSpine(cfg, lps, append([]Option{WithSyncAlgo(algo)}, opts...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -261,10 +263,8 @@ func RunLeafSpineObserved(n, lps int, load float64, dur des.Time, seed uint64,
 	ls.Schedule(specs)
 
 	start := time.Now()
-	if algo == Barrier {
-		ls.Sys.RunBarrier(dur)
-	} else {
-		ls.Sys.Run(dur)
+	if err := ls.Sys.Run(dur); err != nil {
+		return nil, err
 	}
 	wall := time.Since(start)
 
@@ -279,6 +279,9 @@ func RunLeafSpineObserved(n, lps int, load float64, dur des.Time, seed uint64,
 		CrossPkts:    st.CrossPkts,
 		Violations:   st.Violations,
 		EITStalls:    st.EITStalls,
+		Rollbacks:    st.Rollbacks,
+		AntiMessages: st.AntiMessages,
+		GVTAdvances:  st.GVTAdvances,
 		FlowsStarted: len(specs),
 	}
 	if wall > 0 {

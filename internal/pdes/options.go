@@ -1,0 +1,145 @@
+package pdes
+
+import (
+	"fmt"
+	"time"
+
+	"approxsim/internal/des"
+)
+
+// SyncAlgo selects the synchronization algorithm a System runs under.
+type SyncAlgo int
+
+// Synchronization algorithms for parallel runs.
+const (
+	// NullMessages is conservative Chandy-Misra-Bryant (OMNeT++'s default
+	// PDES mode): LPs exchange timestamp promises and never execute past
+	// their earliest input time.
+	NullMessages SyncAlgo = iota
+	// Barrier is conservative time-stepped lockstep in windows of the
+	// minimum lookahead.
+	Barrier
+	// TimeWarp is optimistic synchronization (Jefferson 1985): LPs execute
+	// speculatively past their input guarantees, checkpoint their state, and
+	// roll back — cancelling side effects with anti-messages — when a
+	// straggler arrives in their past. Commitment is governed by a periodic
+	// Mattern-style GVT computation.
+	TimeWarp
+)
+
+// String returns the flag-friendly name of the algorithm.
+func (a SyncAlgo) String() string {
+	switch a {
+	case NullMessages:
+		return "nullmsg"
+	case Barrier:
+		return "barrier"
+	case TimeWarp:
+		return "timewarp"
+	default:
+		return fmt.Sprintf("SyncAlgo(%d)", int(a))
+	}
+}
+
+// ParseSyncAlgo maps a command-line name to a SyncAlgo. "null" is accepted
+// as a legacy alias for "nullmsg".
+func ParseSyncAlgo(s string) (SyncAlgo, error) {
+	switch s {
+	case "nullmsg", "null":
+		return NullMessages, nil
+	case "barrier":
+		return Barrier, nil
+	case "timewarp":
+		return TimeWarp, nil
+	default:
+		return 0, fmt.Errorf("pdes: unknown sync algorithm %q (want nullmsg, barrier, or timewarp)", s)
+	}
+}
+
+// config collects everything an Option can set on a System.
+type config struct {
+	algo            SyncAlgo
+	inboxCap        int
+	defLookahead    des.Time
+	gvtInterval     time.Duration
+	maxRollbacks    uint64
+	checkpointEvery int
+	window          des.Time
+}
+
+func defaultConfig() config {
+	return config{
+		algo:            NullMessages,
+		inboxCap:        1 << 15,
+		gvtInterval:     200 * time.Microsecond,
+		checkpointEvery: 256,
+		window:          50 * des.Microsecond,
+	}
+}
+
+// Option configures a System at construction (see NewSystem).
+type Option func(*config)
+
+// WithSyncAlgo selects the synchronization algorithm Run uses. The default
+// is NullMessages.
+func WithSyncAlgo(a SyncAlgo) Option { return func(c *config) { c.algo = a } }
+
+// WithInboxCap sets the per-LP inbox capacity for the conservative engines.
+// Correctness does not depend on the capacity — cross-LP sends drain the
+// sender's own inbox while waiting (see LP.send) — but small inboxes increase
+// synchronization stalls; the deadlock regression tests use capacity 1 to
+// exercise the worst case. The Time Warp engine uses unbounded inboxes and
+// ignores this setting.
+func WithInboxCap(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			panic("pdes: inbox capacity must be at least 1")
+		}
+		c.inboxCap = n
+	}
+}
+
+// WithLookahead sets the default lookahead applied to cross-LP Connect calls
+// that pass a non-positive lookahead. Zero (the default) keeps Connect's
+// strict behavior: callers must supply a positive lookahead per link.
+func WithLookahead(d des.Time) Option { return func(c *config) { c.defLookahead = d } }
+
+// WithGVTInterval sets the wall-clock period of the Time Warp GVT
+// computation (Mattern rounds). Shorter intervals commit and fossil-collect
+// more eagerly at the cost of more control traffic. Default 200µs.
+func WithGVTInterval(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.gvtInterval = d
+		}
+	}
+}
+
+// WithMaxRollbacks aborts a Time Warp run with an error once the total
+// rollback count across LPs exceeds n — a safety valve against rollback
+// thrashing on hostile topologies. Zero (the default) means unlimited.
+func WithMaxRollbacks(n uint64) Option { return func(c *config) { c.maxRollbacks = n } }
+
+// WithCheckpointEvery sets how many executed events separate consecutive
+// Time Warp state checkpoints on each LP. Smaller values cheapen rollbacks
+// (less re-execution) but tax forward progress with snapshot copies.
+// Default 256.
+func WithCheckpointEvery(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.checkpointEvery = n
+		}
+	}
+}
+
+// WithTimeWindow bounds Time Warp speculation to GVT + window of virtual
+// time. A small window approaches conservative lockstep; an enormous one
+// lets idle LPs race to the horizon and roll back on every arrival.
+// Default 50µs.
+func WithTimeWindow(w des.Time) Option {
+	return func(c *config) {
+		if w > 0 {
+			c.window = w
+		}
+	}
+}

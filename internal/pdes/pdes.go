@@ -50,8 +50,17 @@ type outLink struct {
 // LP is one logical process: a kernel, its devices, and its channel state.
 type LP struct {
 	id     int
+	sys    *System
 	kernel *des.Kernel
 	inbox  chan message
+
+	// tw holds the Time Warp per-LP state (queues, checkpoints, counters);
+	// nil under the conservative engines. See timewarp.go.
+	tw *lpTW
+
+	// savers are the LP's registered device states, checkpointed together
+	// with the kernel under Time Warp. See state.go.
+	savers []StateSaver
 
 	// lastRecv[i] is the largest timestamp promise received from LP i;
 	// MaxTime for LPs we never receive from.
@@ -84,6 +93,19 @@ type LP struct {
 	PostHorizonDrops uint64
 	// InboxHighWater is the deepest the inbox has been observed at drain.
 	InboxHighWater int
+
+	// Time Warp counters (zero under the conservative engines). These are
+	// never rolled back: they account the optimistic machinery itself.
+	//
+	// Rollbacks counts straggler- or anti-message-triggered state restores.
+	Rollbacks uint64
+	// AntiMessages counts anti-messages sent to cancel speculative output.
+	AntiMessages uint64
+	// RolledBackEvents counts executed events undone by rollbacks (the
+	// wasted speculative work; committed work is the kernel's Executed).
+	RolledBackEvents uint64
+	// Checkpoints counts state snapshots taken.
+	Checkpoints uint64
 }
 
 // Kernel returns the LP's event kernel; devices owned by this LP must be
@@ -93,36 +115,51 @@ func (lp *LP) Kernel() *des.Kernel { return lp.kernel }
 // ID returns the LP index.
 func (lp *LP) ID() int { return lp.id }
 
-// System is a set of LPs ready to run to a common horizon.
+// System is a set of LPs ready to run to a common horizon under the
+// synchronization algorithm selected at construction.
 type System struct {
 	lps []*LP
+	cfg config
+
+	// gvtAdvances counts committed GVT advances of the last Time Warp run
+	// (written by the coordinator goroutine, read after Run returns).
+	gvtAdvances uint64
 }
 
-// NewSystem creates n empty logical processes.
-func NewSystem(n int) *System { return NewSystemWithInbox(n, 1<<15) }
-
-// NewSystemWithInbox is NewSystem with an explicit per-LP inbox capacity.
-// Correctness does not depend on the capacity — cross-LP sends drain the
-// sender's own inbox while waiting (see LP.send) — but small inboxes
-// increase synchronization stalls; the deadlock regression tests use
-// capacity 1 to exercise the worst case.
-func NewSystemWithInbox(n, inboxCap int) *System {
+// NewSystem creates n empty logical processes. Options select the
+// synchronization algorithm Run dispatches on (default NullMessages) and its
+// knobs:
+//
+//	NewSystem(8, WithSyncAlgo(TimeWarp), WithGVTInterval(time.Millisecond))
+func NewSystem(n int, opts ...Option) *System {
 	if n < 1 {
 		panic("pdes: need at least one LP")
 	}
-	if inboxCap < 1 {
-		panic("pdes: inbox capacity must be at least 1")
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
 	}
-	s := &System{}
+	s := &System{cfg: cfg}
 	for i := 0; i < n; i++ {
 		s.lps = append(s.lps, &LP{
 			id:     i,
+			sys:    s,
 			kernel: des.NewKernel(),
-			inbox:  make(chan message, inboxCap),
+			inbox:  make(chan message, cfg.inboxCap),
 		})
 	}
 	return s
 }
+
+// NewSystemWithInbox is NewSystem with an explicit per-LP inbox capacity.
+//
+// Deprecated: use NewSystem(n, WithInboxCap(cap)).
+func NewSystemWithInbox(n, inboxCap int) *System {
+	return NewSystem(n, WithInboxCap(inboxCap))
+}
+
+// Algo returns the synchronization algorithm the system was built with.
+func (s *System) Algo() SyncAlgo { return s.cfg.algo }
 
 // LP returns logical process i.
 func (s *System) LP(i int) *LP { return s.lps[i] }
@@ -148,10 +185,14 @@ func (p *proxy) NodeID() packet.NodeID { return -1000 - packet.NodeID(p.lp.id) }
 // Receive forwards the packet across the LP boundary.
 func (p *proxy) Receive(pkt *packet.Packet, _ int) {
 	at := p.lp.kernel.Now() + p.out.lookahead
+	if p.lp.tw != nil {
+		p.lp.twEmit(p.out.to, at, pkt, p.dst, p.port)
+		return
+	}
+	p.lp.CrossPkts++
 	if at > p.out.lastSent {
 		p.out.lastSent = at
 	}
-	p.lp.CrossPkts++
 	p.lp.send(p.out.to, message{from: p.lp.id, at: at, pkt: pkt, dst: p.dst, port: p.port})
 }
 
@@ -195,6 +236,9 @@ func (s *System) Connect(la *LP, a *netsim.Port, lb *LP, b *netsim.Port,
 		return nil
 	}
 	if lookahead <= 0 {
+		lookahead = s.cfg.defLookahead
+	}
+	if lookahead <= 0 {
 		return fmt.Errorf("pdes: cross-LP links need positive lookahead")
 	}
 	if a.Config().PropDelay != 0 || b.Config().PropDelay != 0 {
@@ -226,9 +270,34 @@ func (s *System) ensureOut(from, to *LP, lookahead des.Time) *outLink {
 	return o
 }
 
-// Run executes all LPs concurrently until the common virtual-time horizon.
-// It returns once every LP has reached it.
-func (s *System) Run(end des.Time) {
+// Run executes all LPs concurrently until the common virtual-time horizon,
+// dispatching on the SyncAlgo the system was built with. It returns once
+// every LP has reached the horizon and, under Time Warp, once GVT has passed
+// it (all state committed). The error is always nil for the conservative
+// algorithms; Time Warp fails when WithMaxRollbacks is exceeded.
+func (s *System) Run(end des.Time) error {
+	switch s.cfg.algo {
+	case NullMessages:
+		s.runNull(end)
+		return nil
+	case Barrier:
+		s.runBarrier(end)
+		return nil
+	case TimeWarp:
+		return s.runTimeWarp(end)
+	default:
+		return fmt.Errorf("pdes: unknown sync algorithm %v", s.cfg.algo)
+	}
+}
+
+// RunBarrier executes all LPs to the horizon under barrier synchronization
+// regardless of the configured SyncAlgo.
+//
+// Deprecated: build the system with WithSyncAlgo(Barrier) and call Run.
+func (s *System) RunBarrier(end des.Time) { s.runBarrier(end) }
+
+// runNull executes the Chandy-Misra-Bryant null-message protocol.
+func (s *System) runNull(end des.Time) {
 	n := len(s.lps)
 	for _, lp := range s.lps {
 		lp.end = end
@@ -337,7 +406,7 @@ func (lp *LP) ingest(m message) {
 		return
 	}
 	pkt, dst, port := m.pkt, m.dst, m.port
-	lp.kernel.At(at, func() { dst.Receive(pkt, port) })
+	lp.kernel.AtCtx(at, pkt, func() { dst.Receive(pkt, port) })
 }
 
 // drain ingests inbox messages; when block is set it waits for at least one.
@@ -391,6 +460,12 @@ type Stats struct {
 	// PostHorizonDrops counts cross-LP packets stamped beyond the horizon
 	// and dropped at ingest.
 	PostHorizonDrops uint64
+	// Rollbacks, AntiMessages, RolledBackEvents, and GVTAdvances account the
+	// Time Warp machinery; all zero under the conservative engines.
+	Rollbacks        uint64
+	AntiMessages     uint64
+	RolledBackEvents uint64
+	GVTAdvances      uint64
 }
 
 // Stats sums counters across LPs.
@@ -404,7 +479,11 @@ func (s *System) Stats() Stats {
 		out.Violations += lp.Violations
 		out.EITStalls += lp.EITStalls
 		out.PostHorizonDrops += lp.PostHorizonDrops
+		out.Rollbacks += lp.Rollbacks
+		out.AntiMessages += lp.AntiMessages
+		out.RolledBackEvents += lp.RolledBackEvents
 	}
+	out.GVTAdvances = s.gvtAdvances
 	return out
 }
 
@@ -412,6 +491,7 @@ func (s *System) Stats() Stats {
 // gauges report the worst LP.
 func (s *System) CollectMetrics(e *metrics.Emitter) {
 	e.Gauge("lps", int64(len(s.lps)))
+	e.Counter("gvt_advances", s.gvtAdvances)
 	for _, lp := range s.lps {
 		e.Counter("null_messages", lp.Nulls)
 		e.Counter("barriers", lp.Barriers)
@@ -419,12 +499,16 @@ func (s *System) CollectMetrics(e *metrics.Emitter) {
 		e.Counter("causality_violations", lp.Violations)
 		e.Counter("eit_stalls", lp.EITStalls)
 		e.Counter("post_horizon_drops", lp.PostHorizonDrops)
+		e.Counter("rollbacks", lp.Rollbacks)
+		e.Counter("anti_messages", lp.AntiMessages)
+		e.Counter("rolled_back_events", lp.RolledBackEvents)
+		e.Counter("checkpoints", lp.Checkpoints)
 		e.Gauge("inbox_high_water", int64(lp.InboxHighWater))
 		e.Gauge("max_horizon_ns", int64(lp.MaxHorizon))
 	}
 }
 
-// RunBarrier executes all LPs to the horizon using time-stepped barrier
+// runBarrier executes all LPs to the horizon using time-stepped barrier
 // synchronization — the other classic conservative algorithm. All LPs
 // advance in lockstep windows of the global minimum lookahead; a barrier
 // separates windows. Any message sent during window [t, t+d) carries a
@@ -434,7 +518,7 @@ func (s *System) CollectMetrics(e *metrics.Emitter) {
 // Compared to null messages, barriers trade per-channel chatter for
 // synchronization points whose count is horizon/lookahead — a different
 // flavor of the same Figure 1 overhead.
-func (s *System) RunBarrier(end des.Time) {
+func (s *System) runBarrier(end des.Time) {
 	n := len(s.lps)
 	for _, lp := range s.lps {
 		lp.end = end

@@ -1,0 +1,422 @@
+package pdes
+
+import (
+	"math"
+	"sync"
+
+	"approxsim/internal/des"
+	"approxsim/internal/netsim"
+	"approxsim/internal/packet"
+)
+
+// Time Warp (Jefferson 1985): optimistic synchronization. Where the
+// conservative engines block until neighbors promise nothing earlier can
+// arrive, Time Warp LPs execute speculatively past their input guarantees,
+// checkpoint their state, and repair mistakes after the fact: a straggler —
+// a message stamped in the LP's executed past — triggers a rollback to the
+// latest checkpoint before the straggler, and anti-messages chase down and
+// annihilate the speculative output the undone events produced. A periodic
+// Mattern-style GVT computation (gvt.go) lower-bounds the timestamp of any
+// future message, which bounds how far anything can roll back and lets old
+// checkpoints be fossil-collected.
+//
+// Rollback uses coasting forward: after restoring the checkpoint, events
+// strictly before the straggler are re-executed with cross-LP sends
+// suppressed — those messages were already sent, remain valid, and stay in
+// the output log. Only output generated at or after the straggler's
+// timestamp is annihilated. This keeps every in-flight message (positive or
+// anti) stamped at or above GVT, which is what guarantees a rollback target
+// always exists. The coast replays from the same kernel clock, counters, and
+// event seqs, so it reproduces the original execution except in one corner:
+// inputs re-ingested during requeue draw fresh tie-break seqs, so two events
+// at the exact same nanosecond can replay in a different order than they
+// first executed. Distinct timestamps — the overwhelmingly common case in a
+// bandwidth/delay-driven network — replay identically.
+
+// Control-message kinds for the GVT protocol (twMsg.ctrl).
+const (
+	twCtrlNone = iota
+	twCtrlPhase1
+	twCtrlPhase2
+)
+
+// twMsg is one Time Warp message: a packet delivery (possibly negative — an
+// anti-message cancelling a prior positive), or a GVT control message.
+type twMsg struct {
+	from int
+	seq  uint64 // per (sender, receiver) pair; pairs (from, seq) identify messages
+	at   des.Time
+	// orig is the pristine packet contents, restored into a fresh object at
+	// every (re)ingestion so per-hop mutation of a speculative delivery never
+	// leaks into a replay.
+	orig packet.Packet
+	dst  netsim.Device
+	port int
+	neg  bool // anti-message: annihilate the matching positive
+	// color is the Mattern round parity the message was sent under; ctrl
+	// carries the GVT phase (twCtrl*) for coordinator messages, for which
+	// color is the new parity to adopt.
+	color int
+	ctrl  int
+}
+
+// twEntry is one ingested positive message: the live packet object its
+// delivery closure captured, the event handle, and the annihilation
+// tombstone. Entries keep their position in the processed log so snapshots
+// can refer to them by absolute serial (procBase + index).
+type twEntry struct {
+	m           twMsg
+	pkt         *packet.Packet
+	ev          *des.Event
+	annihilated bool
+}
+
+// twSent is one output-log record: enough to send the matching anti-message.
+// sendAt is the sender's virtual time at emission; the log is sorted by it.
+type twSent struct {
+	to     *LP
+	sendAt des.Time
+	m      twMsg
+}
+
+// lpTW is the per-LP Time Warp state. The inbox (box) is unbounded and
+// cond-based — optimistic senders never block, and rollback anti-message
+// bursts must not deadlock against a busy receiver.
+type lpTW struct {
+	shared *twShared
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	box  []twMsg // landing zone; swapped out whole by take()
+
+	color   int      // Mattern color of this LP's sends (flipped at phase 1)
+	minSent des.Time // min timestamp sent since the last phase-1 flip
+
+	// postQ holds positives stamped beyond the run horizon: they can never
+	// execute in this run but must stay visible (an anti may still arrive,
+	// and their timestamps participate in GVT).
+	postQ []twMsg
+
+	processed []twEntry // ingested positives, in ingestion order
+	procBase  uint64    // absolute serial of processed[0]
+	outLog    []twSent  // cross-LP sends, in send order
+	outBase   uint64    // absolute serial of outLog[0]
+
+	sendSeq []uint64 // per-destination send counter; never rolled back
+
+	snaps     []*lpSnapshot // checkpoints, oldest first
+	sinceCkpt int
+	coasting  bool // suppress sends: replaying already-sent output
+	fossilGvt des.Time
+}
+
+func newLPTW(n int, shared *twShared) *lpTW {
+	t := &lpTW{shared: shared, minSent: des.MaxTime, sendSeq: make([]uint64, n)}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+func (t *lpTW) processedEnd() uint64 { return t.procBase + uint64(len(t.processed)) }
+func (t *lpTW) outEnd() uint64       { return t.outBase + uint64(len(t.outLog)) }
+
+// deliver appends m to the inbox and wakes the LP. For payload messages the
+// transit counter is decremented only after the append, so once the
+// coordinator observes zero transit every such message is visible in some
+// inbox — the invariant the Mattern cut relies on.
+func (t *lpTW) deliver(m twMsg) {
+	t.mu.Lock()
+	t.box = append(t.box, m)
+	t.mu.Unlock()
+	if m.ctrl == twCtrlNone {
+		t.shared.transit[m.color].Add(-1)
+	}
+	t.cond.Signal()
+}
+
+// twSend stamps m with the LP's current color, folds it into the GVT
+// accounting, and delivers it. Called only from the LP's own goroutine.
+func (lp *LP) twSend(to *LP, m twMsg) {
+	t := lp.tw
+	m.color = t.color
+	if m.at < t.minSent {
+		t.minSent = m.at
+	}
+	t.shared.transit[m.color].Add(1)
+	to.tw.deliver(m)
+}
+
+// twEmit ships a packet across an LP boundary under Time Warp: log it (for
+// the anti-message), then send. During coast-forward the send is suppressed
+// entirely — the original message from the first execution is still valid
+// and still logged.
+func (lp *LP) twEmit(to *LP, at des.Time, pkt *packet.Packet, dst netsim.Device, port int) {
+	t := lp.tw
+	if t.coasting {
+		return
+	}
+	lp.CrossPkts++
+	t.sendSeq[to.id]++
+	m := twMsg{from: lp.id, seq: t.sendSeq[to.id], at: at, orig: *pkt, dst: dst, port: port}
+	t.outLog = append(t.outLog, twSent{to: to, sendAt: lp.kernel.Now(), m: m})
+	lp.twSend(to, m)
+}
+
+// twLimit is how far this LP may speculate: GVT plus the configured window,
+// capped at the horizon.
+func (lp *LP) twLimit() des.Time {
+	gvt := des.Time(lp.tw.shared.gvt.Load())
+	limit := gvt + lp.sys.cfg.window
+	if limit < gvt || limit > lp.end {
+		limit = lp.end
+	}
+	return limit
+}
+
+// twRunnable reports whether the kernel has a live event inside the
+// speculation window. Called with tw.mu held (the kernel itself is only
+// ever touched by the LP goroutine).
+func (lp *LP) twRunnable() bool {
+	nt, ok := lp.kernel.NextEventTime()
+	return ok && nt <= lp.twLimit()
+}
+
+// take swaps out the inbox, blocking while there is neither input nor
+// runnable work. Wakeups come from deliver and from the coordinator's
+// broadcast after publishing a new GVT or termination.
+func (t *lpTW) take(lp *LP) []twMsg {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.box) == 0 && !t.shared.done.Load() && !lp.twRunnable() {
+		t.cond.Wait()
+	}
+	if n := len(t.box); n > lp.InboxHighWater {
+		lp.InboxHighWater = n
+	}
+	batch := t.box
+	t.box = nil
+	return batch
+}
+
+// twLoop is the LP main loop under Time Warp: absorb messages, speculate a
+// bounded batch of events, checkpoint, fossil-collect, repeat.
+func (lp *LP) twLoop() {
+	t := lp.tw
+	sh := t.shared
+	every := lp.sys.cfg.checkpointEvery
+	for {
+		batch := t.take(lp)
+		for i := 0; i < len(batch); i++ {
+			m := batch[i]
+			switch {
+			case m.ctrl == twCtrlPhase1:
+				t.color = m.color
+				t.minSent = des.MaxTime
+				sh.resp <- twReport{phase: 1}
+			case m.ctrl == twCtrlPhase2:
+				sh.resp <- twReport{phase: 2, min: lp.twLocalMin(batch[i+1:]), rollbacks: lp.Rollbacks}
+			case m.neg:
+				lp.twHandleAnti(m)
+			default:
+				lp.twHandlePositive(m)
+			}
+		}
+		if sh.done.Load() {
+			return
+		}
+		ran := lp.kernel.RunLimit(lp.twLimit(), every)
+		if now := lp.kernel.Now(); now > lp.MaxHorizon {
+			lp.MaxHorizon = now
+		}
+		if ran > 0 {
+			t.sinceCkpt += ran
+			if t.sinceCkpt >= every {
+				t.snaps = append(t.snaps, lp.takeSnapshot())
+				t.sinceCkpt = 0
+			}
+		}
+		lp.twFossil(des.Time(sh.gvt.Load()))
+	}
+}
+
+// twHandlePositive ingests a packet delivery, rolling back first when the
+// message lands in this LP's executed past (a straggler).
+func (lp *LP) twHandlePositive(m twMsg) {
+	if m.at > lp.end {
+		lp.tw.postQ = append(lp.tw.postQ, m)
+		return
+	}
+	if m.at < lp.kernel.Now() {
+		lp.twRollback(m.at)
+	}
+	lp.twIngest(m)
+}
+
+// twIngest schedules the delivery event from a fresh copy of the pristine
+// packet and appends the processed-log entry.
+func (lp *LP) twIngest(m twMsg) {
+	pkt := new(packet.Packet)
+	*pkt = m.orig
+	dst, port := m.dst, m.port
+	ev := lp.kernel.AtCtx(m.at, pkt, func() { dst.Receive(pkt, port) })
+	lp.tw.processed = append(lp.tw.processed, twEntry{m: m, pkt: pkt, ev: ev})
+}
+
+// twHandleAnti annihilates the matching positive. Three cases: still parked
+// beyond the horizon (drop both), ingested but not yet executed (cancel the
+// event), or already executed (roll back to before it ever happened). The
+// per-pair FIFO of deliver guarantees the positive always arrives first, and
+// fossil collection never discards a positive that could still be cancelled
+// (its timestamp would have to be under GVT, which no in-flight anti can be).
+func (lp *LP) twHandleAnti(m twMsg) {
+	t := lp.tw
+	for i := range t.postQ {
+		if t.postQ[i].from == m.from && t.postQ[i].seq == m.seq {
+			t.postQ = append(t.postQ[:i], t.postQ[i+1:]...)
+			return
+		}
+	}
+	for i := len(t.processed) - 1; i >= 0; i-- {
+		e := &t.processed[i]
+		if e.m.from != m.from || e.m.seq != m.seq {
+			continue
+		}
+		if e.annihilated {
+			return
+		}
+		e.annihilated = true
+		if e.ev.Live() {
+			lp.kernel.Cancel(e.ev)
+		} else {
+			lp.twRollback(m.at)
+		}
+		return
+	}
+	panic("pdes: anti-message with no matching positive")
+}
+
+// twRollback rewinds the LP to just before virtual time `at`: restore the
+// latest checkpoint strictly earlier, undo the bookkeeping, cancel the
+// speculative output sent at or after `at` with anti-messages, and coast
+// forward (sends suppressed) to the instant before the straggler.
+func (lp *LP) twRollback(at des.Time) {
+	t := lp.tw
+	idx := -1
+	for i := len(t.snaps) - 1; i >= 0; i-- {
+		if t.snaps[i].now < at {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		// Cannot happen while GVT is sound: fossil collection always keeps
+		// one checkpoint below GVT, and no in-flight timestamp is below GVT.
+		panic("pdes: time warp rollback with no checkpoint before straggler")
+	}
+	snap := t.snaps[idx]
+	lp.Rollbacks++
+	lp.RolledBackEvents += lp.kernel.Stats().Executed - snap.kstate.Executed()
+	lp.restoreSnapshot(snap)
+
+	// The restored heap resurrects any event that was pending at checkpoint
+	// time — including positives annihilated since. Re-cancel those.
+	for i := 0; i < int(snap.processedEnd-t.procBase); i++ {
+		if e := &t.processed[i]; e.annihilated && e.ev.Live() {
+			lp.kernel.Cancel(e.ev)
+		}
+	}
+	// Inputs ingested after the checkpoint vanished with the restore;
+	// re-ingest the survivors from their pristine contents.
+	for i := int(snap.processedEnd - t.procBase); i < len(t.processed); i++ {
+		e := &t.processed[i]
+		if e.annihilated {
+			continue
+		}
+		*e.pkt = e.m.orig
+		pkt, dst, port := e.pkt, e.m.dst, e.m.port
+		e.ev = lp.kernel.AtCtx(e.m.at, pkt, func() { dst.Receive(pkt, port) })
+	}
+	t.snaps = t.snaps[:idx+1]
+
+	// Output sent at or after the straggler is wrong; output sent before it
+	// stays valid (the coast below regenerates — and suppresses — exactly it).
+	cut := len(t.outLog)
+	for cut > 0 && t.outLog[cut-1].sendAt >= at {
+		cut--
+	}
+	for _, sent := range t.outLog[cut:] {
+		a := sent.m
+		a.neg = true
+		lp.AntiMessages++
+		lp.twSend(sent.to, a)
+	}
+	t.outLog = t.outLog[:cut]
+
+	t.coasting = true
+	lp.kernel.RunLimit(at-1, math.MaxInt)
+	t.coasting = false
+}
+
+// twLocalMin is this LP's contribution to the GVT cut: the minimum over its
+// next unexecuted event, every unprocessed payload message (the rest of the
+// current batch, the inbox, the post-horizon queue), and the timestamps it
+// has sent since the color flip.
+func (lp *LP) twLocalMin(rest []twMsg) des.Time {
+	t := lp.tw
+	min := t.minSent
+	if nt, ok := lp.kernel.NextEventTime(); ok && nt < min {
+		min = nt
+	}
+	for _, m := range rest {
+		if m.ctrl == twCtrlNone && m.at < min {
+			min = m.at
+		}
+	}
+	for _, m := range t.postQ {
+		if m.at < min {
+			min = m.at
+		}
+	}
+	t.mu.Lock()
+	for _, m := range t.box {
+		if m.ctrl == twCtrlNone && m.at < min {
+			min = m.at
+		}
+	}
+	t.mu.Unlock()
+	return min
+}
+
+// twFossil discards history that GVT has made unreachable: checkpoints below
+// GVT (except the newest such — the guaranteed rollback target), processed
+// entries that can no longer be rolled back or annihilated, and output-log
+// records no surviving checkpoint could ever cancel. Annihilated entries pin
+// collection while any surviving checkpoint might resurrect their event.
+func (lp *LP) twFossil(gvt des.Time) {
+	t := lp.tw
+	if gvt <= t.fossilGvt {
+		return
+	}
+	t.fossilGvt = gvt
+	idx := 0
+	for i := len(t.snaps) - 1; i >= 0; i-- {
+		if t.snaps[i].now < gvt {
+			idx = i
+			break
+		}
+	}
+	t.snaps = t.snaps[idx:]
+	keep := t.snaps[0]
+	drop := 0
+	for drop < len(t.processed) && t.procBase+uint64(drop) < keep.processedEnd &&
+		!t.processed[drop].annihilated && t.processed[drop].m.at < gvt {
+		drop++
+	}
+	if drop > 0 {
+		t.processed = t.processed[drop:]
+		t.procBase += uint64(drop)
+	}
+	if dropOut := int(keep.outEnd - t.outBase); dropOut > 0 {
+		t.outLog = t.outLog[dropOut:]
+		t.outBase = keep.outEnd
+	}
+}

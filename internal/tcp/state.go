@@ -1,0 +1,87 @@
+package tcp
+
+import "approxsim/internal/metrics"
+
+// TCP state capture for optimistic PDES rollback.
+//
+// A Stack implements the pdes StateSaver contract (SaveState/RestoreState)
+// structurally. Connections are restored IN PLACE: the snapshot records each
+// conn's pointer alongside its field values, and RestoreState writes the
+// values back into that same object. Identity preservation is load-bearing —
+// retransmission-timer closures scheduled in the kernel capture the conn
+// pointer, and the kernel's own Restore reinstates those closures, so both
+// sides must keep pointing at the same object. Connections created after the
+// snapshot are simply dropped from the demux map; their timer events are
+// absent from the restored heap, so nothing can reach them.
+
+// connState is a checkpoint of one connection.
+type connState struct {
+	c   *conn
+	v   conn // shallow copy of the struct (incl. rtoTimer handle and dctcp)
+	est rttEstimator
+	ooo []interval
+}
+
+// stackState is a checkpoint of a Stack: its instruments plus every conn.
+type stackState struct {
+	conns []connState
+
+	flowsStarted   metrics.Counter
+	flowsCompleted metrics.Counter
+	retransTotal   metrics.Counter
+	timeoutTotal   metrics.Counter
+	cwndBytes      metrics.Histogram
+	rttNanos       metrics.Histogram
+}
+
+// SaveState implements the pdes StateSaver contract.
+func (s *Stack) SaveState() any {
+	st := stackState{
+		flowsStarted:   s.flowsStarted,
+		flowsCompleted: s.flowsCompleted,
+		retransTotal:   s.retransTotal,
+		timeoutTotal:   s.timeoutTotal,
+		cwndBytes:      s.cwndBytes,
+		rttNanos:       s.rttNanos,
+		conns:          make([]connState, 0, len(s.conns)),
+	}
+	for _, c := range s.conns {
+		cs := connState{c: c, v: *c}
+		if c.est != nil { // receiver-side conns carry no estimator
+			cs.est = *c.est
+		}
+		if len(c.ooo) > 0 {
+			cs.ooo = append([]interval(nil), c.ooo...)
+		}
+		st.conns = append(st.conns, cs)
+	}
+	return st
+}
+
+// RestoreState implements the pdes StateSaver contract. The checkpoint stays
+// pristine and may be restored again.
+func (s *Stack) RestoreState(v any) {
+	st := v.(stackState)
+	s.flowsStarted = st.flowsStarted
+	s.flowsCompleted = st.flowsCompleted
+	s.retransTotal = st.retransTotal
+	s.timeoutTotal = st.timeoutTotal
+	s.cwndBytes = st.cwndBytes
+	s.rttNanos = st.rttNanos
+	for k := range s.conns {
+		delete(s.conns, k)
+	}
+	for i := range st.conns {
+		cs := &st.conns[i]
+		c := cs.c
+		*c = cs.v // restores scalars, the est pointer, and timer handle
+		if c.est != nil {
+			*c.est = cs.est // est points at the conn's original estimator
+		}
+		c.ooo = nil
+		if len(cs.ooo) > 0 {
+			c.ooo = append([]interval(nil), cs.ooo...)
+		}
+		s.conns[c.flow] = c
+	}
+}

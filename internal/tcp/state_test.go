@@ -1,0 +1,102 @@
+package tcp
+
+import (
+	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/netsim"
+	"approxsim/internal/packet"
+)
+
+func savePkt(ctx any) any { return *ctx.(*packet.Packet) }
+func restorePkt(ctx, blob any) {
+	*ctx.(*packet.Packet) = blob.(packet.Packet)
+}
+
+// TestStackSnapshotReplaysIdentically checkpoints a TCP transfer in mid-flight
+// — kernel, hosts, and both stacks together, the way the optimistic PDES
+// engine does — lets it finish, rolls everything back, and reruns. The
+// committed flow results must be identical, including timing, retransmission
+// counters, and in-place conn identity (retransmission-timer closures point at
+// the original conn objects).
+func TestStackSnapshotReplaysIdentically(t *testing.T) {
+	k := des.NewKernel()
+	cfg := netsim.LinkConfig{BandwidthBps: 1e9, PropDelay: 5 * des.Microsecond, QueueBytes: 64 * 1500}
+	a := netsim.NewHost(k, 0, 0)
+	b := netsim.NewHost(k, 1, 1)
+	netsim.Connect(a.AttachNIC(cfg), b.AttachNIC(cfg))
+	sa := NewStack(a, Config{})
+	sb := NewStack(b, Config{})
+
+	sa.StartFlow(1, 200_000, 1, nil)
+
+	// Checkpoint mid-transfer: sender and receiver both hold live conn state.
+	k.Run(100 * des.Microsecond)
+	if sa.ConnCount() == 0 || sb.ConnCount() == 0 {
+		t.Fatal("test needs live connections at the checkpoint")
+	}
+	ks := k.Snapshot(savePkt)
+	states := []struct {
+		s    *Stack
+		h    *netsim.Host
+		blob any
+		hub  any
+	}{
+		{s: sa, h: a, blob: sa.SaveState(), hub: a.SaveState()},
+		{s: sb, h: b, blob: sb.SaveState(), hub: b.SaveState()},
+	}
+
+	k.RunAll()
+	first := sa.Results()
+	if len(first) != 1 || !first[0].Completed {
+		t.Fatalf("first run did not complete the flow: %+v", first)
+	}
+
+	// Roll back and replay twice: checkpoints must stay pristine across
+	// cascaded restores.
+	for round := 0; round < 2; round++ {
+		k.Restore(ks, restorePkt)
+		for _, st := range states {
+			st.h.RestoreState(st.hub)
+			st.s.RestoreState(st.blob)
+		}
+		k.RunAll()
+		got := sa.Results()
+		if len(got) != 1 {
+			t.Fatalf("round %d: %d flow results, want 1", round, len(got))
+		}
+		if got[0] != first[0] {
+			t.Errorf("round %d: replayed result %+v, first run %+v", round, got[0], first[0])
+		}
+	}
+}
+
+// TestStackSnapshotDropsPostSnapshotFlows verifies that connections created
+// after a checkpoint vanish on restore instead of leaking.
+func TestStackSnapshotDropsPostSnapshotFlows(t *testing.T) {
+	k := des.NewKernel()
+	cfg := netsim.LinkConfig{BandwidthBps: 1e9, QueueBytes: 1 << 20}
+	a := netsim.NewHost(k, 0, 0)
+	b := netsim.NewHost(k, 1, 1)
+	netsim.Connect(a.AttachNIC(cfg), b.AttachNIC(cfg))
+	sa := NewStack(a, Config{})
+	NewStack(b, Config{})
+
+	ks := k.Snapshot(savePkt)
+	saBlob := sa.SaveState()
+
+	sa.StartFlow(1, 10_000, 7, nil)
+	k.Run(10 * des.Microsecond)
+	if sa.ConnCount() == 0 {
+		t.Fatal("flow never started")
+	}
+	k.Restore(ks, restorePkt)
+	sa.RestoreState(saBlob)
+	if sa.ConnCount() != 0 {
+		t.Fatalf("post-snapshot connection survived the restore: %d conns", sa.ConnCount())
+	}
+	k.RunAll()
+	if len(sa.Results()) != 0 {
+		t.Fatalf("post-snapshot flow produced results after rollback: %+v", sa.Results())
+	}
+}
