@@ -13,6 +13,7 @@ package approxsim_test
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"approxsim/internal/des"
 	"approxsim/internal/flowsim"
 	"approxsim/internal/nn"
+	"approxsim/internal/obs"
 	"approxsim/internal/packet"
 	"approxsim/internal/pdes"
 	"approxsim/internal/rng"
@@ -251,6 +253,43 @@ func BenchmarkFlowLevelBaseline(b *testing.B) {
 // BenchmarkFullSimulation is the headline single-thread packet-level
 // throughput (the Fig. 1 "single thread" series at the Clos shape used by
 // Figs. 4/5).
+// BenchmarkTracingOverhead is the observability layer's cost guard: the same
+// full-fidelity run with tracing off, with the flight recorder alone, and
+// with full span tracing. The "off" variant pays only a nil check per hook
+// site, so its sim_s/wall_s must sit within run-to-run noise of what
+// BenchmarkFullSimulation reports; the enabled variants price the feature.
+func BenchmarkTracingOverhead(b *testing.B) {
+	variants := []struct {
+		name string
+		opts func() obs.Options // nil = tracing off
+	}{
+		{"off", nil},
+		{"flightrec", func() obs.Options { return obs.Options{FlightRecorder: 256, DumpWriter: io.Discard} }},
+		{"trace", func() obs.Options { return obs.Options{Trace: true} }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var simSec, wallSec float64
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				cfg := core.Config{Clusters: 2, Duration: benchDuration, Load: 0.4, Seed: 61}
+				if v.opts != nil {
+					cfg.Trace = obs.New(v.opts())
+				}
+				res, err := core.RunFull(cfg, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simSec += res.SimTime.Seconds()
+				wallSec += res.Wall.Seconds()
+				events += res.Events
+			}
+			b.ReportMetric(simSec/wallSec, "sim_s/wall_s")
+			b.ReportMetric(float64(events)/wallSec, "events/s")
+		})
+	}
+}
+
 func BenchmarkFullSimulation(b *testing.B) {
 	for _, clusters := range []int{2, 8} {
 		b.Run(fmt.Sprintf("clusters=%d", clusters), func(b *testing.B) {

@@ -20,12 +20,20 @@
 //
 // Observability:
 //
-//	-metrics       dump a JSON metrics snapshot to stdout at end of run
-//	-progress N    print a progress line to stderr every N virtual ms
-//	-pprof ADDR    serve net/http/pprof on ADDR (e.g. localhost:6060)
+//	-metrics             dump a JSON metrics snapshot to stdout at end of run
+//	-metrics-interval N  stream interval metrics deltas as JSONL every N virtual ms
+//	-metrics-out FILE    where the JSONL time series goes (default metrics.jsonl)
+//	-trace FILE          write a Chrome trace-event JSON (open in Perfetto)
+//	-flight-recorder N   keep a ring of the last N trace events per LP; dumped
+//	                     automatically on causality violation or rollback abort
+//	-dump FILE           where flight-recorder dumps go (default flight_recorder.json)
+//	-max-rollbacks N     abort a timewarp run after N rollbacks (0 = unlimited)
+//	-progress N          print a progress line to stderr every N virtual ms
+//	-pprof ADDR          serve net/http/pprof on ADDR (e.g. localhost:6060)
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +47,7 @@ import (
 	"approxsim/internal/flowsim"
 	"approxsim/internal/metrics"
 	"approxsim/internal/nn"
+	"approxsim/internal/obs"
 	"approxsim/internal/packet"
 	"approxsim/internal/pdes"
 	"approxsim/internal/topology"
@@ -60,14 +69,26 @@ func main() {
 		lps        = flag.Int("lps", 2, "logical processes (pdes mode; 1 = sequential)")
 		sync       = flag.String("sync", "nullmsg", "pdes synchronization: nullmsg | barrier | timewarp")
 		metricsOut = flag.Bool("metrics", false, "dump a JSON metrics snapshot to stdout at end of run")
+		intervalMS = flag.Float64("metrics-interval", 0, "stream interval metrics deltas as JSONL every N virtual ms (0 = off)")
+		seriesPath = flag.String("metrics-out", "metrics.jsonl", "JSONL time-series output path (with -metrics-interval)")
+		tracePath  = flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
+		flightRec  = flag.Int("flight-recorder", 0, "flight-recorder ring capacity in events per LP (0 = off)")
+		dumpPath   = flag.String("dump", "flight_recorder.json", "flight-recorder dump output path (with -flight-recorder)")
+		maxRB      = flag.Uint64("max-rollbacks", 0, "abort a timewarp run after N rollbacks (0 = unlimited)")
 		progressMS = flag.Int("progress", 0, "progress line to stderr every N virtual ms (0 = off)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	startPprof(*pprofAddr)
 	opts := obsOptions{
-		metrics:  *metricsOut,
-		progress: des.Time(*progressMS) * des.Millisecond,
+		metrics:      *metricsOut,
+		progress:     des.Time(*progressMS) * des.Millisecond,
+		interval:     des.Time(*intervalMS * float64(des.Millisecond)),
+		seriesPath:   *seriesPath,
+		tracePath:    *tracePath,
+		flightRec:    *flightRec,
+		dumpPath:     *dumpPath,
+		maxRollbacks: *maxRB,
 	}
 	if err := run(*mode, *clusters, *durMS, *load, *seed, *pattern, *models,
 		*dctcp, *workload, *racks, *lps, *sync, opts); err != nil {
@@ -78,17 +99,104 @@ func main() {
 
 // obsOptions carries the observability flags into run.
 type obsOptions struct {
-	metrics  bool
-	progress des.Time
+	metrics      bool
+	progress     des.Time
+	interval     des.Time // virtual time between JSONL rows (0 = off)
+	seriesPath   string
+	tracePath    string
+	flightRec    int
+	dumpPath     string
+	maxRollbacks uint64
 }
 
-// registry returns the registry to wire into the run, nil when -metrics is
-// off.
+// registry returns the registry to wire into the run — nil only when neither
+// the end-of-run snapshot nor the interval time series was requested.
 func (o obsOptions) registry() *metrics.Registry {
-	if !o.metrics {
+	if !o.metrics && o.interval <= 0 {
 		return nil
 	}
 	return metrics.NewRegistry()
+}
+
+// obsRun is the per-run observability state assembled from the flags: the
+// shared tracer (nil when both -trace and -flight-recorder are off) and the
+// files it writes into.
+type obsRun struct {
+	tracer *obs.Tracer
+	series *os.File
+	dump   *os.File
+}
+
+// build opens the output files and constructs the tracer. Call close (always)
+// and finish (on success) when the run is over.
+func (o obsOptions) build() (*obsRun, error) {
+	r := &obsRun{}
+	if o.interval > 0 {
+		f, err := os.Create(o.seriesPath)
+		if err != nil {
+			return nil, err
+		}
+		r.series = f
+	}
+	if o.flightRec > 0 {
+		f, err := os.Create(o.dumpPath)
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		r.dump = f
+	}
+	if o.tracePath != "" || o.flightRec > 0 {
+		topts := obs.Options{Trace: o.tracePath != "", FlightRecorder: o.flightRec}
+		if r.dump != nil {
+			topts.DumpWriter = r.dump
+		}
+		r.tracer = obs.New(topts)
+	}
+	return r, nil
+}
+
+// sampler builds the interval sampler over reg (nil when off).
+func (o obsOptions) sampler(r *obsRun, reg *metrics.Registry) *obs.Sampler {
+	if r.series == nil {
+		return nil
+	}
+	return obs.NewSampler(reg, r.series, o.interval)
+}
+
+func (r *obsRun) close() {
+	if r.series != nil {
+		r.series.Close()
+	}
+	if r.dump != nil {
+		r.dump.Close()
+	}
+}
+
+// finish writes the Chrome trace (validated against the trace-event schema
+// before it hits disk) and reports where every artifact went.
+func (r *obsRun) finish(o obsOptions) error {
+	if r.tracer != nil && o.tracePath != "" {
+		var buf bytes.Buffer
+		if err := r.tracer.WriteChromeTrace(&buf); err != nil {
+			return err
+		}
+		if err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+			return fmt.Errorf("internal error: trace fails schema validation: %w", err)
+		}
+		if err := os.WriteFile(o.tracePath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "approxsim: trace written to %s (open in https://ui.perfetto.dev)\n", o.tracePath)
+	}
+	if r.series != nil {
+		fmt.Fprintf(os.Stderr, "approxsim: metrics time series written to %s\n", o.seriesPath)
+	}
+	if r.tracer != nil && r.tracer.LastDumpReason() != "" {
+		fmt.Fprintf(os.Stderr, "approxsim: flight recorder dumped to %s (trigger: %s)\n",
+			o.dumpPath, r.tracer.LastDumpReason())
+	}
+	return nil
 }
 
 // startPprof serves the pprof HTTP endpoints for profiling live runs.
@@ -167,16 +275,26 @@ func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, m
 		return err
 	}
 	reg := opts.registry()
+	orun, err := opts.build()
+	if err != nil {
+		return err
+	}
+	defer orun.close()
 	cfg := core.Config{
-		Clusters:       clusters,
-		Duration:       des.Time(durMS) * des.Millisecond,
-		Load:           load,
-		Seed:           seed,
-		Pattern:        pat,
-		DCTCP:          dctcp,
-		Metrics:        reg,
-		ProgressEvery:  opts.progress,
-		ProgressWriter: os.Stderr,
+		Clusters:        clusters,
+		Duration:        des.Time(durMS) * des.Millisecond,
+		Load:            load,
+		Seed:            seed,
+		Pattern:         pat,
+		DCTCP:           dctcp,
+		Metrics:         reg,
+		MetricsInterval: opts.interval,
+		Trace:           orun.tracer,
+		ProgressEvery:   opts.progress,
+		ProgressWriter:  os.Stderr,
+	}
+	if orun.series != nil {
+		cfg.MetricsWriter = orun.series
 	}
 	switch workload {
 	case "websearch":
@@ -186,6 +304,24 @@ func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, m
 	default:
 		return fmt.Errorf("unknown workload %q", workload)
 	}
+	runErr := dispatch(mode, cfg, modelPath, seed, racks, lps, sync, reg, opts, orun)
+	// Flush the trace even after a failed run — an aborted timewarp run's
+	// trace (and flight-recorder dump, already on disk) is exactly what you
+	// want open in Perfetto.
+	if ferr := orun.finish(opts); ferr != nil && runErr == nil {
+		runErr = ferr
+	}
+	return runErr
+}
+
+func dispatch(mode string, cfg core.Config, modelPath string, seed uint64,
+	racks, lps int, sync string, reg *metrics.Registry, opts obsOptions, orun *obsRun) error {
+	// The registry may exist only to feed the interval sampler; the end-of-run
+	// snapshot on stdout is still opt-in via -metrics.
+	snapReg := reg
+	if !opts.metrics {
+		snapReg = nil
+	}
 	switch mode {
 	case "full":
 		res, err := core.RunFull(cfg, false)
@@ -193,7 +329,7 @@ func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, m
 			return err
 		}
 		report("full", res)
-		return dumpMetrics(reg)
+		return dumpMetrics(snapReg)
 	case "hybrid":
 		m, err := obtainModels(cfg, modelPath, seed)
 		if err != nil {
@@ -209,7 +345,7 @@ func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, m
 				i, fs.EgressPackets, fs.IngressPackets,
 				fs.EgressDrops, fs.IngressDrops, fs.Conflicts)
 		}
-		return dumpMetrics(reg)
+		return dumpMetrics(snapReg)
 	case "blackbox":
 		m, err := obtainBlackBoxModels(cfg, modelPath, seed)
 		if err != nil {
@@ -223,30 +359,44 @@ func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, m
 		s := res.FabricStats[0]
 		fmt.Printf("blackbox: outbound=%d inbound=%d drops=%d/%d conflicts=%d\n",
 			s.EgressPackets, s.IngressPackets, s.EgressDrops, s.IngressDrops, s.Conflicts)
-		return dumpMetrics(reg)
+		return dumpMetrics(snapReg)
 	case "fluid":
 		if err := runFluid(cfg); err != nil {
 			return err
 		}
-		return dumpMetrics(reg)
+		return dumpMetrics(snapReg)
 	case "pdes":
-		if err := runPDES(racks, lps, load, cfg.Duration, seed, sync, reg); err != nil {
+		if err := runPDES(racks, lps, cfg.Load, cfg.Duration, seed, sync, reg, opts, orun); err != nil {
 			return err
 		}
-		return dumpMetrics(reg)
+		return dumpMetrics(snapReg)
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
 }
 
 // runPDES runs the leaf-spine PDES experiment (Fig. 1 substrate) on the
-// requested number of logical processes.
-func runPDES(racks, lps int, load float64, dur des.Time, seed uint64, sync string, reg *metrics.Registry) error {
+// requested number of logical processes. Unlike the single-kernel modes the
+// time-series sampler here is polling-driven off the system's committed-time
+// clock (System.Run manages its lifecycle), because under optimistic sync a
+// kernel-scheduled sample could itself be rolled back.
+func runPDES(racks, lps int, load float64, dur des.Time, seed uint64, sync string,
+	reg *metrics.Registry, opts obsOptions, orun *obsRun) error {
 	algo, err := pdes.ParseSyncAlgo(sync)
 	if err != nil {
 		return err
 	}
-	res, err := pdes.RunLeafSpineObserved(racks, lps, load, dur, seed, algo, reg)
+	var popts []pdes.Option
+	if orun.tracer != nil {
+		popts = append(popts, pdes.WithObs(orun.tracer))
+	}
+	if s := opts.sampler(orun, reg); s != nil {
+		popts = append(popts, pdes.WithSampler(s))
+	}
+	if opts.maxRollbacks > 0 {
+		popts = append(popts, pdes.WithMaxRollbacks(opts.maxRollbacks))
+	}
+	res, err := pdes.RunLeafSpineObserved(racks, lps, load, dur, seed, algo, reg, popts...)
 	if err != nil {
 		return err
 	}

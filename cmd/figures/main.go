@@ -30,6 +30,7 @@ import (
 	"approxsim/internal/macro"
 	"approxsim/internal/metrics"
 	"approxsim/internal/nn"
+	"approxsim/internal/obs"
 	"approxsim/internal/packet"
 	"approxsim/internal/pdes"
 	"approxsim/internal/textplot"
@@ -47,6 +48,7 @@ func main() {
 		paper   = flag.Bool("paper-scale", false, "train the paper's 2x128 LSTM (slow)")
 		batches = flag.Int("batches", 400, "training batches for figs 4/5")
 		sync    = flag.String("sync", "nullmsg", "PDES synchronization for fig 1: nullmsg | barrier | timewarp")
+		trace   = flag.String("trace", "", "fig 1: Chrome trace of the last sweep point to this file (open in Perfetto)")
 	)
 	flag.Parse()
 	trainBatches = *batches
@@ -54,7 +56,7 @@ func main() {
 	var err error
 	switch *fig {
 	case "1":
-		err = fig1(*durMS, *load, *seed, *quick, *sync)
+		err = fig1(*durMS, *load, *seed, *quick, *sync, *trace)
 	case "4":
 		err = fig4(*durMS, *load, *seed, *paper)
 	case "5":
@@ -85,7 +87,7 @@ func main() {
 // from the shared metrics registry: every kernel, LP, switch, and stack in
 // the experiment reports through it, so the columns here are the same
 // aggregates a -metrics snapshot of the approxsim command would show.
-func fig1(durMS int, load float64, seed uint64, quick bool, sync string) error {
+func fig1(durMS int, load float64, seed uint64, quick bool, sync, tracePath string) error {
 	if durMS == 0 {
 		durMS = 2
 	}
@@ -99,35 +101,63 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync string) error {
 		sizes = []int{4, 8}
 		lpsSet = []int{1, 2}
 	}
+	type combo struct{ n, lps int }
+	var combos []combo
+	for _, n := range sizes {
+		for _, lps := range lpsSet {
+			if lps <= n {
+				combos = append(combos, combo{n, lps})
+			}
+		}
+	}
 	fmt.Printf("# Figure 1: leaf-spine scaling, sim-seconds per wall-second (sync=%v)\n", algo)
 	fmt.Println("tors\tlps\tsim_per_wall\tevents\tsync_msgs\tcross_pkts\trollbacks\tflows")
 	curves := map[int]*textplot.Series{}
 	var order []int
-	for _, n := range sizes {
-		for _, lps := range lpsSet {
-			if lps > n {
-				continue
-			}
-			reg := metrics.NewRegistry()
-			res, err := pdes.RunLeafSpineObserved(n, lps, load, des.Time(durMS)*des.Millisecond, seed, algo, reg)
+	for i, c0 := range combos {
+		n, lps := c0.n, c0.lps
+		reg := metrics.NewRegistry()
+		// Tracing slows the run (and, under timewarp, changes the rollback
+		// pattern), so only the last sweep point is traced: the timing
+		// columns above it stay untouched.
+		var popts []pdes.Option
+		var tracer *obs.Tracer
+		if tracePath != "" && i == len(combos)-1 {
+			tracer = obs.New(obs.Options{Trace: true})
+			popts = append(popts, pdes.WithObs(tracer))
+		}
+		res, err := pdes.RunLeafSpineObserved(n, lps, load, des.Time(durMS)*des.Millisecond, seed, algo, reg, popts...)
+		if err != nil {
+			return err
+		}
+		if tracer != nil {
+			f, err := os.Create(tracePath)
 			if err != nil {
 				return err
 			}
-			snap := reg.Snapshot()
-			syncMsgs := snap.Counter("pdes", "null_messages") + snap.Counter("pdes", "barriers")
-			fmt.Printf("%d\t%d\t%.6g\t%d\t%d\t%d\t%d\t%d\n",
-				n, lps, res.SimPerWall, snap.Counter("des", "events_executed"),
-				syncMsgs, snap.Counter("pdes", "cross_lp_packets"),
-				snap.Counter("pdes", "rollbacks"), res.FlowsCompleted)
-			c, ok := curves[lps]
-			if !ok {
-				c = &textplot.Series{Name: fmt.Sprintf("%d LP(s)", lps)}
-				curves[lps] = c
-				order = append(order, lps)
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
 			}
-			c.X = append(c.X, float64(n))
-			c.Y = append(c.Y, res.SimPerWall)
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "figures: trace of %d-ToR/%d-LP run written to %s\n", n, lps, tracePath)
 		}
+		snap := reg.Snapshot()
+		syncMsgs := snap.Counter("pdes", "null_messages") + snap.Counter("pdes", "barriers")
+		fmt.Printf("%d\t%d\t%.6g\t%d\t%d\t%d\t%d\t%d\n",
+			n, lps, res.SimPerWall, snap.Counter("des", "events_executed"),
+			syncMsgs, snap.Counter("pdes", "cross_lp_packets"),
+			snap.Counter("pdes", "rollbacks"), res.FlowsCompleted)
+		c, ok := curves[lps]
+		if !ok {
+			c = &textplot.Series{Name: fmt.Sprintf("%d LP(s)", lps)}
+			curves[lps] = c
+			order = append(order, lps)
+		}
+		c.X = append(c.X, float64(n))
+		c.Y = append(c.Y, res.SimPerWall)
 	}
 	var series []textplot.Series
 	for _, lps := range order {

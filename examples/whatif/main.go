@@ -7,19 +7,28 @@
 // stays full-fidelity (so the buffer change is faithfully simulated); the
 // other seven clusters are model-approximated background. One training run
 // amortizes across the whole parameter sweep.
+//
+// Each sweep point also streams an interval metrics time series (tagged with
+// its buffer depth) to whatif_metrics.jsonl through core.Config — where the
+// summary table shows one aggregate per depth, the rows show how loss and
+// retransmission evolve within each run.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"approxsim/internal/core"
 	"approxsim/internal/des"
+	"approxsim/internal/metrics"
 	"approxsim/internal/nn"
 	"approxsim/internal/packet"
 	"approxsim/internal/topology"
 )
+
+const seriesPath = "whatif_metrics.jsonl"
 
 func main() {
 	// One training pass on the small configuration.
@@ -38,6 +47,12 @@ func main() {
 		log.Fatal(err)
 	}
 
+	series, err := os.Create(seriesPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer series.Close()
+
 	fmt.Println("\nsweep: fabric buffer depth in the observed cluster @ 8-cluster scale")
 	fmt.Printf("%14s %12s %14s %12s %10s\n",
 		"buffer", "mean FCT", "p99 FCT", "retransmits", "wall")
@@ -51,16 +66,25 @@ func main() {
 			Duration: 4 * des.Millisecond,
 			Load:     0.5,
 			Seed:     1003, // evaluation workload, not the training one
+			// Interval telemetry: one tagged row per virtual millisecond of
+			// this sweep point, appended to the shared JSONL file.
+			Metrics:         metrics.NewRegistry(),
+			MetricsInterval: des.Millisecond,
+			MetricsWriter:   series,
+			MetricsTag:      fmt.Sprintf("buffer=%dpkt", frames),
 		}
 		start := time.Now()
 		res, err := core.RunHybrid(cfg, models)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%10d pkt %10.3fms %12.3fms %12d %9.2fs\n",
+		snap := cfg.Metrics.Snapshot()
+		fmt.Printf("%10d pkt %10.3fms %12.3fms %12d %9.2fs  (drops=%d)\n",
 			frames, res.Summary.MeanFCT*1e3, res.Summary.P99FCT*1e3,
-			res.Summary.Retrans, time.Since(start).Seconds())
+			res.Summary.Retrans, time.Since(start).Seconds(),
+			snap.Counter("netsim", "drops"))
 	}
 	fmt.Println("\neach sweep point reuses the same trained background models;")
 	fmt.Println("only the full-fidelity cluster re-simulates the design change.")
+	fmt.Printf("per-run interval telemetry: %s\n", seriesPath)
 }

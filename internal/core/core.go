@@ -28,6 +28,7 @@ import (
 	"approxsim/internal/metrics"
 	"approxsim/internal/micro"
 	"approxsim/internal/nn"
+	"approxsim/internal/obs"
 	"approxsim/internal/packet"
 	"approxsim/internal/rng"
 	"approxsim/internal/stats"
@@ -72,6 +73,23 @@ type Config struct {
 	// approximated fabrics under "approx"); snapshot it after the run
 	// returns. The registry adds zero cost to the simulation hot path.
 	Metrics *metrics.Registry
+	// MetricsInterval, when positive (and Metrics and MetricsWriter are set),
+	// streams interval registry deltas as JSONL to MetricsWriter every that
+	// much virtual time. The sampler rides the kernel as a recurring event —
+	// the same pattern as the progress reporter — so rows land at exact
+	// sim-time boundaries and never race the simulation.
+	MetricsInterval des.Time
+	// MetricsWriter receives the JSONL time series (required when
+	// MetricsInterval is set).
+	MetricsWriter io.Writer
+	// MetricsTag, when non-empty, labels every time-series row with a "tag"
+	// field — useful when several runs of a sweep append to one writer.
+	MetricsTag string
+	// Trace, when non-nil, routes packet lifecycle events from every device
+	// and TCP stack into it (Chrome trace-event JSON for Perfetto) and, when
+	// it carries a flight recorder, feeds the recorder one record per kernel
+	// event. Nil costs the hot path one pointer check per site.
+	Trace *obs.Tracer
 	// ProgressEvery, when positive, schedules a kernel event every that much
 	// virtual time that writes a one-line progress report to ProgressWriter.
 	// Running progress off the kernel keeps it race-free: the report fires
@@ -165,8 +183,33 @@ func buildNetwork(cfg Config) (*des.Kernel, *topology.Topology, []*tcp.Stack, er
 			cfg.Metrics.Register("tcp", s)
 		}
 	}
+	if cfg.Trace != nil {
+		buf := cfg.Trace.NewBuf(0, "sim")
+		if h := obs.KernelHook(buf); h != nil {
+			k.SetHook(h)
+		}
+		topo.SetTrace(cfg.Trace, buf)
+		for _, s := range stacks {
+			s.SetTrace(buf)
+		}
+	}
 	installProgress(cfg, k)
 	return k, topo, stacks, nil
+}
+
+// installSampler creates the kernel-driven interval sampler (nil when the
+// config does not ask for one). The caller must Close it after the run to
+// emit the final row.
+func installSampler(cfg Config, k *des.Kernel) *obs.Sampler {
+	if cfg.Metrics == nil || cfg.MetricsInterval <= 0 || cfg.MetricsWriter == nil {
+		return nil
+	}
+	s := obs.NewSampler(cfg.Metrics, cfg.MetricsWriter, cfg.MetricsInterval)
+	if cfg.MetricsTag != "" {
+		s.SetTag(cfg.MetricsTag)
+	}
+	s.InstallKernel(k, cfg.Duration+cfg.Drain)
+	return s
 }
 
 // installProgress schedules the recurring progress report on the kernel.
@@ -223,11 +266,15 @@ func RunFull(cfg Config, captureBoundary bool) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	sampler := installSampler(cfg, k)
 
 	start := time.Now()
 	gen.Start(cfg.Duration)
 	k.Run(cfg.Duration + cfg.Drain)
 	wall := time.Since(start)
+	if err := sampler.Close(k.Now()); err != nil {
+		return nil, fmt.Errorf("core: metrics time series: %w", err)
+	}
 
 	res := &RunResult{
 		Summary: traffic.Summarize(gen.Results, cfg.Duration+cfg.Drain),
@@ -362,11 +409,15 @@ func RunHybrid(cfg Config, models *Models) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	sampler := installSampler(cfg, k)
 
 	start := time.Now()
 	gen.Start(cfg.Duration)
 	k.Run(cfg.Duration + cfg.Drain)
 	wall := time.Since(start)
+	if err := sampler.Close(k.Now()); err != nil {
+		return nil, fmt.Errorf("core: metrics time series: %w", err)
+	}
 
 	res := &RunResult{
 		Summary: traffic.Summarize(gen.Results, cfg.Duration+cfg.Drain),

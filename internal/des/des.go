@@ -17,6 +17,7 @@ package des
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"approxsim/internal/metrics"
 )
@@ -138,8 +139,20 @@ func (h eventHeap) siftDown(i int) {
 	}
 }
 
-// Kernel is a single-threaded discrete-event scheduler. It is not safe for
-// concurrent use; the pdes package builds multi-LP simulations out of one
+// Hook observes kernel scheduler activity from the hot path. Implementations
+// live outside this package (internal/obs); the kernel only pays a nil check
+// per event when no hook is installed, so tracing is near-free when off.
+// OnEvent is invoked by the kernel's own goroutine immediately before each
+// live event executes.
+type Hook interface {
+	OnEvent(at Time, seq uint64)
+}
+
+// Kernel is a single-threaded discrete-event scheduler: exactly one goroutine
+// may schedule, cancel, and run events. Clock and work counters are published
+// with single-writer atomics, so other goroutines (the obs interval sampler,
+// a metrics snapshot) may read Now, Pending, Stats, and CollectMetrics while
+// the kernel runs; the pdes package builds multi-LP simulations out of one
 // Kernel per logical process.
 type Kernel struct {
 	now    Time
@@ -148,7 +161,9 @@ type Kernel struct {
 	nexec  uint64 // events executed
 	nsched uint64 // events scheduled
 	ncanc  uint64 // events canceled
-	heapHW int    // heap depth high-water mark
+	heapHW int64  // heap depth high-water mark
+	npend  int64  // current heap depth, mirrored for concurrent readers
+	hook   Hook
 	run    bool
 	stop   bool
 }
@@ -158,8 +173,18 @@ func NewKernel() *Kernel {
 	return &Kernel{heap: make(eventHeap, 0, 1024)}
 }
 
-// Now returns the current virtual time.
-func (k *Kernel) Now() Time { return k.now }
+// SetHook installs (or, with nil, removes) the scheduler hook. Must be called
+// from the kernel's owning goroutine while it is not running events.
+func (k *Kernel) SetHook(h Hook) { k.hook = h }
+
+// Now returns the current virtual time. Safe to call from any goroutine.
+func (k *Kernel) Now() Time { return Time(atomic.LoadInt64((*int64)(&k.now))) }
+
+// setNow advances the clock visibly to concurrent readers.
+func (k *Kernel) setNow(t Time) { atomic.StoreInt64((*int64)(&k.now), int64(t)) }
+
+// syncPending republishes the heap depth after any heap mutation.
+func (k *Kernel) syncPending() { atomic.StoreInt64(&k.npend, int64(len(k.heap))) }
 
 // Schedule runs fn after delay virtual time. A negative delay panics: the
 // simulated world cannot schedule into its own past.
@@ -188,9 +213,10 @@ func (k *Kernel) AtCtx(t Time, ctx any, fn func()) *Event {
 	k.seq++
 	e := &Event{at: t, seq: k.seq, fn: fn, ctx: ctx}
 	k.heap.push(e)
-	k.nsched++
-	if len(k.heap) > k.heapHW {
-		k.heapHW = len(k.heap)
+	atomic.AddUint64(&k.nsched, 1)
+	k.syncPending()
+	if d := int64(len(k.heap)); d > atomic.LoadInt64(&k.heapHW) {
+		atomic.StoreInt64(&k.heapHW, d)
 	}
 	return e
 }
@@ -212,7 +238,7 @@ func (k *Kernel) Cancel(e *Event) {
 	}
 	e.canceled = true
 	e.fn = nil
-	k.ncanc++
+	atomic.AddUint64(&k.ncanc, 1)
 }
 
 // Step executes the single next live event. It returns false when the queue
@@ -220,13 +246,17 @@ func (k *Kernel) Cancel(e *Event) {
 func (k *Kernel) Step() bool {
 	for len(k.heap) > 0 {
 		e := k.heap.pop()
+		k.syncPending()
 		if e.canceled {
 			continue
 		}
-		k.now = e.at
+		k.setNow(e.at)
 		fn := e.fn
 		e.fn = nil
-		k.nexec++
+		atomic.AddUint64(&k.nexec, 1)
+		if k.hook != nil {
+			k.hook.OnEvent(e.at, e.seq)
+		}
 		fn()
 		return true
 	}
@@ -245,6 +275,7 @@ func (k *Kernel) Run(until Time) {
 		// Skip canceled events without executing them.
 		for len(k.heap) > 0 && k.heap[0].canceled {
 			k.heap.pop()
+			k.syncPending()
 		}
 		if len(k.heap) == 0 {
 			break
@@ -258,7 +289,7 @@ func (k *Kernel) Run(until Time) {
 	// monotonic progress — except for the drain-everything horizon used by
 	// RunAll, where the end of the last event is the natural finish time.
 	if k.now < until && until != MaxTime && !k.stop {
-		k.now = until
+		k.setNow(until)
 	}
 }
 
@@ -270,8 +301,8 @@ func (k *Kernel) RunAll() { k.Run(MaxTime) }
 func (k *Kernel) Stop() { k.stop = true }
 
 // Pending returns the number of events in the heap, including lazily
-// canceled ones still awaiting removal.
-func (k *Kernel) Pending() int { return len(k.heap) }
+// canceled ones still awaiting removal. Safe to call from any goroutine.
+func (k *Kernel) Pending() int { return int(atomic.LoadInt64(&k.npend)) }
 
 // NextEventTime returns the time of the earliest live pending event and true,
 // or (0, false) if none is pending. The PDES engine uses this to compute
@@ -279,6 +310,7 @@ func (k *Kernel) Pending() int { return len(k.heap) }
 func (k *Kernel) NextEventTime() (Time, bool) {
 	for len(k.heap) > 0 && k.heap[0].canceled {
 		k.heap.pop()
+		k.syncPending()
 	}
 	if len(k.heap) == 0 {
 		return 0, false
@@ -294,22 +326,25 @@ type Stats struct {
 	HeapHighWater int    // deepest the event heap has ever been
 }
 
-// Stats returns a snapshot of the kernel's work counters.
+// Stats returns a snapshot of the kernel's work counters. Safe to call from
+// any goroutine.
 func (k *Kernel) Stats() Stats {
 	return Stats{
-		Executed: k.nexec, Scheduled: k.nsched, Canceled: k.ncanc,
-		HeapHighWater: k.heapHW,
+		Executed:      atomic.LoadUint64(&k.nexec),
+		Scheduled:     atomic.LoadUint64(&k.nsched),
+		Canceled:      atomic.LoadUint64(&k.ncanc),
+		HeapHighWater: int(atomic.LoadInt64(&k.heapHW)),
 	}
 }
 
 // CollectMetrics implements metrics.Collector. Registering several kernels
 // (one per PDES LP) under one group sums the counters and takes the maximum
-// of the gauges.
+// of the gauges. Safe to call while the kernel runs.
 func (k *Kernel) CollectMetrics(e *metrics.Emitter) {
-	e.Counter("events_executed", k.nexec)
-	e.Counter("events_scheduled", k.nsched)
-	e.Counter("events_canceled", k.ncanc)
-	e.Gauge("heap_high_water", int64(k.heapHW))
-	e.Gauge("pending_events", int64(len(k.heap)))
-	e.Gauge("virtual_time_ns", int64(k.now))
+	e.Counter("events_executed", atomic.LoadUint64(&k.nexec))
+	e.Counter("events_scheduled", atomic.LoadUint64(&k.nsched))
+	e.Counter("events_canceled", atomic.LoadUint64(&k.ncanc))
+	e.Gauge("heap_high_water", atomic.LoadInt64(&k.heapHW))
+	e.Gauge("pending_events", atomic.LoadInt64(&k.npend))
+	e.Gauge("virtual_time_ns", int64(k.Now()))
 }

@@ -1,5 +1,7 @@
 package des
 
+import "sync/atomic"
+
 // Kernel snapshot/restore: the state-saving hooks the optimistic (Time Warp)
 // PDES engine is built on.
 //
@@ -75,8 +77,14 @@ func (k *Kernel) Snapshot(saveCtx func(ctx any) any) *KernelState {
 // (they are absent from the saved heap). restoreCtx (may be nil) is invoked
 // with each saved event context and the blob saveCtx produced for it.
 func (k *Kernel) Restore(st *KernelState, restoreCtx func(ctx, blob any)) {
-	k.now, k.seq = st.now, st.seq
-	k.nexec, k.nsched, k.ncanc = st.nexec, st.nsched, st.ncanc
+	k.setNow(st.now)
+	k.seq = st.seq
+	// Counters shrink here by design: rolled-back work is un-counted. Stores
+	// are atomic so a concurrent sampler never sees a torn value (it must
+	// tolerate non-monotone readings from optimistic runs — see obs.Sampler).
+	atomic.StoreUint64(&k.nexec, st.nexec)
+	atomic.StoreUint64(&k.nsched, st.nsched)
+	atomic.StoreUint64(&k.ncanc, st.ncanc)
 	heap := make(eventHeap, 0, len(st.events))
 	for i := range st.events {
 		se := &st.events[i]
@@ -87,8 +95,9 @@ func (k *Kernel) Restore(st *KernelState, restoreCtx func(ctx, blob any)) {
 		heap = append(heap, se.ev)
 	}
 	k.heap = heap
-	if len(k.heap) > k.heapHW {
-		k.heapHW = len(k.heap)
+	k.syncPending()
+	if d := int64(len(k.heap)); d > atomic.LoadInt64(&k.heapHW) {
+		atomic.StoreInt64(&k.heapHW, d)
 	}
 }
 
@@ -103,6 +112,7 @@ func (k *Kernel) RunLimit(until Time, max int) int {
 	for ran < max {
 		for len(k.heap) > 0 && k.heap[0].canceled {
 			k.heap.pop()
+			k.syncPending()
 		}
 		if len(k.heap) == 0 || k.heap[0].at > until {
 			break

@@ -1,0 +1,110 @@
+package metrics
+
+import "fmt"
+
+// Delta returns the change from prev to s as a new snapshot: counters and
+// floats are subtracted, histograms are subtracted bucket-wise (count, sum,
+// and every bucket), and gauges keep their current instantaneous value. A
+// delta histogram's min/max are the cumulative observed extrema, not
+// interval-local ones — log2 buckets cannot recover per-interval extrema.
+//
+// Delta is strict: a counter or histogram that shrank between prev and s is
+// an error, never a wrapped or negative delta. Shrinkage means either the
+// snapshots were passed in the wrong order or the run rolled state back
+// between them (Time Warp does this by design — use the signed deltas the
+// obs sampler emits for optimistic runs instead). A metric present in prev
+// but missing from s is likewise an error; one new in s deltas from zero.
+func (s *Snapshot) Delta(prev *Snapshot) (*Snapshot, error) {
+	out := &Snapshot{index: map[string]int{}}
+	for _, m := range s.metrics {
+		key := m.Group + "." + m.Name
+		dm := Metric{Group: m.Group, Name: m.Name, Value: Value{Kind: m.Value.Kind}}
+		pi, havePrev := prev.index[key]
+		var pv *Metric
+		if havePrev {
+			pv = &prev.metrics[pi]
+			if pv.Value.Kind != m.Value.Kind {
+				return nil, fmt.Errorf("metrics: delta of %s: kind changed from %d to %d",
+					key, pv.Value.Kind, m.Value.Kind)
+			}
+		}
+		switch m.Value.Kind {
+		case KindCounter:
+			var base uint64
+			if havePrev {
+				base = pv.Value.Counter
+			}
+			if m.Value.Counter < base {
+				return nil, fmt.Errorf("metrics: delta of %s: counter shrank from %d to %d",
+					key, base, m.Value.Counter)
+			}
+			dm.Value.Counter = m.Value.Counter - base
+		case KindGauge:
+			dm.Value.Gauge = m.Value.Gauge
+		case KindFloat:
+			var base float64
+			if havePrev {
+				base = pv.Value.Float
+			}
+			dm.Value.Float = m.Value.Float - base
+		case KindHistogram:
+			dh, err := deltaHistogram(key, m.hist, pvHist(pv))
+			if err != nil {
+				return nil, err
+			}
+			dm.hist = dh
+			dm.Value.Hist = dh.Summary()
+		}
+		out.index[key] = len(out.metrics)
+		out.metrics = append(out.metrics, dm)
+	}
+	for _, pm := range prev.metrics {
+		key := pm.Group + "." + pm.Name
+		if _, ok := s.index[key]; !ok {
+			return nil, fmt.Errorf("metrics: delta: %s present in previous snapshot but missing now", key)
+		}
+	}
+	return out, nil
+}
+
+func pvHist(pv *Metric) *Histogram {
+	if pv == nil {
+		return nil
+	}
+	return pv.hist
+}
+
+// deltaHistogram subtracts prev from cur bucket-wise. Both arguments are
+// snapshot-private pooled histograms, so plain field access is safe.
+func deltaHistogram(key string, cur, prev *Histogram) (*Histogram, error) {
+	d := &Histogram{}
+	if cur != nil {
+		*d = *cur
+	}
+	if prev == nil {
+		return d, nil
+	}
+	if d.count < prev.count {
+		return nil, fmt.Errorf("metrics: delta of %s: histogram count shrank from %d to %d",
+			key, prev.count, d.count)
+	}
+	if d.sum < prev.sum {
+		return nil, fmt.Errorf("metrics: delta of %s: histogram sum shrank from %d to %d",
+			key, prev.sum, d.sum)
+	}
+	for i := range d.buckets {
+		if d.buckets[i] < prev.buckets[i] {
+			return nil, fmt.Errorf("metrics: delta of %s: histogram bucket %d shrank from %d to %d",
+				key, i, prev.buckets[i], d.buckets[i])
+		}
+		d.buckets[i] -= prev.buckets[i]
+	}
+	d.count -= prev.count
+	d.sum -= prev.sum
+	// min/max stay cumulative; zero them when the interval saw no samples so
+	// an empty delta serializes as an all-zero summary.
+	if d.count == 0 {
+		d.min, d.max, d.sum = 0, 0, 0
+	}
+	return d, nil
+}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDeltaCountersGaugesFloats(t *testing.T) {
+	var c Counter
+	var g Gauge
+	f := 1.5
+	r := NewRegistry()
+	r.RegisterFunc("grp", func(e *Emitter) {
+		e.Counter("c", c.Value())
+		e.Gauge("g", g.Value())
+		e.Float("f", f)
+	})
+
+	c.Add(10)
+	g.Set(7)
+	prev := r.Snapshot()
+
+	c.Add(5)
+	g.Set(3)
+	f = 4.0
+	cur := r.Snapshot()
+
+	d, err := cur.Delta(prev)
+	if err != nil {
+		t.Fatalf("Delta: %v", err)
+	}
+	if got := d.Counter("grp", "c"); got != 5 {
+		t.Errorf("counter delta = %d, want 5", got)
+	}
+	if got := d.Gauge("grp", "g"); got != 3 {
+		t.Errorf("gauge delta keeps current value: got %d, want 3", got)
+	}
+	if v, _ := d.Get("grp", "f"); v.Float != 2.5 {
+		t.Errorf("float delta = %v, want 2.5", v.Float)
+	}
+}
+
+func TestDeltaCounterShrinkErrors(t *testing.T) {
+	var c Counter
+	r := NewRegistry()
+	r.RegisterFunc("grp", func(e *Emitter) { e.Counter("c", c.Value()) })
+	c.Add(10)
+	prev := r.Snapshot()
+	c.Store(4) // rollback-style shrink
+	cur := r.Snapshot()
+	if _, err := cur.Delta(prev); err == nil || !strings.Contains(err.Error(), "shrank") {
+		t.Fatalf("want shrink error, got %v", err)
+	}
+}
+
+func TestDeltaMissingMetricErrors(t *testing.T) {
+	emitExtra := true
+	r := NewRegistry()
+	r.RegisterFunc("grp", func(e *Emitter) {
+		e.Counter("always", 1)
+		if emitExtra {
+			e.Counter("sometimes", 1)
+		}
+	})
+	prev := r.Snapshot()
+	emitExtra = false
+	cur := r.Snapshot()
+	if _, err := cur.Delta(prev); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("want missing-metric error, got %v", err)
+	}
+}
+
+func TestDeltaNewMetricFromZero(t *testing.T) {
+	emitExtra := false
+	r := NewRegistry()
+	r.RegisterFunc("grp", func(e *Emitter) {
+		e.Counter("always", 2)
+		if emitExtra {
+			e.Counter("sometimes", 9)
+		}
+	})
+	prev := r.Snapshot()
+	emitExtra = true
+	cur := r.Snapshot()
+	d, err := cur.Delta(prev)
+	if err != nil {
+		t.Fatalf("Delta: %v", err)
+	}
+	if got := d.Counter("grp", "sometimes"); got != 9 {
+		t.Errorf("new metric delta = %d, want full value 9", got)
+	}
+}
+
+func TestDeltaHistogram(t *testing.T) {
+	var h Histogram
+	r := NewRegistry()
+	r.RegisterFunc("grp", func(e *Emitter) { e.Histogram("h", &h) })
+
+	h.Observe(100)
+	h.Observe(200)
+	prev := r.Snapshot()
+
+	h.Observe(1000)
+	h.Observe(2000)
+	h.Observe(4000)
+	cur := r.Snapshot()
+
+	d, err := cur.Delta(prev)
+	if err != nil {
+		t.Fatalf("Delta: %v", err)
+	}
+	v, ok := d.Get("grp", "h")
+	if !ok || v.Kind != KindHistogram {
+		t.Fatalf("histogram missing from delta")
+	}
+	if v.Hist.Count != 3 {
+		t.Errorf("delta count = %d, want 3", v.Hist.Count)
+	}
+	// Delta mean reflects only the interval's samples.
+	wantMean := float64(1000+2000+4000) / 3
+	if v.Hist.Mean != wantMean {
+		t.Errorf("delta mean = %v, want %v", v.Hist.Mean, wantMean)
+	}
+}
+
+// A histogram that shrank between snapshots (Time Warp rollback restored an
+// older copy) must produce an error, not a wrapped bucket count.
+func TestDeltaHistogramShrinkErrors(t *testing.T) {
+	var h Histogram
+	r := NewRegistry()
+	r.RegisterFunc("grp", func(e *Emitter) { e.Histogram("h", &h) })
+
+	checkpoint := h // by-value checkpoint, as the PDES state savers take
+	h.Observe(50)
+	h.Observe(60)
+	prev := r.Snapshot()
+
+	h.CopyFrom(&checkpoint) // rollback
+	cur := r.Snapshot()
+
+	_, err := cur.Delta(prev)
+	if err == nil || !strings.Contains(err.Error(), "shrank") {
+		t.Fatalf("want shrink error, got %v", err)
+	}
+}
+
+// Merging a zero-count histogram must not disturb min/max of the target, and
+// merging into a zero-count target must adopt the source's extrema.
+func TestHistogramZeroCountMerge(t *testing.T) {
+	var target, empty, src Histogram
+	target.Observe(10)
+	target.merge(&empty)
+	if s := target.Summary(); s.Count != 1 || s.Min != 10 || s.Max != 10 {
+		t.Errorf("merge of empty changed summary: %+v", s)
+	}
+
+	var fresh Histogram
+	src.Observe(5)
+	src.Observe(500)
+	fresh.merge(&src)
+	if s := fresh.Summary(); s.Count != 2 || s.Min != 5 || s.Max != 500 {
+		t.Errorf("merge into empty lost extrema: %+v", s)
+	}
+
+	// Two empties merged stay empty and serialize as all-zero.
+	var a, b Histogram
+	a.merge(&b)
+	if s := a.Summary(); s != (HistogramSummary{}) {
+		t.Errorf("empty merge produced non-zero summary: %+v", s)
+	}
+}
+
+// The largest possible sample lands in the last bucket (index 64) without
+// indexing past the array, and quantiles stay clamped to the observed max.
+func TestHistogramMaxBucketOverflow(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxUint64)
+	h.Observe(math.MaxUint64)
+	s := h.Summary()
+	if s.Count != 2 || s.Max != math.MaxUint64 || s.Min != math.MaxUint64 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if q := h.Quantile(0.99); q != float64(math.MaxUint64) {
+		t.Errorf("p99 = %v, want clamped to max", q)
+	}
+	// sum wrapped (2 * MaxUint64 overflows); Observe must still have counted
+	// both samples in the top bucket.
+	var probe Histogram
+	probe.Observe(math.MaxUint64)
+	if probe.buckets[histBuckets-1] != 1 {
+		t.Errorf("MaxUint64 not in bucket %d", histBuckets-1)
+	}
+}
+
+func TestCounterStoreHistogramCopyFrom(t *testing.T) {
+	var c Counter
+	c.Add(9)
+	saved := c // by-value checkpoint
+	c.Add(100)
+	c.Store(saved.Value())
+	if c.Value() != 9 {
+		t.Errorf("Store restore: got %d, want 9", c.Value())
+	}
+
+	var h Histogram
+	h.Observe(3)
+	savedH := h
+	h.Observe(7)
+	h.CopyFrom(&savedH)
+	if got := h.Summary(); got.Count != 1 || got.Max != 3 {
+		t.Errorf("CopyFrom restore: %+v", got)
+	}
+}

@@ -5,16 +5,21 @@
 //
 // Design constraints, in order:
 //
-//   - Zero cost on the hot path. Instruments are plain struct fields the
-//     owning component mutates directly (Counter.Inc is one add). There is no
-//     lock, no atomic, and no map lookup per update; the des kernel executes
-//     tens of millions of events per second and must not notice it is being
-//     observed.
-//   - Ownership follows the simulator's concurrency model. Each kernel/LP/
-//     device updates only its own instruments from its own goroutine; the
-//     registry reads them in Snapshot, which callers invoke only when the
-//     owning goroutines are quiescent (end of run, between barrier windows,
-//     or from a kernel-scheduled progress event).
+//   - Near-zero cost on the hot path. Instruments are plain struct fields the
+//     owning component mutates directly (Counter.Inc is one uncontended atomic
+//     add). There is no lock and no map lookup per update; the des kernel
+//     executes tens of millions of events per second and must barely notice it
+//     is being observed.
+//   - Single-writer atomics. Each kernel/LP/device updates only its own
+//     instruments from its own goroutine, but updates and reads go through
+//     sync/atomic so Registry.Snapshot may run concurrently with a live
+//     simulation (the interval sampler in internal/obs does exactly that).
+//     Instruments stay plain structs — no noCopy — so the PDES state savers
+//     can checkpoint them by value; restore paths use Store/CopyFrom, which
+//     write atomically. A mid-run snapshot is weakly consistent: every field
+//     is individually torn-free, but cross-field invariants (a histogram's
+//     sum/count pair, a gauge against its high-water) are only exact at
+//     quiescence.
 //   - Deterministic output. Snapshots iterate groups in registration order
 //     and metrics in first-emission order, so two identical runs serialize to
 //     byte-identical JSON — diffable in tests and across commits.
@@ -33,38 +38,45 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing event count. It must be updated only
-// by its owning goroutine.
+// Counter is a monotonically increasing event count (Time Warp rollback is
+// the one sanctioned exception: restoring a checkpoint may Store a smaller
+// value). It must be updated only by its owning goroutine; any goroutine may
+// read it.
 type Counter struct{ n uint64 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { atomic.AddUint64(&c.n, 1) }
 
 // Add adds d.
-func (c *Counter) Add(d uint64) { c.n += d }
+func (c *Counter) Add(d uint64) { atomic.AddUint64(&c.n, d) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n }
+func (c *Counter) Value() uint64 { return atomic.LoadUint64(&c.n) }
+
+// Store overwrites the count. It exists for state restore (rollback); normal
+// updates must use Inc/Add.
+func (c *Counter) Store(v uint64) { atomic.StoreUint64(&c.n, v) }
 
 // Gauge is a last-value instrument that also tracks its high-water mark.
-// It must be updated only by its owning goroutine.
+// It must be updated only by its owning goroutine; any goroutine may read it.
 type Gauge struct{ cur, hi int64 }
 
 // Set records the current value, updating the high-water mark.
 func (g *Gauge) Set(v int64) {
-	g.cur = v
-	if v > g.hi {
-		g.hi = v
+	atomic.StoreInt64(&g.cur, v)
+	if v > atomic.LoadInt64(&g.hi) {
+		atomic.StoreInt64(&g.hi, v)
 	}
 }
 
 // Value returns the last value set.
-func (g *Gauge) Value() int64 { return g.cur }
+func (g *Gauge) Value() int64 { return atomic.LoadInt64(&g.cur) }
 
 // HighWater returns the largest value ever set.
-func (g *Gauge) HighWater() int64 { return g.hi }
+func (g *Gauge) HighWater() int64 { return atomic.LoadInt64(&g.hi) }
 
 // histBuckets is the bucket count: bucket i holds samples v with
 // bits.Len64(v) == i, i.e. [2^(i-1), 2^i).
@@ -83,51 +95,73 @@ type Histogram struct {
 
 // Observe records one sample.
 func (h *Histogram) Observe(v uint64) {
-	if h.count == 0 || v < h.min {
-		h.min = v
+	if atomic.LoadUint64(&h.count) == 0 || v < atomic.LoadUint64(&h.min) {
+		atomic.StoreUint64(&h.min, v)
 	}
-	if v > h.max {
-		h.max = v
+	if v > atomic.LoadUint64(&h.max) {
+		atomic.StoreUint64(&h.max, v)
 	}
-	h.count++
-	h.sum += v
-	h.buckets[bits.Len64(v)]++
+	atomic.AddUint64(&h.count, 1)
+	atomic.AddUint64(&h.sum, v)
+	atomic.AddUint64(&h.buckets[bits.Len64(v)], 1)
 }
 
 // Count returns the number of samples observed.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 { return atomic.LoadUint64(&h.count) }
 
-// merge pools other into h.
+// CopyFrom overwrites h with a torn-free copy of other's current contents.
+// It exists for state restore (rollback); normal updates must use Observe.
+func (h *Histogram) CopyFrom(other *Histogram) {
+	atomic.StoreUint64(&h.min, atomic.LoadUint64(&other.min))
+	atomic.StoreUint64(&h.max, atomic.LoadUint64(&other.max))
+	atomic.StoreUint64(&h.sum, atomic.LoadUint64(&other.sum))
+	for i := range h.buckets {
+		atomic.StoreUint64(&h.buckets[i], atomic.LoadUint64(&other.buckets[i]))
+	}
+	// count last: readers gate on count, so an interleaved reader sees at
+	// worst the old count against new buckets, never a half-written copy.
+	atomic.StoreUint64(&h.count, atomic.LoadUint64(&other.count))
+}
+
+// merge pools other into h. h is a snapshot-private accumulator (plain writes
+// are fine); other may belong to a live component, so its fields are read
+// atomically.
 func (h *Histogram) merge(other *Histogram) {
-	if other.count == 0 {
+	ocount := atomic.LoadUint64(&other.count)
+	if ocount == 0 {
 		return
 	}
-	if h.count == 0 || other.min < h.min {
-		h.min = other.min
+	omin := atomic.LoadUint64(&other.min)
+	omax := atomic.LoadUint64(&other.max)
+	if h.count == 0 || omin < h.min {
+		h.min = omin
 	}
-	if other.max > h.max {
-		h.max = other.max
+	if omax > h.max {
+		h.max = omax
 	}
-	h.count += other.count
-	h.sum += other.sum
+	h.count += ocount
+	h.sum += atomic.LoadUint64(&other.sum)
 	for i := range h.buckets {
-		h.buckets[i] += other.buckets[i]
+		h.buckets[i] += atomic.LoadUint64(&other.buckets[i])
 	}
 }
 
 // Quantile estimates the q'th quantile (q in [0,1]) as the geometric midpoint
 // of the bucket containing it, clamped to the observed min/max.
 func (h *Histogram) Quantile(q float64) float64 {
-	if h.count == 0 {
+	count := atomic.LoadUint64(&h.count)
+	if count == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(h.count))
-	if rank >= h.count {
-		rank = h.count - 1
+	hmin := atomic.LoadUint64(&h.min)
+	hmax := atomic.LoadUint64(&h.max)
+	rank := uint64(q * float64(count))
+	if rank >= count {
+		rank = count - 1
 	}
 	var seen uint64
-	for i, n := range h.buckets {
-		seen += n
+	for i := range h.buckets {
+		seen += atomic.LoadUint64(&h.buckets[i])
 		if seen <= rank {
 			continue
 		}
@@ -138,18 +172,23 @@ func (h *Histogram) Quantile(q float64) float64 {
 			lo := math.Exp2(float64(i - 1))
 			est = lo * 1.5 // midpoint of [2^(i-1), 2^i)
 		}
-		est = math.Max(est, float64(h.min))
-		est = math.Min(est, float64(h.max))
+		est = math.Max(est, float64(hmin))
+		est = math.Min(est, float64(hmax))
 		return est
 	}
-	return float64(h.max)
+	return float64(hmax)
 }
 
 // Summary reduces the histogram to the fields a snapshot serializes.
 func (h *Histogram) Summary() HistogramSummary {
-	s := HistogramSummary{Count: h.count, Min: h.min, Max: h.max}
-	if h.count > 0 {
-		s.Mean = float64(h.sum) / float64(h.count)
+	count := atomic.LoadUint64(&h.count)
+	s := HistogramSummary{
+		Count: count,
+		Min:   atomic.LoadUint64(&h.min),
+		Max:   atomic.LoadUint64(&h.max),
+	}
+	if count > 0 {
+		s.Mean = float64(atomic.LoadUint64(&h.sum)) / float64(count)
 		s.P50 = h.Quantile(0.50)
 		s.P99 = h.Quantile(0.99)
 	}
@@ -166,9 +205,11 @@ type HistogramSummary struct {
 	P99   float64 `json:"p99"`
 }
 
-// Collector is implemented by any component that exposes metrics. It is
-// called with the owning goroutines quiescent and must emit every metric it
-// owns, zero-valued or not, so snapshot schemas stay stable across runs.
+// Collector is implemented by any component that exposes metrics. It may be
+// called while the owning goroutines are live (instruments are read
+// atomically) and must emit every metric it owns, zero-valued or not, so
+// snapshot schemas stay stable across runs. Collectors that derive values
+// from non-instrument state must read that state race-free themselves.
 type Collector interface {
 	CollectMetrics(e *Emitter)
 }
@@ -222,8 +263,10 @@ func (r *Registry) Groups() []string {
 	return out
 }
 
-// Snapshot collects every registered metric. The caller must ensure the
-// goroutines owning the instruments are quiescent (see package comment).
+// Snapshot collects every registered metric. It is safe to call while the
+// simulation is running; a mid-run snapshot is weakly consistent (see the
+// package comment), while a snapshot at quiescence is exact and
+// deterministic.
 func (r *Registry) Snapshot() *Snapshot {
 	r.mu.Lock()
 	entries := make([]regEntry, len(r.entries))

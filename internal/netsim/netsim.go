@@ -12,9 +12,11 @@ package netsim
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"approxsim/internal/des"
 	"approxsim/internal/metrics"
+	"approxsim/internal/obs"
 	"approxsim/internal/packet"
 )
 
@@ -69,7 +71,10 @@ func (c LinkConfig) SerializationDelay(size int32) des.Time {
 	return des.Time(q)
 }
 
-// PortStats counts per-port activity.
+// PortStats counts per-port activity. The live copy inside a Port is updated
+// with single-writer atomics so mid-run metrics snapshots are torn-free; the
+// value returned by Port.Stats (and checkpointed by SaveState) is a plain
+// struct.
 type PortStats struct {
 	TxPackets uint64 // packets fully serialized onto the link
 	TxBytes   uint64
@@ -95,6 +100,11 @@ type Port struct {
 	busy        bool
 
 	stats PortStats
+
+	// trace, when non-nil, receives per-packet lifecycle events ("queued"
+	// and "tx" spans, "drop"/"ecn_mark" instants) on thread track tid.
+	trace *obs.Buf
+	tid   int32
 
 	// OnDrop, if non-nil, observes each packet dropped at this port.
 	OnDrop func(*packet.Packet)
@@ -122,11 +132,25 @@ func (p *Port) Config() LinkConfig { return p.cfg }
 // owner sees for arrivals on this port).
 func (p *Port) Index() int { return p.index }
 
-// Stats returns a snapshot of the port counters.
-func (p *Port) Stats() PortStats { return p.stats }
+// SetTrace routes the port's packet-lifecycle events to b under thread track
+// tid (conventionally the owning device's NodeID). A nil b disables tracing.
+func (p *Port) SetTrace(b *obs.Buf, tid int32) { p.trace, p.tid = b, tid }
 
-// QueuedBytes returns the current output-queue occupancy in bytes.
-func (p *Port) QueuedBytes() int64 { return p.queuedBytes }
+// Stats returns a torn-free snapshot of the port counters. Safe to call from
+// any goroutine.
+func (p *Port) Stats() PortStats {
+	return PortStats{
+		TxPackets: atomic.LoadUint64(&p.stats.TxPackets),
+		TxBytes:   atomic.LoadUint64(&p.stats.TxBytes),
+		Drops:     atomic.LoadUint64(&p.stats.Drops),
+		ECNMarks:  atomic.LoadUint64(&p.stats.ECNMarks),
+		MaxQueue:  atomic.LoadInt64(&p.stats.MaxQueue),
+	}
+}
+
+// QueuedBytes returns the current output-queue occupancy in bytes. Safe to
+// call from any goroutine.
+func (p *Port) QueuedBytes() int64 { return atomic.LoadInt64(&p.queuedBytes) }
 
 // Peer returns the device and port index on the far side of the link.
 func (p *Port) Peer() (Device, int) { return p.peer, p.peerPort }
@@ -144,7 +168,12 @@ func (p *Port) Send(pkt *packet.Packet) {
 	}
 	size := int64(pkt.Size())
 	if p.queuedBytes+size > p.cfg.QueueBytes {
-		p.stats.Drops++
+		atomic.AddUint64(&p.stats.Drops, 1)
+		if p.trace != nil {
+			p.trace.Emit(obs.Event{TS: p.kernel.Now(), Ph: obs.PhInstant,
+				Name: "drop", Cat: "netsim", Tid: p.tid,
+				K1: "bytes", V1: size, K2: "flow", V2: int64(pkt.FlowID)})
+		}
 		if p.OnDrop != nil {
 			p.OnDrop(pkt)
 		}
@@ -153,13 +182,18 @@ func (p *Port) Send(pkt *packet.Packet) {
 	if p.cfg.ECNThresholdBytes > 0 && pkt.ECNCapable &&
 		p.queuedBytes >= p.cfg.ECNThresholdBytes {
 		pkt.ECNMarked = true
-		p.stats.ECNMarks++
+		atomic.AddUint64(&p.stats.ECNMarks, 1)
+		if p.trace != nil {
+			p.trace.Emit(obs.Event{TS: p.kernel.Now(), Ph: obs.PhInstant,
+				Name: "ecn_mark", Cat: "netsim", Tid: p.tid,
+				K1: "queued_bytes", V1: p.queuedBytes, K2: "flow", V2: int64(pkt.FlowID)})
+		}
 	}
 	pkt.EnqueueTime = p.kernel.Now()
 	p.queue = append(p.queue, pkt)
-	p.queuedBytes += size
+	atomic.AddInt64(&p.queuedBytes, size)
 	if p.queuedBytes > p.stats.MaxQueue {
-		p.stats.MaxQueue = p.queuedBytes
+		atomic.StoreInt64(&p.stats.MaxQueue, p.queuedBytes)
 	}
 }
 
@@ -171,6 +205,11 @@ func (p *Port) transmit(pkt *packet.Packet) {
 	ser := p.cfg.SerializationDelay(pkt.Size())
 	arrival := ser + p.cfg.PropDelay
 	peer, peerPort := p.peer, p.peerPort
+	if p.trace != nil {
+		p.trace.Emit(obs.Event{TS: p.kernel.Now(), Dur: ser, Ph: obs.PhSpan,
+			Name: "tx", Cat: "netsim", Tid: p.tid,
+			K1: "bytes", V1: int64(pkt.Size()), K2: "flow", V2: int64(pkt.FlowID)})
+	}
 	// The packet rides as the event context so kernel snapshots (optimistic
 	// PDES rollback) can checkpoint the contents of packets in flight on the
 	// wire — switches mutate TTL/hops/ECN in place on delivery.
@@ -178,8 +217,8 @@ func (p *Port) transmit(pkt *packet.Packet) {
 		peer.Receive(pkt, peerPort)
 	})
 	p.kernel.Schedule(ser, func() {
-		p.stats.TxPackets++
-		p.stats.TxBytes += uint64(pkt.Size())
+		atomic.AddUint64(&p.stats.TxPackets, 1)
+		atomic.AddUint64(&p.stats.TxBytes, uint64(pkt.Size()))
 		if len(p.queue) == 0 {
 			p.busy = false
 			return
@@ -187,11 +226,18 @@ func (p *Port) transmit(pkt *packet.Packet) {
 		next := p.queue[0]
 		p.queue[0] = nil
 		p.queue = p.queue[1:]
-		p.queuedBytes -= int64(next.Size())
+		atomic.AddInt64(&p.queuedBytes, -int64(next.Size()))
 		if len(p.queue) == 0 {
 			// Reset the backing array so a long-drained queue does not
 			// pin its high-water-mark allocation forever.
 			p.queue = nil
+		}
+		if p.trace != nil {
+			if wait := p.kernel.Now() - next.EnqueueTime; wait > 0 && next.EnqueueTime > 0 {
+				p.trace.Emit(obs.Event{TS: next.EnqueueTime, Dur: wait, Ph: obs.PhSpan,
+					Name: "queued", Cat: "netsim", Tid: p.tid,
+					K1: "bytes", V1: int64(next.Size()), K2: "flow", V2: int64(next.FlowID)})
+			}
 		}
 		p.transmit(next)
 	})
@@ -201,12 +247,13 @@ func (p *Port) transmit(pkt *packet.Packet) {
 // simulation under one group yields network-wide totals (counters sum) and
 // the worst queue across all ports (gauges keep the max).
 func (p *Port) CollectMetrics(e *metrics.Emitter) {
-	e.Counter("tx_packets", p.stats.TxPackets)
-	e.Counter("tx_bytes", p.stats.TxBytes)
-	e.Counter("drops", p.stats.Drops)
-	e.Counter("ecn_marks", p.stats.ECNMarks)
-	e.Gauge("queue_high_water_bytes", p.stats.MaxQueue)
-	e.Gauge("queued_bytes", p.queuedBytes)
+	st := p.Stats()
+	e.Counter("tx_packets", st.TxPackets)
+	e.Counter("tx_bytes", st.TxBytes)
+	e.Counter("drops", st.Drops)
+	e.Counter("ecn_marks", st.ECNMarks)
+	e.Gauge("queue_high_water_bytes", st.MaxQueue)
+	e.Gauge("queued_bytes", p.QueuedBytes())
 }
 
 // Router chooses the output port for a packet at a switch. Implementations
@@ -238,7 +285,10 @@ type Switch struct {
 	OnReceive func(pkt *packet.Packet, inPort int)
 
 	// RouteDrops counts packets discarded for TTL expiry or no route.
+	// Updated atomically; read it with atomic.LoadUint64 (or at quiescence).
 	RouteDrops uint64
+
+	trace *obs.Buf
 }
 
 // NewSwitch creates a switch with no ports; add them with AddPort.
@@ -252,6 +302,9 @@ func (s *Switch) NodeID() packet.NodeID { return s.id }
 // AddPort creates, attaches, and returns the switch's next output port.
 func (s *Switch) AddPort(cfg LinkConfig) *Port {
 	p := NewPort(s.kernel, s, len(s.ports), cfg)
+	if s.trace != nil {
+		p.SetTrace(s.trace, int32(s.id))
+	}
 	s.ports = append(s.ports, p)
 	return p
 }
@@ -262,10 +315,19 @@ func (s *Switch) Port(i int) *Port { return s.ports[i] }
 // NumPorts returns how many ports the switch has.
 func (s *Switch) NumPorts() int { return len(s.ports) }
 
+// SetTrace routes the switch's (and all its current ports') lifecycle events
+// to b, with the switch's NodeID as the thread track.
+func (s *Switch) SetTrace(b *obs.Buf) {
+	s.trace = b
+	for _, p := range s.ports {
+		p.SetTrace(b, int32(s.id))
+	}
+}
+
 // CollectMetrics implements metrics.Collector: the switch's route drops plus
 // every attached port's counters.
 func (s *Switch) CollectMetrics(e *metrics.Emitter) {
-	e.Counter("route_drops", s.RouteDrops)
+	e.Counter("route_drops", atomic.LoadUint64(&s.RouteDrops))
 	for _, p := range s.ports {
 		p.CollectMetrics(e)
 	}
@@ -280,18 +342,29 @@ func (s *Switch) Receive(pkt *packet.Packet, inPort int) {
 	pkt.Hops++
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		s.RouteDrops++
+		atomic.AddUint64(&s.RouteDrops, 1)
+		s.emitRouteDrop(pkt)
 		return
 	}
 	out, ok := s.router.Route(s.id, pkt)
 	if !ok {
-		s.RouteDrops++
+		atomic.AddUint64(&s.RouteDrops, 1)
+		s.emitRouteDrop(pkt)
 		return
 	}
 	if out < 0 || out >= len(s.ports) {
 		panic(fmt.Sprintf("netsim: switch %d routed to invalid port %d", s.id, out))
 	}
 	s.ports[out].Send(pkt)
+}
+
+func (s *Switch) emitRouteDrop(pkt *packet.Packet) {
+	if s.trace == nil {
+		return
+	}
+	s.trace.Emit(obs.Event{TS: s.kernel.Now(), Ph: obs.PhInstant,
+		Name: "route_drop", Cat: "netsim", Tid: int32(s.id),
+		K1: "ttl", V1: int64(pkt.TTL), K2: "flow", V2: int64(pkt.FlowID)})
 }
 
 // Host is an end host: a single NIC plus a transport demultiplexer.
@@ -308,8 +381,11 @@ type Host struct {
 	// OnReceive, if non-nil, observes arrivals before Handler runs.
 	OnReceive func(pkt *packet.Packet)
 
-	// RxPackets counts delivered packets.
+	// RxPackets counts delivered packets. Updated atomically; read it with
+	// atomic.LoadUint64 (or at quiescence).
 	RxPackets uint64
+
+	trace *obs.Buf
 }
 
 // NewHost creates a host. The NIC is created by AttachNIC.
@@ -329,6 +405,9 @@ func (h *Host) AttachNIC(cfg LinkConfig) *Port {
 		panic("netsim: host already has a NIC")
 	}
 	h.nic = NewPort(h.kernel, h, 0, cfg)
+	if h.trace != nil {
+		h.nic.SetTrace(h.trace, int32(h.nodeID))
+	}
 	return h.nic
 }
 
@@ -349,10 +428,19 @@ func (h *Host) Send(pkt *packet.Packet) {
 	h.nic.Send(pkt)
 }
 
+// SetTrace routes the host's (and its NIC's) lifecycle events to b, with the
+// host's NodeID as the thread track.
+func (h *Host) SetTrace(b *obs.Buf) {
+	h.trace = b
+	if h.nic != nil {
+		h.nic.SetTrace(b, int32(h.nodeID))
+	}
+}
+
 // CollectMetrics implements metrics.Collector: delivered packets plus the
 // NIC's port counters.
 func (h *Host) CollectMetrics(e *metrics.Emitter) {
-	e.Counter("rx_packets", h.RxPackets)
+	e.Counter("rx_packets", atomic.LoadUint64(&h.RxPackets))
 	if h.nic != nil {
 		h.nic.CollectMetrics(e)
 	}
@@ -360,7 +448,12 @@ func (h *Host) CollectMetrics(e *metrics.Emitter) {
 
 // Receive implements Device: deliver the packet to the transport handler.
 func (h *Host) Receive(pkt *packet.Packet, _ int) {
-	h.RxPackets++
+	atomic.AddUint64(&h.RxPackets, 1)
+	if h.trace != nil {
+		h.trace.Emit(obs.Event{TS: h.kernel.Now(), Ph: obs.PhInstant,
+			Name: "deliver", Cat: "netsim", Tid: int32(h.nodeID),
+			K1: "bytes", V1: int64(pkt.Size()), K2: "flow", V2: int64(pkt.FlowID)})
+	}
 	if h.OnReceive != nil {
 		h.OnReceive(pkt)
 	}

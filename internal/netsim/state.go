@@ -1,6 +1,10 @@
 package netsim
 
-import "approxsim/internal/packet"
+import (
+	"sync/atomic"
+
+	"approxsim/internal/packet"
+)
 
 // Device state capture for optimistic PDES rollback.
 //
@@ -37,10 +41,18 @@ func (p *Port) SaveState() any {
 	return st
 }
 
-// RestoreState implements the pdes StateSaver contract for a port.
+// RestoreState implements the pdes StateSaver contract for a port. Counter
+// fields are stored atomically: a rollback may race with a concurrent metrics
+// snapshot, which must see torn-free (if momentarily stale) values.
 func (p *Port) RestoreState(v any) {
 	st := v.(portState)
-	p.queuedBytes, p.busy, p.stats = st.queuedBytes, st.busy, st.stats
+	atomic.StoreInt64(&p.queuedBytes, st.queuedBytes)
+	p.busy = st.busy
+	atomic.StoreUint64(&p.stats.TxPackets, st.stats.TxPackets)
+	atomic.StoreUint64(&p.stats.TxBytes, st.stats.TxBytes)
+	atomic.StoreUint64(&p.stats.Drops, st.stats.Drops)
+	atomic.StoreUint64(&p.stats.ECNMarks, st.stats.ECNMarks)
+	atomic.StoreInt64(&p.stats.MaxQueue, st.stats.MaxQueue)
 	p.queue = nil
 	if len(st.queue) > 0 {
 		p.queue = make([]*packet.Packet, len(st.queue))
@@ -69,7 +81,7 @@ func (s *Switch) SaveState() any {
 // RestoreState implements the pdes StateSaver contract for a switch.
 func (s *Switch) RestoreState(v any) {
 	st := v.(switchState)
-	s.RouteDrops = st.routeDrops
+	atomic.StoreUint64(&s.RouteDrops, st.routeDrops)
 	for i, p := range s.ports {
 		if i < len(st.ports) {
 			p.RestoreState(st.ports[i])
@@ -95,7 +107,7 @@ func (h *Host) SaveState() any {
 // RestoreState implements the pdes StateSaver contract for a host.
 func (h *Host) RestoreState(v any) {
 	st := v.(hostState)
-	h.RxPackets = st.rxPackets
+	atomic.StoreUint64(&h.RxPackets, st.rxPackets)
 	if h.nic != nil && st.nic != nil {
 		h.nic.RestoreState(st.nic)
 	}

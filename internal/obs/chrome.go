@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"approxsim/internal/des"
+)
+
+// Chrome trace-event JSON ("JSON Object Format" with a traceEvents array).
+// Perfetto and chrome://tracing open these directly. Timestamps ("ts") and
+// durations ("dur") are microseconds; virtual nanoseconds are divided by
+// 1e3 with fractional microseconds kept, so nanosecond resolution survives.
+
+// writeTS appends a sim-time nanosecond value as fractional microseconds.
+func writeTS(b *strings.Builder, ns int64) {
+	b.WriteString(strconv.FormatInt(ns/1000, 10))
+	if frac := ns % 1000; frac != 0 {
+		fmt.Fprintf(b, ".%03d", frac)
+	}
+}
+
+func writeEventJSON(b *strings.Builder, ev *Event) {
+	b.WriteString(`{"ph":"`)
+	b.WriteByte(ev.Ph)
+	b.WriteString(`","name":`)
+	b.WriteString(quote(ev.Name))
+	if ev.Cat != "" {
+		b.WriteString(`,"cat":`)
+		b.WriteString(quote(ev.Cat))
+	}
+	fmt.Fprintf(b, `,"pid":%d,"tid":%d,"ts":`, ev.Pid, ev.Tid)
+	writeTS(b, int64(ev.TS))
+	switch ev.Ph {
+	case PhSpan:
+		b.WriteString(`,"dur":`)
+		writeTS(b, int64(ev.Dur))
+	case PhInstant:
+		b.WriteString(`,"s":"t"`) // thread-scoped instant
+	}
+	if ev.Ph == PhCounter {
+		// Counter args become the plotted series.
+		b.WriteString(`,"args":{`)
+		b.WriteString(quote(ev.K1))
+		b.WriteString(`:`)
+		b.WriteString(strconv.FormatInt(ev.V1, 10))
+		if ev.K2 != "" {
+			b.WriteString(`,`)
+			b.WriteString(quote(ev.K2))
+			b.WriteString(`:`)
+			b.WriteString(strconv.FormatInt(ev.V2, 10))
+		}
+		b.WriteString(`}`)
+	} else if ev.K1 != "" {
+		b.WriteString(`,"args":{`)
+		b.WriteString(quote(ev.K1))
+		b.WriteString(`:`)
+		b.WriteString(strconv.FormatInt(ev.V1, 10))
+		if ev.K2 != "" {
+			b.WriteString(`,`)
+			b.WriteString(quote(ev.K2))
+			b.WriteString(`:`)
+			b.WriteString(strconv.FormatInt(ev.V2, 10))
+		}
+		b.WriteString(`}`)
+	}
+	b.WriteString(`}`)
+}
+
+func quote(s string) string {
+	q, _ := json.Marshal(s)
+	return string(q)
+}
+
+// writeMetadata emits process_name / thread_name metadata records plus
+// explicit sort indexes so Perfetto orders tracks by id, not name.
+func (t *Tracer) writeMetadata(b *strings.Builder, first *bool) {
+	emit := func(s string) {
+		if !*first {
+			b.WriteString(",\n")
+		}
+		*first = false
+		b.WriteString(s)
+	}
+	t.mu.Lock()
+	procs := append([]int32(nil), t.procOrd...)
+	thrs := append([]int64(nil), t.thrOrd...)
+	procNames := make(map[int32]string, len(t.procs))
+	for k, v := range t.procs {
+		procNames[k] = v
+	}
+	thrNames := make(map[int64]string, len(t.threads))
+	for k, v := range t.threads {
+		thrNames[k] = v
+	}
+	t.mu.Unlock()
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	sort.Slice(thrs, func(i, j int) bool { return thrs[i] < thrs[j] })
+	for _, pid := range procs {
+		name := procNames[pid]
+		if name == "" {
+			name = procName(pid)
+		}
+		emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"ts":0,"args":{"name":%s}}`, pid, quote(name)))
+		emit(fmt.Sprintf(`{"ph":"M","name":"process_sort_index","pid":%d,"tid":0,"ts":0,"args":{"sort_index":%d}}`, pid, pid))
+	}
+	for _, key := range thrs {
+		pid, tid := int32(key>>32), int32(uint32(key))
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"ts":0,"args":{"name":%s}}`, pid, tid, quote(thrNames[key])))
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_sort_index","pid":%d,"tid":%d,"ts":0,"args":{"sort_index":%d}}`, pid, tid, tid))
+	}
+}
+
+// WriteChromeTrace serializes the full trace. Call it after the run is
+// quiescent: Buf event slices are owner-written without locks. Buf order is
+// registration order and events are in emission order, so output is
+// deterministic for deterministic runs.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: tracing not enabled")
+	}
+	var b strings.Builder
+	b.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	b.WriteString("\n")
+	first := true
+	t.writeMetadata(&b, &first)
+	t.mu.Lock()
+	bufs := append([]*Buf(nil), t.bufs...)
+	t.mu.Unlock()
+	for _, buf := range bufs {
+		for i := range buf.events {
+			if !first {
+				b.WriteString(",\n")
+			}
+			first = false
+			writeEventJSON(&b, &buf.events[i])
+		}
+	}
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DumpFlightRecorder writes every Buf's retained ring contents as one Chrome
+// trace (merged, time-sorted, prefixed with an instant naming the trigger) to
+// Options.DumpWriter. It is safe to call mid-run from any goroutine. Each
+// distinct reason dumps at most once per run; repeat triggers return without
+// writing. Returns whether a dump was written.
+func (t *Tracer) DumpFlightRecorder(reason string, now des.Time) bool {
+	if t == nil || t.opts.DumpWriter == nil || t.opts.FlightRecorder <= 0 {
+		return false
+	}
+	t.mu.Lock()
+	if t.dumped[reason] {
+		t.mu.Unlock()
+		return false
+	}
+	t.dumped[reason] = true
+	t.lastDump = reason
+	bufs := append([]*Buf(nil), t.bufs...)
+	t.mu.Unlock()
+
+	var events []Event
+	var dropped int64
+	for _, buf := range bufs {
+		if buf.ring == nil {
+			continue
+		}
+		events = append(events, buf.ring.snapshot()...)
+		dropped += int64(buf.ring.dropped())
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+
+	var b strings.Builder
+	b.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	b.WriteString("\n")
+	first := true
+	t.writeMetadata(&b, &first)
+	marker := Event{
+		TS: now, Ph: PhInstant, Name: "flight_recorder_dump: " + reason,
+		Cat: "obs", K1: "overwritten_events", V1: dropped,
+	}
+	if !first {
+		b.WriteString(",\n")
+	}
+	writeEventJSON(&b, &marker)
+	for i := range events {
+		b.WriteString(",\n")
+		writeEventJSON(&b, &events[i])
+	}
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(t.opts.DumpWriter, b.String())
+	return err == nil
+}

@@ -1,0 +1,57 @@
+package obs
+
+import "sync"
+
+// ring is the flight recorder's storage: a fixed-capacity circular buffer of
+// the most recent Events. record never allocates after construction (Event is
+// a value type and call sites use static strings). The mutex exists because
+// dumps read rings across goroutines mid-run; it is uncontended in the steady
+// state, so the recording cost is one uncontended lock per event — paid only
+// when the flight recorder is enabled at all.
+type ring struct {
+	mu  sync.Mutex
+	buf []Event
+	n   uint64 // total events ever recorded
+}
+
+func newRing(capacity int) *ring {
+	if capacity <= 0 {
+		return nil
+	}
+	return &ring{buf: make([]Event, capacity)}
+}
+
+func (r *ring) record(ev Event) {
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = ev
+	r.n++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained events oldest-first.
+func (r *ring) snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	capacity := uint64(len(r.buf))
+	kept := r.n
+	if kept > capacity {
+		kept = capacity
+	}
+	out := make([]Event, 0, kept)
+	start := r.n - kept
+	for i := start; i < r.n; i++ {
+		out = append(out, r.buf[i%capacity])
+	}
+	return out
+}
+
+// dropped returns how many events were overwritten before they could be
+// dumped.
+func (r *ring) dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.n - uint64(len(r.buf))
+}

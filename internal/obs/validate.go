@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateChromeTrace checks data against the Chrome trace-event JSON Object
+// Format: a top-level object with a "traceEvents" array whose entries each
+// carry a known "ph", a string "name", numeric "pid"/"tid"/"ts", a numeric
+// "dur" on complete ('X') spans, a valid scope on instants ('i'), and an
+// "args" object on counters ('C') and metadata ('M'). This is the schema
+// Perfetto's legacy JSON importer requires; CI and the acceptance tests run
+// every produced trace (and flight-recorder dump) through it.
+func ValidateChromeTrace(data []byte) error {
+	var top struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &top); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if top.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	for i, ev := range top.TraceEvents {
+		if err := validateEvent(ev); err != nil {
+			return fmt.Errorf("obs: traceEvents[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func validateEvent(ev map[string]json.RawMessage) error {
+	ph, err := stringField(ev, "ph")
+	if err != nil {
+		return err
+	}
+	switch ph {
+	case "X", "i", "C", "M", "B", "E", "b", "e", "n", "s", "t", "f":
+	default:
+		return fmt.Errorf("unknown ph %q", ph)
+	}
+	if _, err := stringField(ev, "name"); err != nil {
+		return err
+	}
+	for _, f := range []string{"pid", "tid", "ts"} {
+		if err := numberField(ev, f); err != nil {
+			return err
+		}
+	}
+	switch ph {
+	case "X":
+		if err := numberField(ev, "dur"); err != nil {
+			return err
+		}
+	case "i":
+		s, err := stringField(ev, "s")
+		if err != nil {
+			return err
+		}
+		if s != "t" && s != "p" && s != "g" {
+			return fmt.Errorf("instant scope %q not one of t/p/g", s)
+		}
+	case "C", "M":
+		raw, ok := ev["args"]
+		if !ok {
+			return fmt.Errorf("ph %q missing args", ph)
+		}
+		var args map[string]any
+		if err := json.Unmarshal(raw, &args); err != nil || len(args) == 0 {
+			return fmt.Errorf("ph %q args not a non-empty object", ph)
+		}
+		if ph == "C" {
+			for k, v := range args {
+				if _, ok := v.(float64); !ok {
+					return fmt.Errorf("counter arg %q is not numeric", k)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func stringField(ev map[string]json.RawMessage, name string) (string, error) {
+	raw, ok := ev[name]
+	if !ok {
+		return "", fmt.Errorf("missing %q", name)
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return "", fmt.Errorf("%q is not a string", name)
+	}
+	return s, nil
+}
+
+func numberField(ev map[string]json.RawMessage, name string) error {
+	raw, ok := ev[name]
+	if !ok {
+		return fmt.Errorf("missing %q", name)
+	}
+	var f float64
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("%q is not a number", name)
+	}
+	return nil
+}

@@ -57,15 +57,23 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 	lpOfSpine := func(s int) int { return s % lps }
 
 	// Devices, each on its LP's kernel and in its LP's rollback saver list.
+	// When the system carries a tracer, every device emits on its owning
+	// LP's Buf (LP = Perfetto process, device = named thread track); the
+	// Tracer/Buf methods are nil-safe, so the untraced path costs nothing.
+	tr := ls.Sys.Tracer()
 	for t := 0; t < nT; t++ {
 		lp := ls.Sys.LP(lpOfToR(t))
 		sw := netsim.NewSwitch(lp.Kernel(), ls.torBase+packet.NodeID(t), ls)
+		sw.SetTrace(lp.Trace())
+		tr.NameThread(int32(lp.ID()), int32(ls.torBase)+int32(t), fmt.Sprintf("tor%d", t))
 		lp.AddSaver(sw)
 		ls.ToRs = append(ls.ToRs, sw)
 	}
 	for s := 0; s < nS; s++ {
 		lp := ls.Sys.LP(lpOfSpine(s))
 		sw := netsim.NewSwitch(lp.Kernel(), ls.spineBase+packet.NodeID(s), ls)
+		sw.SetTrace(lp.Trace())
+		tr.NameThread(int32(lp.ID()), int32(ls.spineBase)+int32(s), fmt.Sprintf("spine%d", s))
 		lp.AddSaver(sw)
 		ls.Spines = append(ls.Spines, sw)
 	}
@@ -73,6 +81,9 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 		lp := ls.Sys.LP(lpOfToR(h / perRack))
 		host := netsim.NewHost(lp.Kernel(), packet.HostID(h), packet.NodeID(h))
 		stack := tcp.NewStack(host, tcp.Config{})
+		host.SetTrace(lp.Trace())
+		stack.SetTrace(lp.Trace())
+		tr.NameThread(int32(lp.ID()), int32(h), fmt.Sprintf("host%d", h))
 		lp.AddSaver(host)
 		lp.AddSaver(stack)
 		ls.Hosts = append(ls.Hosts, host)

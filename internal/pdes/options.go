@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"approxsim/internal/des"
+	"approxsim/internal/obs"
 )
 
 // SyncAlgo selects the synchronization algorithm a System runs under.
@@ -65,6 +66,10 @@ type config struct {
 	maxRollbacks    uint64
 	checkpointEvery int
 	window          des.Time
+	tracer          *obs.Tracer
+	sampler         *obs.Sampler
+	samplerPoll     time.Duration
+	stallTimeout    time.Duration
 }
 
 func defaultConfig() config {
@@ -143,3 +148,34 @@ func WithTimeWindow(w des.Time) Option {
 		}
 	}
 }
+
+// WithObs attaches an observability tracer: each LP gets a per-goroutine
+// emission Buf (trace process = LP id), the synchronization machinery emits
+// lifecycle events (EIT stalls, stragglers, rollbacks, checkpoints, GVT
+// advances), and — when the tracer carries a flight recorder — each LP kernel
+// feeds the recorder one record per executed event, and causality violations
+// or a rollback-budget abort dump the recorder automatically. A nil tracer is
+// ignored (tracing stays off).
+func WithObs(t *obs.Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithSampler attaches an interval metrics sampler whose lifecycle Run
+// manages: a wall-clock poller over the system's committed virtual time (GVT
+// under Time Warp, the minimum kernel clock under the conservative engines)
+// starts when Run starts and is closed — emitting the final row — when Run
+// returns. Polling committed time is what makes interval rows safe under
+// optimism: a sampler event inside a speculative kernel would be rolled back
+// and re-fired. A nil sampler is ignored.
+func WithSampler(s *obs.Sampler) Option { return func(c *config) { c.sampler = s } }
+
+// WithSamplerPoll sets the wall-clock poll period of the Run-managed sampler
+// (see WithSampler). Non-positive keeps the sampler's default (1ms).
+func WithSamplerPoll(d time.Duration) Option { return func(c *config) { c.samplerPoll = d } }
+
+// WithStallTimeout arms the deadlock watchdog: if the committed-time
+// frontier makes no progress for d of wall-clock time while Run is active,
+// the flight recorder attached via WithObs is dumped once with reason
+// "deadlock_suspected". Detection only — the run is not interrupted, since a
+// stall this long is either a wedge the caller will kill (and then wants the
+// dump for) or a grossly undersized lookahead worth the same evidence. Zero
+// (the default) disables the watchdog.
+func WithStallTimeout(d time.Duration) Option { return func(c *config) { c.stallTimeout = d } }

@@ -23,10 +23,13 @@ package pdes
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"approxsim/internal/des"
 	"approxsim/internal/metrics"
 	"approxsim/internal/netsim"
+	"approxsim/internal/obs"
 	"approxsim/internal/packet"
 )
 
@@ -69,9 +72,16 @@ type LP struct {
 	outs     []*outLink
 	end      des.Time
 
-	// Counters for the Fig. 1 analysis and the observability layer. Each is
-	// written only by the LP's own goroutine (or, for PostHorizonDrops, by
-	// its drainer after the LP goroutine has finished — still race-free).
+	// buf is the LP's trace emission handle (nil when tracing is off); its
+	// pid is the LP id, so each LP is one Perfetto process track.
+	buf *obs.Buf
+
+	// Counters for the Fig. 1 analysis and the observability layer. Each has
+	// a single writer (the LP's own goroutine, or for PostHorizonDrops its
+	// drainer after the LP goroutine has finished) but is MUTATED with
+	// sync/atomic so a mid-run metrics snapshot from another goroutine reads
+	// torn-free values. Reading the plain fields is only safe at quiescence
+	// (after Run returns); mid-run readers go through Stats/CollectMetrics.
 	Nulls      uint64 // null messages sent (CMB mode)
 	Barriers   uint64 // synchronization windows executed (barrier mode)
 	CrossPkts  uint64 // packets shipped to other LPs
@@ -92,7 +102,7 @@ type LP struct {
 	// kernel heap where they would skew Pending() and event counts.
 	PostHorizonDrops uint64
 	// InboxHighWater is the deepest the inbox has been observed at drain.
-	InboxHighWater int
+	InboxHighWater int64
 
 	// Time Warp counters (zero under the conservative engines). These are
 	// never rolled back: they account the optimistic machinery itself.
@@ -115,6 +125,27 @@ func (lp *LP) Kernel() *des.Kernel { return lp.kernel }
 // ID returns the LP index.
 func (lp *LP) ID() int { return lp.id }
 
+// Trace returns the LP's trace emission Buf — nil (and safe to use as nil)
+// when the system was built without WithObs. Wire it into the LP's devices
+// with their SetTrace methods so packet lifecycle events land on this LP's
+// process track.
+func (lp *LP) Trace() *obs.Buf { return lp.buf }
+
+// maxHorizon raises the LP's high-water horizon mark (atomically, for mid-run
+// gauge readers). Single-writer: only the LP's own goroutine calls it.
+func (lp *LP) maxHorizon(t des.Time) {
+	if t > lp.MaxHorizon {
+		atomic.StoreInt64((*int64)(&lp.MaxHorizon), int64(t))
+	}
+}
+
+// inboxDepth records an observed inbox depth against the high-water mark.
+func (lp *LP) inboxDepth(n int) {
+	if d := int64(n); d > lp.InboxHighWater {
+		atomic.StoreInt64(&lp.InboxHighWater, d)
+	}
+}
+
 // System is a set of LPs ready to run to a common horizon under the
 // synchronization algorithm selected at construction.
 type System struct {
@@ -122,8 +153,17 @@ type System struct {
 	cfg config
 
 	// gvtAdvances counts committed GVT advances of the last Time Warp run
-	// (written by the coordinator goroutine, read after Run returns).
+	// (written atomically by the coordinator goroutine; mid-run snapshots
+	// read it through CollectMetrics).
 	gvtAdvances uint64
+
+	// committed mirrors the last published GVT (des.Time, atomic) so
+	// CommittedTime works from any goroutine during a Time Warp run.
+	committed int64
+
+	// cbuf is the GVT coordinator's trace handle (pid one past the last LP);
+	// nil when tracing is off.
+	cbuf *obs.Buf
 }
 
 // NewSystem creates n empty logical processes. Options select the
@@ -141,12 +181,25 @@ func NewSystem(n int, opts ...Option) *System {
 	}
 	s := &System{cfg: cfg}
 	for i := 0; i < n; i++ {
-		s.lps = append(s.lps, &LP{
+		lp := &LP{
 			id:     i,
 			sys:    s,
 			kernel: des.NewKernel(),
 			inbox:  make(chan message, cfg.inboxCap),
-		})
+		}
+		if cfg.tracer != nil {
+			lp.buf = cfg.tracer.NewBuf(int32(i), fmt.Sprintf("LP %d", i))
+			// Feed the flight recorder one record per executed kernel event.
+			// KernelHook returns nil when there is no ring, keeping the
+			// kernel's disabled path a single nil check.
+			if h := obs.KernelHook(lp.buf); h != nil {
+				lp.kernel.SetHook(h)
+			}
+		}
+		s.lps = append(s.lps, lp)
+	}
+	if cfg.tracer != nil {
+		s.cbuf = cfg.tracer.NewBuf(int32(n), "GVT coordinator")
 	}
 	return s
 }
@@ -166,6 +219,31 @@ func (s *System) LP(i int) *LP { return s.lps[i] }
 
 // NumLPs returns the partition count.
 func (s *System) NumLPs() int { return len(s.lps) }
+
+// Tracer returns the tracer the system was built with (nil when tracing is
+// off; a nil *obs.Tracer is safe to use).
+func (s *System) Tracer() *obs.Tracer { return s.cfg.tracer }
+
+// CommittedTime returns a lower bound on the committed virtual time: state at
+// or before it can never be undone. Under Time Warp this is the last
+// published GVT; under the conservative engines — which never speculate —
+// it is the minimum kernel clock. Safe from any goroutine mid-run; this is
+// the clock the Run-managed sampler polls.
+func (s *System) CommittedTime() des.Time {
+	if s.cfg.algo == TimeWarp && len(s.lps) > 1 {
+		return des.Time(atomic.LoadInt64(&s.committed))
+	}
+	min := des.MaxTime
+	for _, lp := range s.lps {
+		if t := lp.kernel.Now(); t < min {
+			min = t
+		}
+	}
+	if min == des.MaxTime {
+		return 0
+	}
+	return min
+}
 
 // proxy is the sender-side stand-in for a device that lives on another LP.
 // The cross-boundary link is built with zero propagation delay so the
@@ -189,7 +267,7 @@ func (p *proxy) Receive(pkt *packet.Packet, _ int) {
 		p.lp.twEmit(p.out.to, at, pkt, p.dst, p.port)
 		return
 	}
-	p.lp.CrossPkts++
+	atomic.AddUint64(&p.lp.CrossPkts, 1)
 	if at > p.out.lastSent {
 		p.out.lastSent = at
 	}
@@ -276,18 +354,78 @@ func (s *System) ensureOut(from, to *LP, lookahead des.Time) *outLink {
 // it (all state committed). The error is always nil for the conservative
 // algorithms; Time Warp fails when WithMaxRollbacks is exceeded.
 func (s *System) Run(end des.Time) error {
+	if sp := s.cfg.sampler; sp != nil {
+		sp.StartPolling(s.CommittedTime, s.cfg.samplerPoll)
+	}
+	if stopWatch := s.startStallWatchdog(); stopWatch != nil {
+		defer stopWatch()
+	}
+	var err error
 	switch s.cfg.algo {
 	case NullMessages:
 		s.runNull(end)
-		return nil
 	case Barrier:
 		s.runBarrier(end)
-		return nil
 	case TimeWarp:
-		return s.runTimeWarp(end)
+		err = s.runTimeWarp(end)
 	default:
-		return fmt.Errorf("pdes: unknown sync algorithm %v", s.cfg.algo)
+		err = fmt.Errorf("pdes: unknown sync algorithm %v", s.cfg.algo)
 	}
+	if sp := s.cfg.sampler; sp != nil {
+		// The final row is stamped at the horizon on success, at the last
+		// committed time on an abort.
+		now := end
+		if err != nil {
+			now = s.CommittedTime()
+		}
+		if cerr := sp.Close(now); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// startStallWatchdog arms the deadlock detector configured by
+// WithStallTimeout: a wall-clock goroutine watching the committed-time
+// frontier, dumping the flight recorder once (reason "deadlock_suspected")
+// if the frontier makes no progress for the configured window. Detection
+// only — the run itself is left alone; a truly wedged run is killed by its
+// caller, and the dump is the artifact that explains what wedged. Returns
+// the stop function, or nil when the watchdog is not configured.
+func (s *System) startStallWatchdog() func() {
+	d := s.cfg.stallTimeout
+	if d <= 0 || s.cfg.tracer == nil {
+		return nil
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		last := s.CommittedTime()
+		lastMove := time.Now()
+		poll := d / 4
+		if poll <= 0 {
+			poll = d
+		}
+		ticker := time.NewTicker(poll)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if now := s.CommittedTime(); now != last {
+					last, lastMove = now, time.Now()
+					continue
+				}
+				if time.Since(lastMove) >= d {
+					s.cfg.tracer.DumpFlightRecorder("deadlock_suspected", last)
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(stop); <-done }
 }
 
 // RunBarrier executes all LPs to the horizon under barrier synchronization
@@ -334,10 +472,25 @@ func (s *System) runNull(end des.Time) {
 					select {
 					case m := <-lp.inbox:
 						if m.pkt != nil {
-							lp.PostHorizonDrops++
+							atomic.AddUint64(&lp.PostHorizonDrops, 1)
 						}
 					case <-stop:
-						return
+						// stop closes only after every LP goroutine has
+						// returned, so nothing sends anymore — but a message
+						// may already be sitting in the inbox, and select
+						// picks branches at random when both are ready. Flush
+						// before exiting so every post-horizon packet is
+						// accounted.
+						for {
+							select {
+							case m := <-lp.inbox:
+								if m.pkt != nil {
+									atomic.AddUint64(&lp.PostHorizonDrops, 1)
+								}
+							default:
+								return
+							}
+						}
 					}
 				}
 			}()
@@ -367,9 +520,7 @@ func (lp *LP) run() {
 		if horizon > lp.end {
 			horizon = lp.end
 		}
-		if horizon > lp.MaxHorizon {
-			lp.MaxHorizon = horizon
-		}
+		lp.maxHorizon(horizon)
 		lp.kernel.Run(horizon)
 		lp.sendNulls(horizon)
 		if horizon >= lp.end {
@@ -398,11 +549,18 @@ func (lp *LP) ingest(m message) {
 	}
 	at := m.at
 	if now := lp.kernel.Now(); at < now {
-		lp.Violations++
+		atomic.AddUint64(&lp.Violations, 1)
+		if lp.buf.Enabled() {
+			lp.buf.Emit(obs.Event{TS: now, Ph: obs.PhInstant, Name: "causality_violation",
+				Cat: "pdes", K1: "late_ns", V1: int64(now - at), K2: "from_lp", V2: int64(m.from)})
+		}
+		// A conservative-protocol causality violation is a synchronization
+		// bug: capture the recent event history of every LP while it is hot.
+		lp.sys.cfg.tracer.DumpFlightRecorder("causality_violation", now)
 		at = now
 	}
 	if at > lp.end {
-		lp.PostHorizonDrops++
+		atomic.AddUint64(&lp.PostHorizonDrops, 1)
 		return
 	}
 	pkt, dst, port := m.pkt, m.dst, m.port
@@ -411,11 +569,13 @@ func (lp *LP) ingest(m message) {
 
 // drain ingests inbox messages; when block is set it waits for at least one.
 func (lp *LP) drain(block bool) {
-	if n := len(lp.inbox); n > lp.InboxHighWater {
-		lp.InboxHighWater = n
-	}
+	lp.inboxDepth(len(lp.inbox))
 	if block {
-		lp.EITStalls++
+		atomic.AddUint64(&lp.EITStalls, 1)
+		if lp.buf.Enabled() {
+			lp.buf.Emit(obs.Event{TS: lp.kernel.Now(), Ph: obs.PhInstant, Name: "eit_stall",
+				Cat: "pdes", K1: "stalls", V1: int64(atomic.LoadUint64(&lp.EITStalls))})
+		}
 		lp.ingest(<-lp.inbox)
 	}
 	for {
@@ -441,7 +601,7 @@ func (lp *LP) sendNulls(horizon des.Time) {
 			continue // nothing new to promise
 		}
 		o.lastSent = promise
-		lp.Nulls++
+		atomic.AddUint64(&lp.Nulls, 1)
 		lp.send(o.to, message{from: lp.id, at: promise})
 	}
 }
@@ -468,43 +628,45 @@ type Stats struct {
 	GVTAdvances      uint64
 }
 
-// Stats sums counters across LPs.
+// Stats sums counters across LPs. Safe to call mid-run from any goroutine:
+// every field is read atomically, so values are torn-free (though a mid-run
+// reading is only weakly consistent across fields).
 func (s *System) Stats() Stats {
 	var out Stats
 	for _, lp := range s.lps {
 		out.Events += lp.kernel.Stats().Executed
-		out.Nulls += lp.Nulls
-		out.Barriers += lp.Barriers
-		out.CrossPkts += lp.CrossPkts
-		out.Violations += lp.Violations
-		out.EITStalls += lp.EITStalls
-		out.PostHorizonDrops += lp.PostHorizonDrops
-		out.Rollbacks += lp.Rollbacks
-		out.AntiMessages += lp.AntiMessages
-		out.RolledBackEvents += lp.RolledBackEvents
+		out.Nulls += atomic.LoadUint64(&lp.Nulls)
+		out.Barriers += atomic.LoadUint64(&lp.Barriers)
+		out.CrossPkts += atomic.LoadUint64(&lp.CrossPkts)
+		out.Violations += atomic.LoadUint64(&lp.Violations)
+		out.EITStalls += atomic.LoadUint64(&lp.EITStalls)
+		out.PostHorizonDrops += atomic.LoadUint64(&lp.PostHorizonDrops)
+		out.Rollbacks += atomic.LoadUint64(&lp.Rollbacks)
+		out.AntiMessages += atomic.LoadUint64(&lp.AntiMessages)
+		out.RolledBackEvents += atomic.LoadUint64(&lp.RolledBackEvents)
 	}
-	out.GVTAdvances = s.gvtAdvances
+	out.GVTAdvances = atomic.LoadUint64(&s.gvtAdvances)
 	return out
 }
 
 // CollectMetrics implements metrics.Collector: counters sum across LPs,
-// gauges report the worst LP.
+// gauges report the worst LP. Safe to call mid-run (atomic reads).
 func (s *System) CollectMetrics(e *metrics.Emitter) {
 	e.Gauge("lps", int64(len(s.lps)))
-	e.Counter("gvt_advances", s.gvtAdvances)
+	e.Counter("gvt_advances", atomic.LoadUint64(&s.gvtAdvances))
 	for _, lp := range s.lps {
-		e.Counter("null_messages", lp.Nulls)
-		e.Counter("barriers", lp.Barriers)
-		e.Counter("cross_lp_packets", lp.CrossPkts)
-		e.Counter("causality_violations", lp.Violations)
-		e.Counter("eit_stalls", lp.EITStalls)
-		e.Counter("post_horizon_drops", lp.PostHorizonDrops)
-		e.Counter("rollbacks", lp.Rollbacks)
-		e.Counter("anti_messages", lp.AntiMessages)
-		e.Counter("rolled_back_events", lp.RolledBackEvents)
-		e.Counter("checkpoints", lp.Checkpoints)
-		e.Gauge("inbox_high_water", int64(lp.InboxHighWater))
-		e.Gauge("max_horizon_ns", int64(lp.MaxHorizon))
+		e.Counter("null_messages", atomic.LoadUint64(&lp.Nulls))
+		e.Counter("barriers", atomic.LoadUint64(&lp.Barriers))
+		e.Counter("cross_lp_packets", atomic.LoadUint64(&lp.CrossPkts))
+		e.Counter("causality_violations", atomic.LoadUint64(&lp.Violations))
+		e.Counter("eit_stalls", atomic.LoadUint64(&lp.EITStalls))
+		e.Counter("post_horizon_drops", atomic.LoadUint64(&lp.PostHorizonDrops))
+		e.Counter("rollbacks", atomic.LoadUint64(&lp.Rollbacks))
+		e.Counter("anti_messages", atomic.LoadUint64(&lp.AntiMessages))
+		e.Counter("rolled_back_events", atomic.LoadUint64(&lp.RolledBackEvents))
+		e.Counter("checkpoints", atomic.LoadUint64(&lp.Checkpoints))
+		e.Gauge("inbox_high_water", atomic.LoadInt64(&lp.InboxHighWater))
+		e.Gauge("max_horizon_ns", atomic.LoadInt64((*int64)(&lp.MaxHorizon)))
 	}
 }
 
@@ -563,8 +725,9 @@ func (s *System) runBarrier(end des.Time) {
 			go func(lp *LP) {
 				defer wg.Done()
 				lp.drain(false)
+				lp.maxHorizon(horizon)
 				lp.kernel.Run(horizon)
-				lp.Barriers++
+				atomic.AddUint64(&lp.Barriers, 1)
 				compute.Done()
 				for {
 					select {

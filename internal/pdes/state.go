@@ -1,7 +1,10 @@
 package pdes
 
 import (
+	"sync/atomic"
+
 	"approxsim/internal/des"
+	"approxsim/internal/obs"
 	"approxsim/internal/packet"
 )
 
@@ -72,7 +75,11 @@ func (lp *LP) takeSnapshot() *lpSnapshot {
 	for _, s := range lp.savers {
 		snap.blobs = append(snap.blobs, s.SaveState())
 	}
-	lp.Checkpoints++
+	atomic.AddUint64(&lp.Checkpoints, 1)
+	if lp.buf.Enabled() {
+		lp.buf.Emit(obs.Event{TS: snap.now, Ph: obs.PhInstant, Name: "checkpoint",
+			Cat: "pdes", K1: "pending_events", V1: int64(lp.kernel.Pending())})
+	}
 	return snap
 }
 

@@ -3,9 +3,11 @@ package pdes
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"approxsim/internal/des"
 	"approxsim/internal/netsim"
+	"approxsim/internal/obs"
 	"approxsim/internal/packet"
 )
 
@@ -154,7 +156,7 @@ func (lp *LP) twEmit(to *LP, at des.Time, pkt *packet.Packet, dst netsim.Device,
 	if t.coasting {
 		return
 	}
-	lp.CrossPkts++
+	atomic.AddUint64(&lp.CrossPkts, 1)
 	t.sendSeq[to.id]++
 	m := twMsg{from: lp.id, seq: t.sendSeq[to.id], at: at, orig: *pkt, dst: dst, port: port}
 	t.outLog = append(t.outLog, twSent{to: to, sendAt: lp.kernel.Now(), m: m})
@@ -189,9 +191,7 @@ func (t *lpTW) take(lp *LP) []twMsg {
 	for len(t.box) == 0 && !t.shared.done.Load() && !lp.twRunnable() {
 		t.cond.Wait()
 	}
-	if n := len(t.box); n > lp.InboxHighWater {
-		lp.InboxHighWater = n
-	}
+	lp.inboxDepth(len(t.box))
 	batch := t.box
 	t.box = nil
 	return batch
@@ -213,7 +213,8 @@ func (lp *LP) twLoop() {
 				t.minSent = des.MaxTime
 				sh.resp <- twReport{phase: 1}
 			case m.ctrl == twCtrlPhase2:
-				sh.resp <- twReport{phase: 2, min: lp.twLocalMin(batch[i+1:]), rollbacks: lp.Rollbacks}
+				sh.resp <- twReport{phase: 2, min: lp.twLocalMin(batch[i+1:]),
+					rollbacks: atomic.LoadUint64(&lp.Rollbacks)}
 			case m.neg:
 				lp.twHandleAnti(m)
 			default:
@@ -224,9 +225,7 @@ func (lp *LP) twLoop() {
 			return
 		}
 		ran := lp.kernel.RunLimit(lp.twLimit(), every)
-		if now := lp.kernel.Now(); now > lp.MaxHorizon {
-			lp.MaxHorizon = now
-		}
+		lp.maxHorizon(lp.kernel.Now())
 		if ran > 0 {
 			t.sinceCkpt += ran
 			if t.sinceCkpt >= every {
@@ -245,7 +244,15 @@ func (lp *LP) twHandlePositive(m twMsg) {
 		lp.tw.postQ = append(lp.tw.postQ, m)
 		return
 	}
-	if m.at < lp.kernel.Now() {
+	if now := lp.kernel.Now(); m.at < now {
+		if lp.buf.Enabled() {
+			// The straggler marker lands at the message's own timestamp — in
+			// the LP's executed past — which is what makes a flight-recorder
+			// dump read causally: the straggler appears amid the speculative
+			// events it is about to undo.
+			lp.buf.Emit(obs.Event{TS: m.at, Ph: obs.PhInstant, Name: "straggler",
+				Cat: "pdes", K1: "late_ns", V1: int64(now - m.at), K2: "from_lp", V2: int64(m.from)})
+		}
 		lp.twRollback(m.at)
 	}
 	lp.twIngest(m)
@@ -313,8 +320,13 @@ func (lp *LP) twRollback(at des.Time) {
 		panic("pdes: time warp rollback with no checkpoint before straggler")
 	}
 	snap := t.snaps[idx]
-	lp.Rollbacks++
-	lp.RolledBackEvents += lp.kernel.Stats().Executed - snap.kstate.Executed()
+	undone := lp.kernel.Stats().Executed - snap.kstate.Executed()
+	atomic.AddUint64(&lp.Rollbacks, 1)
+	atomic.AddUint64(&lp.RolledBackEvents, undone)
+	if lp.buf.Enabled() {
+		lp.buf.Emit(obs.Event{TS: lp.kernel.Now(), Ph: obs.PhInstant, Name: "rollback",
+			Cat: "pdes", K1: "to_ns", V1: int64(snap.now), K2: "undone_events", V2: int64(undone)})
+	}
 	lp.restoreSnapshot(snap)
 
 	// The restored heap resurrects any event that was pending at checkpoint
@@ -346,7 +358,7 @@ func (lp *LP) twRollback(at des.Time) {
 	for _, sent := range t.outLog[cut:] {
 		a := sent.m
 		a.neg = true
-		lp.AntiMessages++
+		atomic.AddUint64(&lp.AntiMessages, 1)
 		lp.twSend(sent.to, a)
 	}
 	t.outLog = t.outLog[:cut]

@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"approxsim/internal/des"
+	"approxsim/internal/obs"
 	"approxsim/internal/packet"
 )
 
@@ -155,6 +156,11 @@ func (c *conn) onRTO() {
 	}
 	c.timeouts++
 	c.stack.timeoutTotal.Inc()
+	if c.stack.trace != nil {
+		c.stack.trace.Emit(obs.Event{TS: c.stack.kernel.Now(), Ph: obs.PhInstant,
+			Name: "rto", Cat: "tcp", Tid: int32(c.stack.host.NodeID()),
+			K1: "flow", V1: int64(c.flow), K2: "timeouts", V2: int64(c.timeouts)})
+	}
 	mss := float64(c.stack.cfg.MSS)
 	if !c.established {
 		// Lost SYN (or lost SYN|ACK): retransmit the SYN with backoff.
@@ -396,12 +402,23 @@ func (c *conn) sampleHook(rtt des.Time) {
 func (c *conn) countRetrans() {
 	c.retrans++
 	c.stack.retransTotal.Inc()
+	if c.stack.trace != nil {
+		c.stack.trace.Emit(obs.Event{TS: c.stack.kernel.Now(), Ph: obs.PhInstant,
+			Name: "retransmit", Cat: "tcp", Tid: int32(c.stack.host.NodeID()),
+			K1: "flow", V1: int64(c.flow), K2: "retrans", V2: int64(c.retrans)})
+	}
 }
 
 func (c *conn) complete() {
 	c.done = true
 	c.stack.flowsCompleted.Inc()
 	c.end = c.stack.kernel.Now()
+	if c.stack.trace != nil {
+		// The whole flow as one span: start-to-last-ACK, on the sender's track.
+		c.stack.trace.Emit(obs.Event{TS: c.start, Dur: c.end - c.start, Ph: obs.PhSpan,
+			Name: "flow", Cat: "tcp", Tid: int32(c.stack.host.NodeID()),
+			K1: "bytes", V1: c.size, K2: "flow", V2: int64(c.flow)})
+	}
 	res := c.result()
 	if c.onDone != nil {
 		c.onDone(res)

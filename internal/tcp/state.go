@@ -1,6 +1,10 @@
 package tcp
 
-import "approxsim/internal/metrics"
+import (
+	"sync/atomic"
+
+	"approxsim/internal/metrics"
+)
 
 // TCP state capture for optimistic PDES rollback.
 //
@@ -62,12 +66,14 @@ func (s *Stack) SaveState() any {
 // pristine and may be restored again.
 func (s *Stack) RestoreState(v any) {
 	st := v.(stackState)
-	s.flowsStarted = st.flowsStarted
-	s.flowsCompleted = st.flowsCompleted
-	s.retransTotal = st.retransTotal
-	s.timeoutTotal = st.timeoutTotal
-	s.cwndBytes = st.cwndBytes
-	s.rttNanos = st.rttNanos
+	// Store/CopyFrom write atomically: a rollback may race with a concurrent
+	// metrics snapshot, which must see torn-free values.
+	s.flowsStarted.Store(st.flowsStarted.Value())
+	s.flowsCompleted.Store(st.flowsCompleted.Value())
+	s.retransTotal.Store(st.retransTotal.Value())
+	s.timeoutTotal.Store(st.timeoutTotal.Value())
+	s.cwndBytes.CopyFrom(&st.cwndBytes)
+	s.rttNanos.CopyFrom(&st.rttNanos)
 	for k := range s.conns {
 		delete(s.conns, k)
 	}
@@ -84,4 +90,5 @@ func (s *Stack) RestoreState(v any) {
 		}
 		s.conns[c.flow] = c
 	}
+	atomic.StoreInt64(&s.nconns, int64(len(s.conns)))
 }

@@ -19,10 +19,12 @@ package tcp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"approxsim/internal/des"
 	"approxsim/internal/metrics"
 	"approxsim/internal/netsim"
+	"approxsim/internal/obs"
 	"approxsim/internal/packet"
 )
 
@@ -128,16 +130,28 @@ type Stack struct {
 	timeoutTotal   metrics.Counter
 	cwndBytes      metrics.Histogram // sender cwnd sampled at each RTT measurement
 	rttNanos       metrics.Histogram // RTT samples in nanoseconds
+
+	// nconns mirrors len(conns) atomically so a mid-run metrics snapshot
+	// never reads the demux map while the owning goroutine mutates it.
+	nconns int64
+
+	// trace, when non-nil, receives per-flow lifecycle events on the host's
+	// NodeID track.
+	trace *obs.Buf
 }
 
+// SetTrace routes flow lifecycle events ("flow" spans, "retransmit"/"rto"
+// instants) to b. A nil b disables tracing.
+func (s *Stack) SetTrace(b *obs.Buf) { s.trace = b }
+
 // CollectMetrics implements metrics.Collector. Register every host's stack
-// under one group for network-wide transport totals.
+// under one group for network-wide transport totals. Safe to call mid-run.
 func (s *Stack) CollectMetrics(e *metrics.Emitter) {
 	e.Counter("flows_started", s.flowsStarted.Value())
 	e.Counter("flows_completed", s.flowsCompleted.Value())
 	e.Counter("retransmissions", s.retransTotal.Value())
 	e.Counter("timeouts", s.timeoutTotal.Value())
-	e.Gauge("open_connections", int64(len(s.conns)))
+	e.Gauge("open_connections", atomic.LoadInt64(&s.nconns))
 	e.Histogram("cwnd_bytes", &s.cwndBytes)
 	e.Histogram("rtt_ns", &s.rttNanos)
 }
@@ -160,8 +174,9 @@ func (s *Stack) Host() *netsim.Host { return s.host }
 // Config returns the stack's effective (defaulted) configuration.
 func (s *Stack) Config() Config { return s.cfg }
 
-// ConnCount returns how many connections the stack is tracking.
-func (s *Stack) ConnCount() int { return len(s.conns) }
+// ConnCount returns how many connections the stack is tracking. Safe to call
+// from any goroutine.
+func (s *Stack) ConnCount() int { return int(atomic.LoadInt64(&s.nconns)) }
 
 // StartFlow begins a size-byte transfer to dst identified by flowID, which
 // must be unique network-wide. onDone (may be nil) fires when the final
@@ -174,8 +189,14 @@ func (s *Stack) StartFlow(dst packet.HostID, size int64, flowID uint64, onDone f
 		panic(fmt.Sprintf("tcp: duplicate flow id %d", flowID))
 	}
 	s.flowsStarted.Inc()
+	if s.trace != nil {
+		s.trace.Emit(obs.Event{TS: s.kernel.Now(), Ph: obs.PhInstant,
+			Name: "flow_start", Cat: "tcp", Tid: int32(s.host.NodeID()),
+			K1: "bytes", V1: size, K2: "flow", V2: int64(flowID)})
+	}
 	c := newSenderConn(s, dst, size, flowID, onDone)
 	s.conns[flowID] = c
+	atomic.StoreInt64(&s.nconns, int64(len(s.conns)))
 	c.sendSYN()
 }
 
@@ -200,6 +221,7 @@ func (s *Stack) handle(p *packet.Packet) {
 		if p.Flags&packet.FlagSYN != 0 && p.Flags&packet.FlagACK == 0 {
 			c = newReceiverConn(s, p.Src, p.FlowID)
 			s.conns[p.FlowID] = c
+			atomic.StoreInt64(&s.nconns, int64(len(s.conns)))
 		} else {
 			// Stray segment for a forgotten connection; ignore, as a real
 			// stack would RST.

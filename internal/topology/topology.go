@@ -18,6 +18,7 @@ import (
 	"approxsim/internal/des"
 	"approxsim/internal/metrics"
 	"approxsim/internal/netsim"
+	"approxsim/internal/obs"
 	"approxsim/internal/packet"
 )
 
@@ -181,6 +182,37 @@ func (t *Topology) CollectMetrics(e *metrics.Emitter) {
 	}
 	for _, h := range t.Hosts {
 		h.CollectMetrics(e)
+	}
+}
+
+// SetTrace routes every device's packet lifecycle events to b and names the
+// per-device thread tracks in tr. For single-kernel runs b is one Buf (trace
+// process 0); devices separate onto threads by NodeID. Both arguments are
+// nil-safe, so callers can pass a disabled tracer through unchanged.
+func (t *Topology) SetTrace(tr *obs.Tracer, b *obs.Buf) {
+	name := func(sw *netsim.Switch) string {
+		id := sw.NodeID()
+		switch {
+		case id >= t.coreBase:
+			return fmt.Sprintf("core%d", id-t.coreBase)
+		case id >= t.aggBase:
+			if t.Cfg.Kind == LeafSpine {
+				return fmt.Sprintf("spine%d", id-t.aggBase)
+			}
+			return fmt.Sprintf("agg%d", id-t.aggBase)
+		default:
+			return fmt.Sprintf("tor%d", id-t.torBase)
+		}
+	}
+	for _, tier := range [][]*netsim.Switch{t.ToRs, t.Aggs, t.Cores} {
+		for _, sw := range tier {
+			sw.SetTrace(b)
+			tr.NameThread(b.Pid(), int32(sw.NodeID()), name(sw))
+		}
+	}
+	for _, h := range t.Hosts {
+		h.SetTrace(b)
+		tr.NameThread(b.Pid(), int32(h.NodeID()), fmt.Sprintf("host%d", h.ID()))
 	}
 }
 
