@@ -75,6 +75,9 @@ func main() {
 		flightRec  = flag.Int("flight-recorder", 0, "flight-recorder ring capacity in events per LP (0 = off)")
 		dumpPath   = flag.String("dump", "flight_recorder.json", "flight-recorder dump output path (with -flight-recorder)")
 		maxRB      = flag.Uint64("max-rollbacks", 0, "abort a timewarp run after N rollbacks (0 = unlimited)")
+		noPool     = flag.Bool("no-pool", false, "disable the kernel event free list (pdes mode; for A/B measurement)")
+		eagerCan   = flag.Bool("eager-cancel", false, "timewarp: anti-message rolled-back sends immediately instead of lazy cancellation")
+		adaptWin   = flag.String("adaptive-window", "", "timewarp: adapt the speculation window between MIN:MAX microseconds (e.g. 10:200)")
 		progressMS = flag.Int("progress", 0, "progress line to stderr every N virtual ms (0 = off)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
@@ -89,6 +92,9 @@ func main() {
 		flightRec:    *flightRec,
 		dumpPath:     *dumpPath,
 		maxRollbacks: *maxRB,
+		noPool:       *noPool,
+		eagerCancel:  *eagerCan,
+		adaptWindow:  *adaptWin,
 	}
 	if err := run(*mode, *clusters, *durMS, *load, *seed, *pattern, *models,
 		*dctcp, *workload, *racks, *lps, *sync, opts); err != nil {
@@ -107,6 +113,9 @@ type obsOptions struct {
 	flightRec    int
 	dumpPath     string
 	maxRollbacks uint64
+	noPool       bool
+	eagerCancel  bool
+	adaptWindow  string // "MIN:MAX" in microseconds, empty = fixed window
 }
 
 // registry returns the registry to wire into the run — nil only when neither
@@ -396,6 +405,20 @@ func runPDES(racks, lps int, load float64, dur des.Time, seed uint64, sync strin
 	if opts.maxRollbacks > 0 {
 		popts = append(popts, pdes.WithMaxRollbacks(opts.maxRollbacks))
 	}
+	if opts.noPool {
+		popts = append(popts, pdes.WithEventPool(false))
+	}
+	if opts.eagerCancel {
+		popts = append(popts, pdes.WithLazyCancellation(false))
+	}
+	if opts.adaptWindow != "" {
+		var minUS, maxUS int64
+		if n, err := fmt.Sscanf(opts.adaptWindow, "%d:%d", &minUS, &maxUS); n != 2 || err != nil {
+			return fmt.Errorf("bad -adaptive-window %q (want MIN:MAX microseconds)", opts.adaptWindow)
+		}
+		popts = append(popts, pdes.WithAdaptiveWindow(
+			des.Time(minUS)*des.Microsecond, des.Time(maxUS)*des.Microsecond))
+	}
 	res, err := pdes.RunLeafSpineObserved(racks, lps, load, dur, seed, algo, reg, popts...)
 	if err != nil {
 		return err
@@ -405,8 +428,8 @@ func runPDES(racks, lps int, load float64, dur des.Time, seed uint64, sync strin
 	fmt.Printf("nulls=%d barriers=%d cross_lp_packets=%d violations=%d eit_stalls=%d\n",
 		res.Nulls, res.Barriers, res.CrossPkts, res.Violations, res.EITStalls)
 	if algo == pdes.TimeWarp {
-		fmt.Printf("rollbacks=%d anti_messages=%d gvt_advances=%d\n",
-			res.Rollbacks, res.AntiMessages, res.GVTAdvances)
+		fmt.Printf("rollbacks=%d anti_messages=%d lazy_saved=%d gvt_advances=%d\n",
+			res.Rollbacks, res.AntiMessages, res.LazyCancelSaved, res.GVTAdvances)
 	}
 	fmt.Printf("flows=%d completed=%d\n", res.FlowsStarted, res.FlowsCompleted)
 	if res.Violations != 0 {

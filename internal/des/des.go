@@ -60,6 +60,7 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 // handles are produced by Kernel.Schedule and Kernel.At.
 type Event struct {
 	at       Time
+	band     uint8
 	seq      uint64
 	fn       func()
 	canceled bool
@@ -69,6 +70,16 @@ type Event struct {
 	// callbacks so mutable objects captured by the closure (in practice:
 	// in-flight packets) can be checkpointed alongside the event.
 	ctx any
+
+	// Pooling state (see pool.go). gen counts reincarnations: it is bumped
+	// every time the object is recycled, so a holder that recorded Gen() at
+	// schedule time can detect that its event fired and the object now
+	// belongs to someone else. snapped pins the object out of the pool
+	// forever: a KernelState holds it and Restore will write fields back into
+	// it. pooled marks objects currently on the free list.
+	gen     uint64
+	snapped bool
+	pooled  bool
 }
 
 // Time reports when the event will fire (or would have fired, if canceled).
@@ -78,20 +89,37 @@ func (e *Event) Time() Time { return e.at }
 func (e *Event) Canceled() bool { return e.canceled }
 
 // Live reports whether the event is still pending: neither fired nor
-// canceled.
-func (e *Event) Live() bool { return e.fn != nil }
+// canceled. Meaningful only for the event's original incarnation: a holder
+// that may outlive the event must compare Gen() first (a recycled-and-reused
+// object can be Live again on someone else's behalf).
+func (e *Event) Live() bool { return e.fn != nil && !e.pooled }
+
+// Gen returns the event object's pool incarnation. Holders that keep a handle
+// past the event's execution (the Time Warp processed log) record Gen at
+// schedule time; a later mismatch means the event fired and the object was
+// recycled — the handle must not be used for Cancel.
+func (e *Event) Gen() uint64 { return e.gen }
 
 // Ctx returns the context value attached by AtCtx (nil otherwise).
 func (e *Event) Ctx() any { return e.ctx }
 
-// eventHeap is a binary min-heap ordered by (time, seq). seq is a strictly
-// increasing schedule counter, so two events at the same virtual time fire in
-// the order they were scheduled — the property that makes runs reproducible.
+// eventHeap is a binary min-heap ordered by (time, band, seq). seq is a
+// strictly increasing schedule counter, so two events at the same virtual time
+// in the same band fire in the order they were scheduled — the property that
+// makes runs reproducible. The band (AtCtxBand) separates event classes whose
+// relative schedule order is NOT reproducible across execution strategies:
+// the PDES engines schedule cross-LP arrivals in a later band so a message
+// ingested early (null-message drains) or late (barrier windows, Time Warp
+// re-ingestion) lands at the same position among same-timestamp events either
+// way, and all synchronization algorithms commit identical event orders.
 type eventHeap []*Event
 
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].band != h[j].band {
+		return h[i].band < h[j].band
 	}
 	return h[i].seq < h[j].seq
 }
@@ -166,11 +194,20 @@ type Kernel struct {
 	hook   Hook
 	run    bool
 	stop   bool
+
+	// Event free list (pool.go). Owned by the kernel goroutine like the heap;
+	// the counters are mirrored atomically for concurrent metrics readers.
+	free    []*Event
+	pooling bool
+	phit    uint64 // allocations served from the free list
+	pmiss   uint64 // allocations that hit the Go allocator
+	nfree   int64  // current free-list depth, mirrored for readers
 }
 
-// NewKernel returns an empty kernel at virtual time zero.
+// NewKernel returns an empty kernel at virtual time zero, with event pooling
+// enabled (see SetPooling).
 func NewKernel() *Kernel {
-	return &Kernel{heap: make(eventHeap, 0, 1024)}
+	return &Kernel{heap: make(eventHeap, 0, 1024), pooling: true}
 }
 
 // SetHook installs (or, with nil, removes) the scheduler hook. Must be called
@@ -204,6 +241,16 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 // hand ctx to the caller's state callbacks, which is how the optimistic PDES
 // engine checkpoints the contents of packets captured by pending closures.
 func (k *Kernel) AtCtx(t Time, ctx any, fn func()) *Event {
+	return k.AtCtxBand(t, 0, ctx, fn)
+}
+
+// AtCtxBand is AtCtx with an explicit ordering band: at equal timestamps,
+// lower bands fire first and seq breaks ties only within a band. Callers whose
+// scheduling MOMENT is not deterministic — cross-LP message ingestion, whose
+// timing differs between synchronization algorithms — use a later band so the
+// committed event order depends only on simulation content, never on when the
+// event object happened to be created. Plain At/AtCtx schedule in band 0.
+func (k *Kernel) AtCtxBand(t Time, band uint8, ctx any, fn func()) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("des: schedule at %v before now %v", t, k.now))
 	}
@@ -211,7 +258,8 @@ func (k *Kernel) AtCtx(t Time, ctx any, fn func()) *Event {
 		panic("des: nil event function")
 	}
 	k.seq++
-	e := &Event{at: t, seq: k.seq, fn: fn, ctx: ctx}
+	e := k.alloc(t, ctx, fn)
+	e.band = band
 	k.heap.push(e)
 	atomic.AddUint64(&k.nsched, 1)
 	k.syncPending()
@@ -233,7 +281,14 @@ func (k *Kernel) ScheduleCtx(delay Time, ctx any, fn func()) *Event {
 // already-canceled event is a no-op; cancel-then-reschedule is the normal
 // timer idiom, so this must be forgiving.
 func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.canceled || e.fn == nil {
+	// A recycled handle is also a no-op (e.pooled guards the pooldebug build,
+	// where pooled events carry a poisoned non-nil fn): per this contract,
+	// canceling after the event fired is legal, however late the caller is.
+	// What is NOT legal is canceling through a stale handle after the object
+	// was reused — release builds cannot detect that (the Gen protocol
+	// exists for holders that need to), and pooldebug catches the reuse
+	// itself via poisoning.
+	if e == nil || e.canceled || e.fn == nil || e.pooled {
 		return
 	}
 	e.canceled = true
@@ -247,15 +302,23 @@ func (k *Kernel) Step() bool {
 	for len(k.heap) > 0 {
 		e := k.heap.pop()
 		k.syncPending()
+		checkNotPooled(e, "pop") // pooldebug: a pooled event in the heap is corruption
 		if e.canceled {
+			k.recycle(e)
 			continue
 		}
 		k.setNow(e.at)
 		fn := e.fn
 		e.fn = nil
+		at, seq := e.at, e.seq
 		atomic.AddUint64(&k.nexec, 1)
+		// Recycle before running fn: anything fn schedules may reuse the
+		// object immediately, which is what makes the steady-state hot path
+		// allocation-free. fn was extracted first, and handles kept past this
+		// point are covered by the Gen() protocol (see pool.go).
+		k.recycle(e)
 		if k.hook != nil {
-			k.hook.OnEvent(e.at, e.seq)
+			k.hook.OnEvent(at, seq)
 		}
 		fn()
 		return true
@@ -274,7 +337,7 @@ func (k *Kernel) Run(until Time) {
 	for !k.stop {
 		// Skip canceled events without executing them.
 		for len(k.heap) > 0 && k.heap[0].canceled {
-			k.heap.pop()
+			k.recycle(k.heap.pop())
 			k.syncPending()
 		}
 		if len(k.heap) == 0 {
@@ -309,7 +372,7 @@ func (k *Kernel) Pending() int { return int(atomic.LoadInt64(&k.npend)) }
 // earliest-output-time guarantees.
 func (k *Kernel) NextEventTime() (Time, bool) {
 	for len(k.heap) > 0 && k.heap[0].canceled {
-		k.heap.pop()
+		k.recycle(k.heap.pop())
 		k.syncPending()
 	}
 	if len(k.heap) == 0 {
@@ -324,6 +387,9 @@ type Stats struct {
 	Scheduled     uint64 // events ever scheduled
 	Canceled      uint64 // events canceled before firing
 	HeapHighWater int    // deepest the event heap has ever been
+	PoolHits      uint64 // event allocations served from the free list
+	PoolMisses    uint64 // event allocations that hit the Go allocator
+	PoolFree      int    // events currently parked on the free list
 }
 
 // Stats returns a snapshot of the kernel's work counters. Safe to call from
@@ -334,6 +400,9 @@ func (k *Kernel) Stats() Stats {
 		Scheduled:     atomic.LoadUint64(&k.nsched),
 		Canceled:      atomic.LoadUint64(&k.ncanc),
 		HeapHighWater: int(atomic.LoadInt64(&k.heapHW)),
+		PoolHits:      atomic.LoadUint64(&k.phit),
+		PoolMisses:    atomic.LoadUint64(&k.pmiss),
+		PoolFree:      int(atomic.LoadInt64(&k.nfree)),
 	}
 }
 
@@ -344,6 +413,9 @@ func (k *Kernel) CollectMetrics(e *metrics.Emitter) {
 	e.Counter("events_executed", atomic.LoadUint64(&k.nexec))
 	e.Counter("events_scheduled", atomic.LoadUint64(&k.nsched))
 	e.Counter("events_canceled", atomic.LoadUint64(&k.ncanc))
+	e.Counter("pool_hits", atomic.LoadUint64(&k.phit))
+	e.Counter("pool_misses", atomic.LoadUint64(&k.pmiss))
+	e.Gauge("pool_free", atomic.LoadInt64(&k.nfree))
 	e.Gauge("heap_high_water", atomic.LoadInt64(&k.heapHW))
 	e.Gauge("pending_events", atomic.LoadInt64(&k.npend))
 	e.Gauge("virtual_time_ns", int64(k.Now()))

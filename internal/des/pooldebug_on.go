@@ -1,0 +1,36 @@
+//go:build pooldebug
+
+package des
+
+// Use-after-free guard build. `go test -tags pooldebug -race ./...` turns the
+// free list from forgiving to hostile: recycled events carry an implausible
+// timestamp and a firing closure that panics, and kernel entry points that
+// must never see a pooled event assert it. A stale handle that would silently
+// do nothing in a release build (Cancel on a recycled event) or silently
+// corrupt a run (a recycled event somehow still reachable from the heap)
+// becomes a deterministic crash with a pointed message.
+
+// PoolDebug reports whether this binary was built with -tags pooldebug.
+const PoolDebug = true
+
+// poisonTime is the timestamp stamped onto pooled events: negative, so any
+// heap comparison or schedule arithmetic involving a stale event misbehaves
+// visibly rather than plausibly.
+const poisonTime Time = -0x5AFEC0DE
+
+var poisonFn = func() {
+	panic("des: recycled event fired — a stale handle was kept across the event's" +
+		" lifetime and re-entered the heap (see DESIGN.md: event ownership under pooling)")
+}
+
+func poisonEvent(e *Event) {
+	e.at = poisonTime
+	e.fn = poisonFn
+}
+
+func checkNotPooled(e *Event, op string) {
+	if e != nil && e.pooled {
+		panic("des: " + op + " on a recycled event — the handle outlived the event" +
+			" (see DESIGN.md: event ownership under pooling)")
+	}
+}

@@ -24,6 +24,7 @@ import "sync/atomic"
 type savedEvent struct {
 	ev       *Event
 	at       Time
+	band     uint8
 	seq      uint64
 	fn       func()
 	canceled bool
@@ -62,7 +63,14 @@ func (k *Kernel) Snapshot(saveCtx func(ctx any) any) *KernelState {
 	// The heap array is saved in heap order: it is already a valid binary
 	// heap for (at, seq), so Restore can reinstate it without re-heapifying.
 	for i, e := range k.heap {
-		se := savedEvent{ev: e, at: e.at, seq: e.seq, fn: e.fn, canceled: e.canceled, ctx: e.ctx}
+		// Pin the event out of the free list: this KernelState now holds the
+		// pointer and Restore will write fields back into the object, so it
+		// must never be reused for an unrelated event. The pin is sticky for
+		// the object's lifetime — cheap insurance, paid only on events that
+		// were pending at a checkpoint instant.
+		e.snapped = true
+		checkNotPooled(e, "Snapshot")
+		se := savedEvent{ev: e, at: e.at, band: e.band, seq: e.seq, fn: e.fn, canceled: e.canceled, ctx: e.ctx}
 		if e.ctx != nil && saveCtx != nil {
 			se.ctxBlob = saveCtx(e.ctx)
 		}
@@ -85,10 +93,14 @@ func (k *Kernel) Restore(st *KernelState, restoreCtx func(ctx, blob any)) {
 	atomic.StoreUint64(&k.nexec, st.nexec)
 	atomic.StoreUint64(&k.nsched, st.nsched)
 	atomic.StoreUint64(&k.ncanc, st.ncanc)
+	// Events scheduled after the snapshot simply drop out of the heap here.
+	// They are NOT recycled: a later (now discarded) snapshot may still pin
+	// them, and dangling references in rolled-back bookkeeping must keep
+	// reading them as dead — so they fall to the garbage collector.
 	heap := make(eventHeap, 0, len(st.events))
 	for i := range st.events {
 		se := &st.events[i]
-		se.ev.at, se.ev.seq, se.ev.fn, se.ev.canceled = se.at, se.seq, se.fn, se.canceled
+		se.ev.at, se.ev.band, se.ev.seq, se.ev.fn, se.ev.canceled = se.at, se.band, se.seq, se.fn, se.canceled
 		if se.ctx != nil && restoreCtx != nil {
 			restoreCtx(se.ctx, se.ctxBlob)
 		}
@@ -111,7 +123,7 @@ func (k *Kernel) RunLimit(until Time, max int) int {
 	ran := 0
 	for ran < max {
 		for len(k.heap) > 0 && k.heap[0].canceled {
-			k.heap.pop()
+			k.recycle(k.heap.pop())
 			k.syncPending()
 		}
 		if len(k.heap) == 0 || k.heap[0].at > until {

@@ -99,6 +99,16 @@ type Port struct {
 	queuedBytes int64
 	busy        bool
 
+	// txSize is the size of the packet currently serializing. The completion
+	// event reads it instead of capturing the packet, which lets every
+	// transmission share the single txDone closure below — the event objects
+	// come from the kernel pool, so a port in steady state transmits with one
+	// closure allocation per packet (the arrival, which must capture the
+	// packet) instead of two. txSize is checkpointed with the port state: a
+	// rollback can land between transmit start and completion.
+	txSize int64
+	txDone func() // allocated once in NewPort, rescheduled per transmission
+
 	stats PortStats
 
 	// trace, when non-nil, receives per-packet lifecycle events ("queued"
@@ -115,7 +125,9 @@ func NewPort(k *des.Kernel, owner Device, index int, cfg LinkConfig) *Port {
 	if cfg.BandwidthBps <= 0 {
 		panic("netsim: port bandwidth must be positive")
 	}
-	return &Port{kernel: k, owner: owner, index: index, cfg: cfg}
+	p := &Port{kernel: k, owner: owner, index: index, cfg: cfg}
+	p.txDone = p.onTxDone
+	return p
 }
 
 // Connect cross-wires two ports into a duplex link. Packets sent on a reach
@@ -202,6 +214,7 @@ func (p *Port) Send(pkt *packet.Packet) {
 // after serialization completes.
 func (p *Port) transmit(pkt *packet.Packet) {
 	p.busy = true
+	p.txSize = int64(pkt.Size())
 	ser := p.cfg.SerializationDelay(pkt.Size())
 	arrival := ser + p.cfg.PropDelay
 	peer, peerPort := p.peer, p.peerPort
@@ -216,31 +229,36 @@ func (p *Port) transmit(pkt *packet.Packet) {
 	p.kernel.ScheduleCtx(arrival, pkt, func() {
 		peer.Receive(pkt, peerPort)
 	})
-	p.kernel.Schedule(ser, func() {
-		atomic.AddUint64(&p.stats.TxPackets, 1)
-		atomic.AddUint64(&p.stats.TxBytes, uint64(pkt.Size()))
-		if len(p.queue) == 0 {
-			p.busy = false
-			return
+	p.kernel.Schedule(ser, p.txDone)
+}
+
+// onTxDone is the serialization-complete handler, shared by every
+// transmission on this port (see txDone): it charges the stats for the packet
+// that just left the wire and starts the next queued one.
+func (p *Port) onTxDone() {
+	atomic.AddUint64(&p.stats.TxPackets, 1)
+	atomic.AddUint64(&p.stats.TxBytes, uint64(p.txSize))
+	if len(p.queue) == 0 {
+		p.busy = false
+		return
+	}
+	next := p.queue[0]
+	p.queue[0] = nil
+	p.queue = p.queue[1:]
+	atomic.AddInt64(&p.queuedBytes, -int64(next.Size()))
+	if len(p.queue) == 0 {
+		// Reset the backing array so a long-drained queue does not
+		// pin its high-water-mark allocation forever.
+		p.queue = nil
+	}
+	if p.trace != nil {
+		if wait := p.kernel.Now() - next.EnqueueTime; wait > 0 && next.EnqueueTime > 0 {
+			p.trace.Emit(obs.Event{TS: next.EnqueueTime, Dur: wait, Ph: obs.PhSpan,
+				Name: "queued", Cat: "netsim", Tid: p.tid,
+				K1: "bytes", V1: int64(next.Size()), K2: "flow", V2: int64(next.FlowID)})
 		}
-		next := p.queue[0]
-		p.queue[0] = nil
-		p.queue = p.queue[1:]
-		atomic.AddInt64(&p.queuedBytes, -int64(next.Size()))
-		if len(p.queue) == 0 {
-			// Reset the backing array so a long-drained queue does not
-			// pin its high-water-mark allocation forever.
-			p.queue = nil
-		}
-		if p.trace != nil {
-			if wait := p.kernel.Now() - next.EnqueueTime; wait > 0 && next.EnqueueTime > 0 {
-				p.trace.Emit(obs.Event{TS: next.EnqueueTime, Dur: wait, Ph: obs.PhSpan,
-					Name: "queued", Cat: "netsim", Tid: p.tid,
-					K1: "bytes", V1: int64(next.Size()), K2: "flow", V2: int64(next.FlowID)})
-			}
-		}
-		p.transmit(next)
-	})
+	}
+	p.transmit(next)
 }
 
 // CollectMetrics implements metrics.Collector. Registering every port of a

@@ -26,12 +26,13 @@ type portState struct {
 	queue       []packet.Packet
 	queuedBytes int64
 	busy        bool
+	txSize      int64 // size of the packet on the wire (read by txDone)
 	stats       PortStats
 }
 
 // SaveState implements the pdes StateSaver contract for a port.
 func (p *Port) SaveState() any {
-	st := portState{queuedBytes: p.queuedBytes, busy: p.busy, stats: p.stats}
+	st := portState{queuedBytes: p.queuedBytes, busy: p.busy, txSize: p.txSize, stats: p.stats}
 	if len(p.queue) > 0 {
 		st.queue = make([]packet.Packet, len(p.queue))
 		for i, pkt := range p.queue {
@@ -48,6 +49,7 @@ func (p *Port) RestoreState(v any) {
 	st := v.(portState)
 	atomic.StoreInt64(&p.queuedBytes, st.queuedBytes)
 	p.busy = st.busy
+	p.txSize = st.txSize
 	atomic.StoreUint64(&p.stats.TxPackets, st.stats.TxPackets)
 	atomic.StoreUint64(&p.stats.TxBytes, st.stats.TxBytes)
 	atomic.StoreUint64(&p.stats.Drops, st.stats.Drops)

@@ -1,0 +1,16 @@
+package pdes_test
+
+// Benchmark entry point for Time Warp cancellation strategies; the body lives
+// in internal/bench so cmd/benchpool can pin the same measurements in CI. The
+// external test package breaks the pdes -> bench -> pdes cycle.
+
+import (
+	"testing"
+
+	"approxsim/internal/bench"
+)
+
+func BenchmarkTimewarpLeafSpine(b *testing.B) {
+	b.Run("lazy", func(b *testing.B) { bench.TimewarpLeafSpine(b, true, bench.DefaultLeafSpine) })
+	b.Run("eager", func(b *testing.B) { bench.TimewarpLeafSpine(b, false, bench.DefaultLeafSpine) })
+}

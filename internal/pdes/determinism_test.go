@@ -1,0 +1,105 @@
+package pdes
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"approxsim/internal/des"
+	"approxsim/internal/metrics"
+	"approxsim/internal/rng"
+)
+
+// Determinism property test: the committed results of a leaf-spine run must
+// be bit-identical across synchronization algorithms AND across every
+// kernel-internal toggle that is supposed to be invisible — the event free
+// list, lazy vs aggressive cancellation, and the adaptive speculation window.
+// Pooling recycles event objects, lazy cancellation suppresses anti-messages,
+// and the adaptive window reshapes speculation; none of them may change what
+// commits. A single flipped bit in the netsim or tcp metric groups here means
+// an ownership bug (a recycled event fired with stale state) or a
+// cancellation bug (a send that should have been annihilated, wasn't).
+
+// committedGroups snapshots reg and returns the JSON encoding of the groups
+// that must agree across engines: netsim and tcp. The des and pdes groups
+// legitimately differ (executed-event counts include nulls, rollbacks, and
+// re-execution; pool hit rates depend on the toggle under test).
+func committedGroups(t *testing.T, reg *metrics.Registry) string {
+	t.Helper()
+	raw, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &groups); err != nil {
+		t.Fatal(err)
+	}
+	if len(groups["netsim"]) == 0 || len(groups["tcp"]) == 0 {
+		t.Fatal("snapshot is missing the netsim or tcp group")
+	}
+	return fmt.Sprintf("netsim=%s tcp=%s", groups["netsim"], groups["tcp"])
+}
+
+// TestDeterminismProperty drives ~25 randomized leaf-spine workloads. Each
+// seed picks a topology size, offered load, and horizon; the same workload
+// then runs under null messages (the reference), barrier sync with the event
+// pool alternately on and off, and one Time Warp variant from a rotating set
+// covering the pool × cancellation × adaptive-window matrix. Every run's
+// committed netsim+tcp metric snapshot must match the reference exactly.
+func TestDeterminismProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test is heavy; skipped under -short")
+	}
+
+	type twVariant struct {
+		name string
+		opts []Option
+	}
+	twVariants := []twVariant{
+		{"pool+lazy", nil},
+		{"nopool+lazy", []Option{WithEventPool(false)}},
+		{"pool+eager", []Option{WithLazyCancellation(false)}},
+		{"nopool+eager", []Option{WithEventPool(false), WithLazyCancellation(false)}},
+		{"pool+lazy+adaptive", []Option{WithAdaptiveWindow(10*des.Microsecond, 200*des.Microsecond)}},
+	}
+
+	const seeds = 25
+	for seed := uint64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			r := rng.NewLabeled(seed, "determinism-property")
+			tors := 2 + 2*r.Intn(2)                        // 2 or 4 ToRs
+			load := 0.3 + 0.4*r.Float64()                  // 0.3 .. 0.7
+			dur := des.Millisecond * des.Time(1+r.Intn(2)) // 1ms or 2ms
+			lps := 2
+
+			run := func(algo SyncAlgo, opts ...Option) string {
+				reg := metrics.NewRegistry()
+				res, err := RunLeafSpineObserved(tors, lps, load, dur, seed, algo, reg, opts...)
+				if err != nil {
+					t.Fatalf("%v %v: %v", algo, opts, err)
+				}
+				if res.Violations != 0 {
+					t.Fatalf("%v: %d causality violations", algo, res.Violations)
+				}
+				return committedGroups(t, reg)
+			}
+
+			ref := run(NullMessages)
+
+			poolOn := seed%2 == 0
+			if got := run(Barrier, WithEventPool(poolOn)); got != ref {
+				t.Errorf("barrier(pool=%v) committed snapshot diverged from nullmsg:\nref: %s\ngot: %s",
+					poolOn, ref, got)
+			}
+
+			v := twVariants[int(seed)%len(twVariants)]
+			opts := append([]Option{WithGVTInterval(50 * time.Microsecond)}, v.opts...)
+			if got := run(TimeWarp, opts...); got != ref {
+				t.Errorf("timewarp(%s) committed snapshot diverged from nullmsg:\nref: %s\ngot: %s",
+					v.name, ref, got)
+			}
+		})
+	}
+}

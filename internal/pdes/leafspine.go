@@ -214,21 +214,22 @@ func (ls *LeafSpine) Results() []tcp.FlowResult {
 
 // ExperimentResult is one Fig. 1 data point.
 type ExperimentResult struct {
-	ToRs, LPs      int
-	SimSeconds     float64
-	WallSeconds    float64
-	SimPerWall     float64 // the Fig. 1 y-axis: sim seconds per wall second
-	Events         uint64
-	Nulls          uint64
-	Barriers       uint64
-	CrossPkts      uint64
-	Violations     uint64 // causality violations: nonzero means a sync bug
-	EITStalls      uint64
-	Rollbacks      uint64 // Time Warp: state restores
-	AntiMessages   uint64 // Time Warp: speculative sends cancelled
-	GVTAdvances    uint64 // Time Warp: committed GVT advances
-	FlowsStarted   int
-	FlowsCompleted int
+	ToRs, LPs       int
+	SimSeconds      float64
+	WallSeconds     float64
+	SimPerWall      float64 // the Fig. 1 y-axis: sim seconds per wall second
+	Events          uint64
+	Nulls           uint64
+	Barriers        uint64
+	CrossPkts       uint64
+	Violations      uint64 // causality violations: nonzero means a sync bug
+	EITStalls       uint64
+	Rollbacks       uint64 // Time Warp: state restores
+	AntiMessages    uint64 // Time Warp: speculative sends cancelled
+	LazyCancelSaved uint64 // Time Warp: anti-messages avoided by lazy cancellation
+	GVTAdvances     uint64 // Time Warp: committed GVT advances
+	FlowsStarted    int
+	FlowsCompleted  int
 }
 
 // RunLeafSpine executes the Fig. 1 measurement: an n-ToR, n-spine leaf-spine
@@ -282,18 +283,19 @@ func RunLeafSpineObserved(n, lps int, load float64, dur des.Time, seed uint64,
 	st := ls.Sys.Stats()
 	res := &ExperimentResult{
 		ToRs: n, LPs: lps,
-		SimSeconds:   dur.Seconds(),
-		WallSeconds:  wall.Seconds(),
-		Events:       st.Events,
-		Nulls:        st.Nulls,
-		Barriers:     st.Barriers,
-		CrossPkts:    st.CrossPkts,
-		Violations:   st.Violations,
-		EITStalls:    st.EITStalls,
-		Rollbacks:    st.Rollbacks,
-		AntiMessages: st.AntiMessages,
-		GVTAdvances:  st.GVTAdvances,
-		FlowsStarted: len(specs),
+		SimSeconds:      dur.Seconds(),
+		WallSeconds:     wall.Seconds(),
+		Events:          st.Events,
+		Nulls:           st.Nulls,
+		Barriers:        st.Barriers,
+		CrossPkts:       st.CrossPkts,
+		Violations:      st.Violations,
+		EITStalls:       st.EITStalls,
+		Rollbacks:       st.Rollbacks,
+		AntiMessages:    st.AntiMessages,
+		LazyCancelSaved: st.LazyCancelSaved,
+		GVTAdvances:     st.GVTAdvances,
+		FlowsStarted:    len(specs),
 	}
 	if wall > 0 {
 		res.SimPerWall = res.SimSeconds / res.WallSeconds

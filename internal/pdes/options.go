@@ -70,6 +70,11 @@ type config struct {
 	sampler         *obs.Sampler
 	samplerPoll     time.Duration
 	stallTimeout    time.Duration
+	pool            bool
+	lazyCancel      bool
+	adaptWindow     bool
+	windowMin       des.Time
+	windowMax       des.Time
 }
 
 func defaultConfig() config {
@@ -79,6 +84,8 @@ func defaultConfig() config {
 		gvtInterval:     200 * time.Microsecond,
 		checkpointEvery: 256,
 		window:          50 * des.Microsecond,
+		pool:            true,
+		lazyCancel:      true,
 	}
 }
 
@@ -146,6 +153,38 @@ func WithTimeWindow(w des.Time) Option {
 		if w > 0 {
 			c.window = w
 		}
+	}
+}
+
+// WithEventPool toggles the per-LP kernel event free list (see
+// des.Kernel.SetPooling). On by default; committed results are bit-identical
+// either way — the toggle exists for benchmarking the pool's effect and for
+// the determinism property tests that prove that claim.
+func WithEventPool(on bool) Option { return func(c *config) { c.pool = on } }
+
+// WithLazyCancellation selects how Time Warp rollbacks cancel speculative
+// output. On (the default), cancelled sends are held back and compared
+// against the re-execution: a send the LP regenerates identically needs no
+// anti-message at all, which spares the receiver a matching rollback cascade.
+// Off is classic aggressive cancellation (every rolled-back send is
+// anti-messaged immediately). Committed results are bit-identical either way.
+func WithLazyCancellation(on bool) Option { return func(c *config) { c.lazyCancel = on } }
+
+// WithAdaptiveWindow lets the GVT coordinator steer the Time Warp speculation
+// window between min and max from the observed rollback rate: rounds that
+// rolled back halve the window (speculation is outrunning the inputs), quiet
+// rounds grow it by a quarter. The window only bounds how far LPs may execute
+// beyond GVT — it never affects committed results — so runs stay
+// bit-reproducible while wasted speculative work shrinks on hostile
+// topologies. The starting point is WithTimeWindow's value clamped to
+// [min, max].
+func WithAdaptiveWindow(min, max des.Time) Option {
+	return func(c *config) {
+		if min <= 0 || max < min {
+			panic("pdes: adaptive window needs 0 < min <= max")
+		}
+		c.adaptWindow = true
+		c.windowMin, c.windowMax = min, max
 	}
 }
 

@@ -116,6 +116,9 @@ type LP struct {
 	RolledBackEvents uint64
 	// Checkpoints counts state snapshots taken.
 	Checkpoints uint64
+	// LazyCancelSaved counts rolled-back sends that lazy cancellation proved
+	// identical on re-execution — anti-messages (and re-sends) avoided.
+	LazyCancelSaved uint64
 }
 
 // Kernel returns the LP's event kernel; devices owned by this LP must be
@@ -161,6 +164,14 @@ type System struct {
 	// CommittedTime works from any goroutine during a Time Warp run.
 	committed int64
 
+	// window is the current Time Warp speculation window (des.Time, atomic):
+	// fixed at cfg.window normally, steered between cfg.windowMin and
+	// cfg.windowMax by the GVT coordinator under WithAdaptiveWindow. LPs read
+	// it in twLimit; the shrink/grow counters record the coordinator's moves.
+	window        int64
+	windowShrinks uint64
+	windowGrows   uint64
+
 	// cbuf is the GVT coordinator's trace handle (pid one past the last LP);
 	// nil when tracing is off.
 	cbuf *obs.Buf
@@ -180,6 +191,16 @@ func NewSystem(n int, opts ...Option) *System {
 		o(&cfg)
 	}
 	s := &System{cfg: cfg}
+	w := cfg.window
+	if cfg.adaptWindow {
+		if w < cfg.windowMin {
+			w = cfg.windowMin
+		}
+		if w > cfg.windowMax {
+			w = cfg.windowMax
+		}
+	}
+	s.window = int64(w)
 	for i := 0; i < n; i++ {
 		lp := &LP{
 			id:     i,
@@ -187,6 +208,7 @@ func NewSystem(n int, opts ...Option) *System {
 			kernel: des.NewKernel(),
 			inbox:  make(chan message, cfg.inboxCap),
 		}
+		lp.kernel.SetPooling(cfg.pool)
 		if cfg.tracer != nil {
 			lp.buf = cfg.tracer.NewBuf(int32(i), fmt.Sprintf("LP %d", i))
 			// Feed the flight recorder one record per executed kernel event.
@@ -564,7 +586,12 @@ func (lp *LP) ingest(m message) {
 		return
 	}
 	pkt, dst, port := m.pkt, m.dst, m.port
-	lp.kernel.AtCtx(at, pkt, func() { dst.Receive(pkt, port) })
+	// Band 1: cross-LP arrivals order after same-timestamp local events. The
+	// three synchronization algorithms ingest messages at different moments
+	// (null-message drains, barrier windows, optimistic re-ingestion), so the
+	// kernel seq an arrival gets is engine-dependent; the band makes the
+	// committed order among same-timestamp events engine-independent.
+	lp.kernel.AtCtxBand(at, 1, pkt, func() { dst.Receive(pkt, port) })
 }
 
 // drain ingests inbox messages; when block is set it waits for at least one.
@@ -626,6 +653,11 @@ type Stats struct {
 	AntiMessages     uint64
 	RolledBackEvents uint64
 	GVTAdvances      uint64
+	// LazyCancelSaved counts anti-messages avoided by lazy cancellation;
+	// WindowShrinks/WindowGrows count adaptive speculation-window moves.
+	LazyCancelSaved uint64
+	WindowShrinks   uint64
+	WindowGrows     uint64
 }
 
 // Stats sums counters across LPs. Safe to call mid-run from any goroutine:
@@ -644,8 +676,11 @@ func (s *System) Stats() Stats {
 		out.Rollbacks += atomic.LoadUint64(&lp.Rollbacks)
 		out.AntiMessages += atomic.LoadUint64(&lp.AntiMessages)
 		out.RolledBackEvents += atomic.LoadUint64(&lp.RolledBackEvents)
+		out.LazyCancelSaved += atomic.LoadUint64(&lp.LazyCancelSaved)
 	}
 	out.GVTAdvances = atomic.LoadUint64(&s.gvtAdvances)
+	out.WindowShrinks = atomic.LoadUint64(&s.windowShrinks)
+	out.WindowGrows = atomic.LoadUint64(&s.windowGrows)
 	return out
 }
 
@@ -654,6 +689,9 @@ func (s *System) Stats() Stats {
 func (s *System) CollectMetrics(e *metrics.Emitter) {
 	e.Gauge("lps", int64(len(s.lps)))
 	e.Counter("gvt_advances", atomic.LoadUint64(&s.gvtAdvances))
+	e.Counter("window_shrinks", atomic.LoadUint64(&s.windowShrinks))
+	e.Counter("window_grows", atomic.LoadUint64(&s.windowGrows))
+	e.Gauge("speculation_window_ns", atomic.LoadInt64(&s.window))
 	for _, lp := range s.lps {
 		e.Counter("null_messages", atomic.LoadUint64(&lp.Nulls))
 		e.Counter("barriers", atomic.LoadUint64(&lp.Barriers))
@@ -665,6 +703,7 @@ func (s *System) CollectMetrics(e *metrics.Emitter) {
 		e.Counter("anti_messages", atomic.LoadUint64(&lp.AntiMessages))
 		e.Counter("rolled_back_events", atomic.LoadUint64(&lp.RolledBackEvents))
 		e.Counter("checkpoints", atomic.LoadUint64(&lp.Checkpoints))
+		e.Counter("lazy_cancel_saved", atomic.LoadUint64(&lp.LazyCancelSaved))
 		e.Gauge("inbox_high_water", atomic.LoadInt64(&lp.InboxHighWater))
 		e.Gauge("max_horizon_ns", atomic.LoadInt64((*int64)(&lp.MaxHorizon)))
 	}

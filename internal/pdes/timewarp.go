@@ -2,6 +2,7 @@ package pdes
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -66,12 +67,24 @@ type twMsg struct {
 // delivery closure captured, the event handle, and the annihilation
 // tombstone. Entries keep their position in the processed log so snapshots
 // can refer to them by absolute serial (procBase + index).
+//
+// gen is the event object's pool incarnation (des.Event.Gen) at the moment
+// the handle was taken. The kernel recycles event objects once they fire, so
+// ev alone cannot distinguish "this delivery is still pending" from "the
+// delivery fired and the object now belongs to an unrelated event": the
+// entry's handle is only usable while ev.Gen() == gen.
 type twEntry struct {
 	m           twMsg
 	pkt         *packet.Packet
 	ev          *des.Event
+	gen         uint64
 	annihilated bool
 }
+
+// pending reports whether the entry's delivery event is still the same
+// incarnation and still live — i.e. cancelable through the handle. A gen
+// mismatch means the delivery executed and the object was recycled.
+func (e *twEntry) pending() bool { return e.ev.Gen() == e.gen && e.ev.Live() }
 
 // twSent is one output-log record: enough to send the matching anti-message.
 // sendAt is the sender's virtual time at emission; the log is sorted by it.
@@ -103,6 +116,17 @@ type lpTW struct {
 	procBase  uint64    // absolute serial of processed[0]
 	outLog    []twSent  // cross-LP sends, in send order
 	outBase   uint64    // absolute serial of outLog[0]
+
+	// lazyQ holds output records cut from outLog by a rollback under lazy
+	// cancellation, sorted by sendAt: instead of anti-messaging immediately,
+	// the LP re-executes and checks whether it regenerates the identical
+	// message (it usually does — most rollbacks only reorder local state). A
+	// regenerated match moves the record back to outLog without any network
+	// traffic; records the re-execution has passed without regenerating
+	// (sendAt below the LP clock, or below GVT) are flushed as anti-messages.
+	// Flushing early is always safe — it just degrades to aggressive
+	// cancellation for that record.
+	lazyQ []twSent
 
 	sendSeq []uint64 // per-destination send counter; never rolled back
 
@@ -157,17 +181,111 @@ func (lp *LP) twEmit(to *LP, at des.Time, pkt *packet.Packet, dst netsim.Device,
 		return
 	}
 	atomic.AddUint64(&lp.CrossPkts, 1)
+	now := lp.kernel.Now()
+	if len(t.lazyQ) > 0 && !twDisableLazyMatch {
+		// Lazy cancellation, the payoff side: if this re-execution reproduces
+		// a message the rollback provisionally cancelled — same destination,
+		// timestamp, and pristine packet contents — the original positive is
+		// still correct at the receiver and neither an anti-message nor a
+		// re-send is needed. The record just moves back to the output log.
+		//
+		// Ordering constraint: the receiver delivers same-timestamp arrivals in
+		// ingestion order, and a reclaimed record keeps its ORIGINAL ingestion
+		// position — before anything this re-execution sends afresh. A reclaim
+		// is therefore only sound for the FIRST surviving record of its
+		// (receiver, arrival-time) group: matching a later record, or keeping
+		// earlier ones around past a fresh send, would commit a delivery order
+		// different from the committed emission order. On the first mismatch
+		// the whole group is flushed as anti-messages (degrading to aggressive
+		// cancellation for this instant) and the send proceeds fresh.
+		lp.twFlushLazy()
+		for i := 0; i < len(t.lazyQ); i++ {
+			s := &t.lazyQ[i]
+			if s.sendAt > now {
+				break // sorted; nothing at this instant beyond here
+			}
+			if s.to != to || s.m.at != at {
+				continue
+			}
+			if s.m.dst == dst && s.m.port == port && s.m.orig == *pkt {
+				atomic.AddUint64(&lp.LazyCancelSaved, 1)
+				t.outLog = append(t.outLog, *s)
+				t.lazyQ = append(t.lazyQ[:i], t.lazyQ[i+1:]...)
+				return
+			}
+			// First surviving record for (to, at) does not match what the
+			// re-execution emits: annihilate the entire group before sending.
+			for j := i; j < len(t.lazyQ); {
+				g := &t.lazyQ[j]
+				if g.sendAt > now {
+					break
+				}
+				if g.to != to || g.m.at != at {
+					j++
+					continue
+				}
+				a := g.m
+				a.neg = true
+				atomic.AddUint64(&lp.AntiMessages, 1)
+				lp.twSend(g.to, a)
+				t.lazyQ = append(t.lazyQ[:j], t.lazyQ[j+1:]...)
+			}
+			break
+		}
+	}
 	t.sendSeq[to.id]++
 	m := twMsg{from: lp.id, seq: t.sendSeq[to.id], at: at, orig: *pkt, dst: dst, port: port}
-	t.outLog = append(t.outLog, twSent{to: to, sendAt: lp.kernel.Now(), m: m})
+	t.outLog = append(t.outLog, twSent{to: to, sendAt: now, m: m})
 	lp.twSend(to, m)
+}
+
+// twFlushLazy sends the anti-messages for lazy-queue records the LP can no
+// longer regenerate: the clock has passed their send time without twEmit
+// matching them, or GVT has (no event below GVT will ever execute again).
+// Called from the LP goroutine only.
+func (lp *LP) twFlushLazy() {
+	t := lp.tw
+	if len(t.lazyQ) == 0 {
+		return
+	}
+	floor := lp.kernel.Now()
+	if gvt := des.Time(t.shared.gvt.Load()); gvt > floor {
+		floor = gvt
+	}
+	n := 0
+	for n < len(t.lazyQ) && t.lazyQ[n].sendAt < floor {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	for _, s := range t.lazyQ[:n] {
+		a := s.m
+		a.neg = true
+		atomic.AddUint64(&lp.AntiMessages, 1)
+		lp.twSend(s.to, a)
+	}
+	t.lazyQ = t.lazyQ[n:]
+}
+
+// twLazyFlushable reports whether the head of the lazy queue is overdue —
+// part of take's wake predicate, because an idle LP sitting on unflushed
+// records would pin GVT (their timestamps participate in twLocalMin) without
+// ever waking to release them.
+func (lp *LP) twLazyFlushable() bool {
+	t := lp.tw
+	if len(t.lazyQ) == 0 {
+		return false
+	}
+	head := t.lazyQ[0].sendAt
+	return head < lp.kernel.Now() || head < des.Time(t.shared.gvt.Load())
 }
 
 // twLimit is how far this LP may speculate: GVT plus the configured window,
 // capped at the horizon.
 func (lp *LP) twLimit() des.Time {
 	gvt := des.Time(lp.tw.shared.gvt.Load())
-	limit := gvt + lp.sys.cfg.window
+	limit := gvt + des.Time(atomic.LoadInt64(&lp.sys.window))
 	if limit < gvt || limit > lp.end {
 		limit = lp.end
 	}
@@ -188,7 +306,7 @@ func (lp *LP) twRunnable() bool {
 func (t *lpTW) take(lp *LP) []twMsg {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for len(t.box) == 0 && !t.shared.done.Load() && !lp.twRunnable() {
+	for len(t.box) == 0 && !t.shared.done.Load() && !lp.twRunnable() && !lp.twLazyFlushable() {
 		t.cond.Wait()
 	}
 	lp.inboxDepth(len(t.box))
@@ -233,6 +351,7 @@ func (lp *LP) twLoop() {
 				t.sinceCkpt = 0
 			}
 		}
+		lp.twFlushLazy()
 		lp.twFossil(des.Time(sh.gvt.Load()))
 	}
 }
@@ -264,8 +383,10 @@ func (lp *LP) twIngest(m twMsg) {
 	pkt := new(packet.Packet)
 	*pkt = m.orig
 	dst, port := m.dst, m.port
-	ev := lp.kernel.AtCtx(m.at, pkt, func() { dst.Receive(pkt, port) })
-	lp.tw.processed = append(lp.tw.processed, twEntry{m: m, pkt: pkt, ev: ev})
+	// Band 1 matches the conservative ingest path: arrivals order after
+	// same-timestamp local events in every engine (see LP.ingest).
+	ev := lp.kernel.AtCtxBand(m.at, 1, pkt, func() { dst.Receive(pkt, port) })
+	lp.tw.processed = append(lp.tw.processed, twEntry{m: m, pkt: pkt, ev: ev, gen: ev.Gen()})
 }
 
 // twHandleAnti annihilates the matching positive. Three cases: still parked
@@ -291,7 +412,7 @@ func (lp *LP) twHandleAnti(m twMsg) {
 			return
 		}
 		e.annihilated = true
-		if e.ev.Live() {
+		if e.pending() {
 			lp.kernel.Cancel(e.ev)
 		} else {
 			lp.twRollback(m.at)
@@ -330,9 +451,12 @@ func (lp *LP) twRollback(at des.Time) {
 	lp.restoreSnapshot(snap)
 
 	// The restored heap resurrects any event that was pending at checkpoint
-	// time — including positives annihilated since. Re-cancel those.
+	// time — including positives annihilated since. Re-cancel those. Events
+	// resurrected by Restore are exactly the snapshot-pinned objects (never
+	// recycled), so a gen mismatch here reliably means "not in the restored
+	// heap" rather than "reused object that happens to look live".
 	for i := 0; i < int(snap.processedEnd-t.procBase); i++ {
-		if e := &t.processed[i]; e.annihilated && e.ev.Live() {
+		if e := &t.processed[i]; e.annihilated && e.pending() {
 			lp.kernel.Cancel(e.ev)
 		}
 	}
@@ -345,21 +469,42 @@ func (lp *LP) twRollback(at des.Time) {
 		}
 		*e.pkt = e.m.orig
 		pkt, dst, port := e.pkt, e.m.dst, e.m.port
-		e.ev = lp.kernel.AtCtx(e.m.at, pkt, func() { dst.Receive(pkt, port) })
+		e.ev = lp.kernel.AtCtxBand(e.m.at, 1, pkt, func() { dst.Receive(pkt, port) })
+		e.gen = e.ev.Gen()
 	}
 	t.snaps = t.snaps[:idx+1]
 
-	// Output sent at or after the straggler is wrong; output sent before it
+	// Output sent at or after the straggler is suspect; output sent before it
 	// stays valid (the coast below regenerates — and suppresses — exactly it).
+	// Under aggressive cancellation every suspect record is anti-messaged on
+	// the spot. Under lazy cancellation the records move to the lazy queue
+	// instead: the upcoming re-execution usually regenerates them verbatim
+	// (twEmit matches them back into the output log), and only the ones it
+	// does not are eventually flushed as anti-messages (twFlushLazy).
 	cut := len(t.outLog)
 	for cut > 0 && t.outLog[cut-1].sendAt >= at {
 		cut--
 	}
-	for _, sent := range t.outLog[cut:] {
-		a := sent.m
-		a.neg = true
-		atomic.AddUint64(&lp.AntiMessages, 1)
-		lp.twSend(sent.to, a)
+	if n := len(t.outLog) - cut; n > 0 {
+		if lp.sys.cfg.lazyCancel {
+			had := len(t.lazyQ) > 0
+			t.lazyQ = append(t.lazyQ, t.outLog[cut:]...)
+			if had {
+				// Records from an earlier rollback may interleave with this
+				// cut; both runs are individually sorted by sendAt, so a
+				// stable sort is a deterministic merge.
+				sort.SliceStable(t.lazyQ, func(i, j int) bool {
+					return t.lazyQ[i].sendAt < t.lazyQ[j].sendAt
+				})
+			}
+		} else {
+			for _, sent := range t.outLog[cut:] {
+				a := sent.m
+				a.neg = true
+				atomic.AddUint64(&lp.AntiMessages, 1)
+				lp.twSend(sent.to, a)
+			}
+		}
 	}
 	t.outLog = t.outLog[:cut]
 
@@ -386,6 +531,13 @@ func (lp *LP) twLocalMin(rest []twMsg) des.Time {
 	for _, m := range t.postQ {
 		if m.at < min {
 			min = m.at
+		}
+	}
+	// Unflushed lazy-queue records will become anti-messages stamped m.at;
+	// they must hold GVT down until they are either matched or flushed.
+	for i := range t.lazyQ {
+		if t.lazyQ[i].m.at < min {
+			min = t.lazyQ[i].m.at
 		}
 	}
 	t.mu.Lock()
@@ -432,3 +584,9 @@ func (lp *LP) twFossil(gvt des.Time) {
 		t.outBase = keep.outEnd
 	}
 }
+
+// twDisableLazyMatch is a test-only switch: when set, rolled-back output still
+// flows through the lazy queue but twEmit never reclaims a record, so every
+// record is eventually flushed as an anti-message — aggressive cancellation
+// with delayed delivery. Used to bisect lazy-cancellation failures.
+var twDisableLazyMatch bool

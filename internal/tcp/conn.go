@@ -40,7 +40,13 @@ type conn struct {
 	finAcked    bool
 	done        bool
 
-	est      *rttEstimator
+	est *rttEstimator
+	// rtoTimer follows the kernel's pooled-event ownership rules (DESIGN.md
+	// "Event ownership under pooling"): the handle is only dereferenced while
+	// the event is pending. onRTO nils it as its first action — the kernel
+	// recycles the object before running the closure, so from that point the
+	// handle is stale and must not reach Cancel. armRTO's cancel-then-rearm
+	// therefore only ever cancels a live, un-fired timer.
 	rtoTimer *des.Event
 
 	// ECN response state: one window reduction per RTT.
@@ -150,7 +156,7 @@ func (c *conn) cancelRTO() {
 }
 
 func (c *conn) onRTO() {
-	c.rtoTimer = nil
+	c.rtoTimer = nil // first: the object is already recycled (see field comment)
 	if c.finAcked {
 		return
 	}
