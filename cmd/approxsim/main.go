@@ -9,10 +9,16 @@
 //	approxsim -mode fluid -clusters 4
 //	approxsim -mode pdes -racks 8 -lps 4
 //	approxsim -mode pdes -racks 8 -lps 4 -sync timewarp
+//	approxsim -mode pdes -racks 8 -lps 4 -partition mincut
 //
 // PDES mode synchronizes its logical processes with -sync: nullmsg
 // (conservative null messages, the default), barrier (global barriers), or
-// timewarp (optimistic with rollback).
+// timewarp (optimistic with rollback). -partition picks how the fabric
+// switches are placed onto LPs: contiguous (round-robin baseline), spine
+// (pack spines next to the racks they exchange the most traffic with), or
+// mincut (greedy Kernighan-Lin refinement of the cut). Committed results
+// are bit-identical across partitioners; only the synchronization overhead
+// changes.
 //
 // Hybrid mode loads models produced by the trainmodel command; if -models
 // is omitted it trains a small model in-process first (convenient for
@@ -68,6 +74,7 @@ func main() {
 		racks      = flag.Int("racks", 4, "leaf-spine racks (pdes mode)")
 		lps        = flag.Int("lps", 2, "logical processes (pdes mode; 1 = sequential)")
 		sync       = flag.String("sync", "nullmsg", "pdes synchronization: nullmsg | barrier | timewarp")
+		partition  = flag.String("partition", "contiguous", "pdes fabric placement: contiguous | spine | mincut")
 		metricsOut = flag.Bool("metrics", false, "dump a JSON metrics snapshot to stdout at end of run")
 		intervalMS = flag.Float64("metrics-interval", 0, "stream interval metrics deltas as JSONL every N virtual ms (0 = off)")
 		seriesPath = flag.String("metrics-out", "metrics.jsonl", "JSONL time-series output path (with -metrics-interval)")
@@ -97,7 +104,7 @@ func main() {
 		adaptWindow:  *adaptWin,
 	}
 	if err := run(*mode, *clusters, *durMS, *load, *seed, *pattern, *models,
-		*dctcp, *workload, *racks, *lps, *sync, opts); err != nil {
+		*dctcp, *workload, *racks, *lps, *sync, *partition, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "approxsim:", err)
 		os.Exit(1)
 	}
@@ -277,7 +284,7 @@ func parsePattern(s string) (traffic.Pattern, error) {
 }
 
 func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, modelPath string,
-	dctcp bool, workload string, racks, lps int, sync string, opts obsOptions) error {
+	dctcp bool, workload string, racks, lps int, sync, partition string, opts obsOptions) error {
 
 	pat, err := parsePattern(pattern)
 	if err != nil {
@@ -313,7 +320,7 @@ func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, m
 	default:
 		return fmt.Errorf("unknown workload %q", workload)
 	}
-	runErr := dispatch(mode, cfg, modelPath, seed, racks, lps, sync, reg, opts, orun)
+	runErr := dispatch(mode, cfg, modelPath, seed, racks, lps, sync, partition, reg, opts, orun)
 	// Flush the trace even after a failed run — an aborted timewarp run's
 	// trace (and flight-recorder dump, already on disk) is exactly what you
 	// want open in Perfetto.
@@ -324,7 +331,7 @@ func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, m
 }
 
 func dispatch(mode string, cfg core.Config, modelPath string, seed uint64,
-	racks, lps int, sync string, reg *metrics.Registry, opts obsOptions, orun *obsRun) error {
+	racks, lps int, sync, partition string, reg *metrics.Registry, opts obsOptions, orun *obsRun) error {
 	// The registry may exist only to feed the interval sampler; the end-of-run
 	// snapshot on stdout is still opt-in via -metrics.
 	snapReg := reg
@@ -375,7 +382,7 @@ func dispatch(mode string, cfg core.Config, modelPath string, seed uint64,
 		}
 		return dumpMetrics(snapReg)
 	case "pdes":
-		if err := runPDES(racks, lps, cfg.Load, cfg.Duration, seed, sync, reg, opts, orun); err != nil {
+		if err := runPDES(racks, lps, cfg.Load, cfg.Duration, seed, sync, partition, reg, opts, orun); err != nil {
 			return err
 		}
 		return dumpMetrics(snapReg)
@@ -389,13 +396,17 @@ func dispatch(mode string, cfg core.Config, modelPath string, seed uint64,
 // time-series sampler here is polling-driven off the system's committed-time
 // clock (System.Run manages its lifecycle), because under optimistic sync a
 // kernel-scheduled sample could itself be rolled back.
-func runPDES(racks, lps int, load float64, dur des.Time, seed uint64, sync string,
+func runPDES(racks, lps int, load float64, dur des.Time, seed uint64, sync, partition string,
 	reg *metrics.Registry, opts obsOptions, orun *obsRun) error {
 	algo, err := pdes.ParseSyncAlgo(sync)
 	if err != nil {
 		return err
 	}
-	var popts []pdes.Option
+	part, err := pdes.ParsePartitioner(partition)
+	if err != nil {
+		return err
+	}
+	popts := []pdes.Option{pdes.WithPartitioner(part)}
 	if orun.tracer != nil {
 		popts = append(popts, pdes.WithObs(orun.tracer))
 	}
@@ -427,13 +438,19 @@ func runPDES(racks, lps int, load float64, dur des.Time, seed uint64, sync strin
 		algo, res.ToRs, res.LPs, dur, res.WallSeconds, res.SimPerWall, res.Events)
 	fmt.Printf("nulls=%d barriers=%d cross_lp_packets=%d violations=%d eit_stalls=%d\n",
 		res.Nulls, res.Barriers, res.CrossPkts, res.Violations, res.EITStalls)
+	fmt.Printf("partition=%s cut_edges=%d cut_weight=%.1f active_channels=%d lp_load_imbalance=%.3f\n",
+		res.Partition, res.CutEdges, res.CutWeight, res.Channels, res.LoadImbalance)
 	if algo == pdes.TimeWarp {
-		fmt.Printf("rollbacks=%d anti_messages=%d lazy_saved=%d gvt_advances=%d\n",
-			res.Rollbacks, res.AntiMessages, res.LazyCancelSaved, res.GVTAdvances)
+		fmt.Printf("rollbacks=%d anti_messages=%d lazy_saved=%d gvt_advances=%d checkpoints=%d window_shrinks=%d window_grows=%d\n",
+			res.Rollbacks, res.AntiMessages, res.LazyCancelSaved, res.GVTAdvances,
+			res.Checkpoints, res.WindowShrinks, res.WindowGrows)
 	}
 	fmt.Printf("flows=%d completed=%d\n", res.FlowsStarted, res.FlowsCompleted)
 	if res.Violations != 0 {
 		return fmt.Errorf("pdes: %d causality violations (synchronization bug)", res.Violations)
+	}
+	if res.QuiescentSends != 0 {
+		return fmt.Errorf("pdes: %d packets crossed channels the quiescence analysis declared idle", res.QuiescentSends)
 	}
 	return nil
 }

@@ -48,6 +48,7 @@ func main() {
 		paper   = flag.Bool("paper-scale", false, "train the paper's 2x128 LSTM (slow)")
 		batches = flag.Int("batches", 400, "training batches for figs 4/5")
 		sync    = flag.String("sync", "nullmsg", "PDES synchronization for fig 1: nullmsg | barrier | timewarp")
+		part    = flag.String("partition", "contiguous", "PDES fabric placement for fig 1: contiguous | spine | mincut")
 		trace   = flag.String("trace", "", "fig 1: Chrome trace of the last sweep point to this file (open in Perfetto)")
 	)
 	flag.Parse()
@@ -56,7 +57,7 @@ func main() {
 	var err error
 	switch *fig {
 	case "1":
-		err = fig1(*durMS, *load, *seed, *quick, *sync, *trace)
+		err = fig1(*durMS, *load, *seed, *quick, *sync, *part, *trace)
 	case "4":
 		err = fig4(*durMS, *load, *seed, *paper)
 	case "5":
@@ -87,11 +88,15 @@ func main() {
 // from the shared metrics registry: every kernel, LP, switch, and stack in
 // the experiment reports through it, so the columns here are the same
 // aggregates a -metrics snapshot of the approxsim command would show.
-func fig1(durMS int, load float64, seed uint64, quick bool, sync, tracePath string) error {
+func fig1(durMS int, load float64, seed uint64, quick bool, sync, partition, tracePath string) error {
 	if durMS == 0 {
 		durMS = 2
 	}
 	algo, err := pdes.ParseSyncAlgo(sync)
+	if err != nil {
+		return err
+	}
+	part, err := pdes.ParsePartitioner(partition)
 	if err != nil {
 		return err
 	}
@@ -110,8 +115,8 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync, tracePath stri
 			}
 		}
 	}
-	fmt.Printf("# Figure 1: leaf-spine scaling, sim-seconds per wall-second (sync=%v)\n", algo)
-	fmt.Println("tors\tlps\tsim_per_wall\tevents\tsync_msgs\tcross_pkts\trollbacks\tflows")
+	fmt.Printf("# Figure 1: leaf-spine scaling, sim-seconds per wall-second (sync=%v partition=%s)\n", algo, part.Name())
+	fmt.Println("tors\tlps\tsim_per_wall\tevents\tsync_msgs\tcross_pkts\tchannels\trollbacks\tckpts\twin_shrink\twin_grow\tflows")
 	curves := map[int]*textplot.Series{}
 	var order []int
 	for i, c0 := range combos {
@@ -120,7 +125,7 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync, tracePath stri
 		// Tracing slows the run (and, under timewarp, changes the rollback
 		// pattern), so only the last sweep point is traced: the timing
 		// columns above it stay untouched.
-		var popts []pdes.Option
+		popts := []pdes.Option{pdes.WithPartitioner(part)}
 		var tracer *obs.Tracer
 		if tracePath != "" && i == len(combos)-1 {
 			tracer = obs.New(obs.Options{Trace: true})
@@ -146,10 +151,11 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync, tracePath stri
 		}
 		snap := reg.Snapshot()
 		syncMsgs := snap.Counter("pdes", "null_messages") + snap.Counter("pdes", "barriers")
-		fmt.Printf("%d\t%d\t%.6g\t%d\t%d\t%d\t%d\t%d\n",
+		fmt.Printf("%d\t%d\t%.6g\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			n, lps, res.SimPerWall, snap.Counter("des", "events_executed"),
-			syncMsgs, snap.Counter("pdes", "cross_lp_packets"),
-			snap.Counter("pdes", "rollbacks"), res.FlowsCompleted)
+			syncMsgs, snap.Counter("pdes", "cross_lp_packets"), res.Channels,
+			snap.Counter("pdes", "rollbacks"), res.Checkpoints,
+			res.WindowShrinks, res.WindowGrows, res.FlowsCompleted)
 		c, ok := curves[lps]
 		if !ok {
 			c = &textplot.Series{Name: fmt.Sprintf("%d LP(s)", lps)}

@@ -61,6 +61,7 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 type Event struct {
 	at       Time
 	band     uint8
+	key      uint64
 	seq      uint64
 	fn       func()
 	canceled bool
@@ -103,7 +104,7 @@ func (e *Event) Gen() uint64 { return e.gen }
 // Ctx returns the context value attached by AtCtx (nil otherwise).
 func (e *Event) Ctx() any { return e.ctx }
 
-// eventHeap is a binary min-heap ordered by (time, band, seq). seq is a
+// eventHeap is a binary min-heap ordered by (time, band, key, seq). seq is a
 // strictly increasing schedule counter, so two events at the same virtual time
 // in the same band fire in the order they were scheduled — the property that
 // makes runs reproducible. The band (AtCtxBand) separates event classes whose
@@ -112,6 +113,14 @@ func (e *Event) Ctx() any { return e.ctx }
 // ingested early (null-message drains) or late (barrier windows, Time Warp
 // re-ingestion) lands at the same position among same-timestamp events either
 // way, and all synchronization algorithms commit identical event orders.
+//
+// The key (AtCtxKeyBand) breaks ties WITHIN a band by caller-chosen content
+// instead of schedule order, for event classes where even the schedule order
+// within one band is not reproducible: same-timestamp network arrivals from
+// two different sender LPs reach the inbox in a racy interleaving, so the
+// PDES engines key each arrival by its transmitting device — a value derived
+// from simulation content, identical no matter which LP the transmitter lives
+// on or when its message was ingested. Plain At/AtCtx schedule with key 0.
 type eventHeap []*Event
 
 func (h eventHeap) less(i, j int) bool {
@@ -120,6 +129,9 @@ func (h eventHeap) less(i, j int) bool {
 	}
 	if h[i].band != h[j].band {
 		return h[i].band < h[j].band
+	}
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
 	}
 	return h[i].seq < h[j].seq
 }
@@ -251,6 +263,17 @@ func (k *Kernel) AtCtx(t Time, ctx any, fn func()) *Event {
 // committed event order depends only on simulation content, never on when the
 // event object happened to be created. Plain At/AtCtx schedule in band 0.
 func (k *Kernel) AtCtxBand(t Time, band uint8, ctx any, fn func()) *Event {
+	return k.AtCtxKeyBand(t, band, 0, ctx, fn)
+}
+
+// AtCtxKeyBand is AtCtxBand with an explicit intra-band ordering key: at equal
+// (timestamp, band), lower keys fire first and seq breaks ties only within a
+// key. Callers use it when even the scheduling ORDER within a band is not
+// reproducible — cross-LP arrivals from different senders are ingested in a
+// racy interleaving — by deriving the key from simulation content (the
+// transmitting device), so the committed order of same-timestamp arrivals is
+// independent of both the synchronization algorithm and the partitioning.
+func (k *Kernel) AtCtxKeyBand(t Time, band uint8, key uint64, ctx any, fn func()) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("des: schedule at %v before now %v", t, k.now))
 	}
@@ -260,6 +283,7 @@ func (k *Kernel) AtCtxBand(t Time, band uint8, ctx any, fn func()) *Event {
 	k.seq++
 	e := k.alloc(t, ctx, fn)
 	e.band = band
+	e.key = key
 	k.heap.push(e)
 	atomic.AddUint64(&k.nsched, 1)
 	k.syncPending()
@@ -352,6 +376,34 @@ func (k *Kernel) Run(until Time) {
 	// monotonic progress — except for the drain-everything horizon used by
 	// RunAll, where the end of the last event is the natural finish time.
 	if k.now < until && until != MaxTime && !k.stop {
+		k.setNow(until)
+	}
+}
+
+// RunBefore executes events strictly before `until` and then advances Now to
+// `until`; events stamped AT `until` (or later) stay queued. This is the
+// window primitive of the conservative PDES engines: an earliest-input-time
+// promise of T only guarantees no FUTURE message earlier than T — a message
+// stamped exactly T may still be in flight — so a window may execute only
+// events strictly below its horizon. Deferring the boundary events until the
+// horizon has strictly passed them guarantees every same-timestamp arrival is
+// already in the heap, where the (band, key) order makes their committed
+// order independent of ingestion timing.
+func (k *Kernel) RunBefore(until Time) {
+	k.run = true
+	k.stop = false
+	defer func() { k.run = false }()
+	for !k.stop {
+		for len(k.heap) > 0 && k.heap[0].canceled {
+			k.recycle(k.heap.pop())
+			k.syncPending()
+		}
+		if len(k.heap) == 0 || k.heap[0].at >= until {
+			break
+		}
+		k.Step()
+	}
+	if k.now < until && !k.stop {
 		k.setNow(until)
 	}
 }

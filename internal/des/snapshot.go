@@ -25,6 +25,7 @@ type savedEvent struct {
 	ev       *Event
 	at       Time
 	band     uint8
+	key      uint64
 	seq      uint64
 	fn       func()
 	canceled bool
@@ -70,7 +71,7 @@ func (k *Kernel) Snapshot(saveCtx func(ctx any) any) *KernelState {
 		// were pending at a checkpoint instant.
 		e.snapped = true
 		checkNotPooled(e, "Snapshot")
-		se := savedEvent{ev: e, at: e.at, band: e.band, seq: e.seq, fn: e.fn, canceled: e.canceled, ctx: e.ctx}
+		se := savedEvent{ev: e, at: e.at, band: e.band, key: e.key, seq: e.seq, fn: e.fn, canceled: e.canceled, ctx: e.ctx}
 		if e.ctx != nil && saveCtx != nil {
 			se.ctxBlob = saveCtx(e.ctx)
 		}
@@ -100,7 +101,7 @@ func (k *Kernel) Restore(st *KernelState, restoreCtx func(ctx, blob any)) {
 	heap := make(eventHeap, 0, len(st.events))
 	for i := range st.events {
 		se := &st.events[i]
-		se.ev.at, se.ev.band, se.ev.seq, se.ev.fn, se.ev.canceled = se.at, se.band, se.seq, se.fn, se.canceled
+		se.ev.at, se.ev.band, se.ev.key, se.ev.seq, se.ev.fn, se.ev.canceled = se.at, se.band, se.key, se.seq, se.fn, se.canceled
 		if se.ctx != nil && restoreCtx != nil {
 			restoreCtx(se.ctx, se.ctxBlob)
 		}

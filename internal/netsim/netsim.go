@@ -44,6 +44,15 @@ type LinkConfig struct {
 	// occupancy at enqueue is at or above this many bytes. Zero disables
 	// marking.
 	ECNThresholdBytes int64
+	// ArrivalBand, when nonzero, schedules this link's arrival events in the
+	// given kernel ordering band, keyed by the transmitting device — so two
+	// same-timestamp arrivals at a device commit in transmitter order rather
+	// than schedule order. The PDES builders set band 1 on every link that can
+	// cross an LP boundary under ANY partitioning: cross-LP arrivals are
+	// re-scheduled on the receiving kernel with the same (band, key), making
+	// the committed event order identical whether a given link happens to be
+	// local or cut.
+	ArrivalBand uint8
 }
 
 // SerializationDelay returns the time to clock size bytes onto the wire.
@@ -129,6 +138,14 @@ func NewPort(k *des.Kernel, owner Device, index int, cfg LinkConfig) *Port {
 	p.txDone = p.onTxDone
 	return p
 }
+
+// ArrivalKey is the kernel ordering key of an arrival transmitted by the
+// device with the given NodeID (see LinkConfig.ArrivalBand). The PDES engine
+// uses the same function when re-scheduling a proxied arrival on the
+// receiving LP's kernel, so a link contributes identical (band, key) ordering
+// whether it is simulated locally or across an LP boundary. Offset by one so
+// the key is never the 0 that unkeyed events carry.
+func ArrivalKey(src packet.NodeID) uint64 { return uint64(uint32(src)) + 1 }
 
 // Connect cross-wires two ports into a duplex link. Packets sent on a reach
 // b's owner (arriving on b's index) and vice versa.
@@ -226,9 +243,15 @@ func (p *Port) transmit(pkt *packet.Packet) {
 	// The packet rides as the event context so kernel snapshots (optimistic
 	// PDES rollback) can checkpoint the contents of packets in flight on the
 	// wire — switches mutate TTL/hops/ECN in place on delivery.
-	p.kernel.ScheduleCtx(arrival, pkt, func() {
-		peer.Receive(pkt, peerPort)
-	})
+	if b := p.cfg.ArrivalBand; b != 0 {
+		p.kernel.AtCtxKeyBand(p.kernel.Now()+arrival, b, ArrivalKey(p.owner.NodeID()), pkt, func() {
+			peer.Receive(pkt, peerPort)
+		})
+	} else {
+		p.kernel.ScheduleCtx(arrival, pkt, func() {
+			peer.Receive(pkt, peerPort)
+		})
+	}
 	p.kernel.Schedule(ser, p.txDone)
 }
 

@@ -1,0 +1,448 @@
+package pdes
+
+import (
+	"fmt"
+	"time"
+
+	"approxsim/internal/des"
+	"approxsim/internal/metrics"
+	"approxsim/internal/netsim"
+	"approxsim/internal/packet"
+	"approxsim/internal/tcp"
+	"approxsim/internal/topology"
+	"approxsim/internal/traffic"
+)
+
+// Clos is the paper's Fig. 2 three-tier structure partitioned across logical
+// processes. A cluster (its hosts, ToRs, and aggregation switches) is the
+// atomic block — all intra-cluster links stay LP-local — and the core layer
+// is the fabric the configured Partitioner places: only agg↔core links can
+// cross an LP boundary.
+type Clos struct {
+	Sys    *System
+	Cfg    topology.Config
+	Hosts  []*netsim.Host
+	Stacks []*tcp.Stack
+	ToRs   []*netsim.Switch
+	Aggs   []*netsim.Switch
+	Cores  []*netsim.Switch
+	// Partition describes the placement the build committed to. Never nil
+	// after BuildClos.
+	Partition *PartitionStats
+
+	lpOfHost []int
+	torBase  packet.NodeID
+	aggBase  packet.NodeID
+	coreBase packet.NodeID
+}
+
+// closGraph builds the partitioning graph for the three-tier Clos: blocks are
+// clusters, fabric nodes are cores. See leafSpineGraph for the weighting
+// rationale; here only inter-CLUSTER flows touch the fabric (intra-cluster
+// traffic turns around at the aggregation layer).
+func closGraph(cfg topology.Config, specs []traffic.FlowSpec) *Graph {
+	nB := cfg.Clusters
+	nF := cfg.AggsPerCluster * cfg.CoresPerAgg
+	perCluster := cfg.ToRsPerCluster * cfg.ServersPerToR
+	g := &Graph{
+		BlockWeight:  make([]float64, nB),
+		FabricWeight: make([]float64, nF),
+		EdgeWeight:   make([][]float64, nB),
+	}
+	for b := range g.EdgeWeight {
+		g.BlockWeight[b] = float64(perCluster + cfg.ToRsPerCluster + cfg.AggsPerCluster)
+		g.EdgeWeight[b] = make([]float64, nF)
+	}
+	for f := range g.FabricWeight {
+		g.FabricWeight[f] = 1
+	}
+	if len(specs) == 0 {
+		bw := float64(cfg.CoreLink.BandwidthBps) / 1e9
+		for b := range g.EdgeWeight {
+			for f := range g.EdgeWeight[b] {
+				g.EdgeWeight[b][f] = bw
+			}
+		}
+		g.ChannelCost = bw
+		return g
+	}
+	var maxAt des.Time
+	for _, sp := range specs {
+		if sp.At > maxAt {
+			maxAt = sp.At
+		}
+	}
+	bytesPerNs := float64(cfg.HostLink.BandwidthBps) / 8e9
+	for _, sp := range specs {
+		size := sp.Size
+		if cap := int64(float64(maxAt-sp.At) * bytesPerNs); cap < size {
+			size = cap
+		}
+		pk := flowPkts(size)
+		srcCl, dstCl := int(sp.Src)/perCluster, int(sp.Dst)/perCluster
+		g.BlockWeight[srcCl] += 3 * pk
+		g.BlockWeight[dstCl] += 3 * pk
+		if srcCl == dstCl {
+			continue // never leaves the cluster
+		}
+		cF, cR := flowCores(cfg, sp)
+		g.FabricWeight[cF] += pk
+		g.FabricWeight[cR] += pk
+		g.EdgeWeight[srcCl][cF] += pk
+		g.EdgeWeight[dstCl][cF] += pk
+		g.EdgeWeight[dstCl][cR] += pk
+		g.EdgeWeight[srcCl][cR] += pk
+	}
+	la := cfg.CoreLink.PropDelay
+	if la < 1 {
+		la = 1
+	}
+	g.ChannelCost = float64(maxAt / la)
+	return g
+}
+
+// flowCores returns the forward and reverse core switch ECMP pins an
+// inter-cluster flow to, mirroring the two-stage hash of topology.Route:
+// the source ToR picks the aggregation position, that aggregation switch
+// picks within its core group.
+func flowCores(cfg topology.Config, sp traffic.FlowSpec) (int, int) {
+	perRack := cfg.ServersPerToR
+	perCluster := cfg.ToRsPerCluster * perRack
+	nH := cfg.Clusters * perCluster
+	torBase := packet.NodeID(nH)
+	aggBase := torBase + packet.NodeID(cfg.Clusters*cfg.ToRsPerCluster)
+	core := func(src, dst packet.HostID) int {
+		p := packet.Packet{Src: src, Dst: dst, FlowID: sp.ID}
+		srcToR := int(src) / perRack
+		a := int(ecmpHash(torBase+packet.NodeID(srcToR), &p, cfg.ECMPSeed) % uint64(cfg.AggsPerCluster))
+		srcCl := int(src) / perCluster
+		agg := aggBase + packet.NodeID(srcCl*cfg.AggsPerCluster+a)
+		j := int(ecmpHash(agg, &p, cfg.ECMPSeed) % uint64(cfg.CoresPerAgg))
+		return a*cfg.CoresPerAgg + j
+	}
+	return core(sp.Src, sp.Dst), core(sp.Dst, sp.Src)
+}
+
+// BuildClos constructs a three-tier Clos on lps logical processes, one LP
+// holding one or more whole clusters. cfg must be a ThreeTierClos config (use
+// topology.DefaultClosConfig). Core placement goes through the configured
+// Partitioner exactly as spine placement does in BuildLeafSpine.
+func BuildClos(cfg topology.Config, lps int, opts ...Option) (*Clos, error) {
+	if cfg.Kind != topology.ThreeTierClos {
+		return nil, fmt.Errorf("pdes: BuildClos needs a ThreeTierClos config")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lps < 1 || lps > cfg.Clusters {
+		return nil, fmt.Errorf("pdes: lps = %d, need 1..%d (one cluster per LP minimum)",
+			lps, cfg.Clusters)
+	}
+	cl := &Clos{Sys: NewSystem(lps, opts...), Cfg: cfg}
+	nB, perRack := cfg.Clusters, cfg.ServersPerToR
+	nT := nB * cfg.ToRsPerCluster
+	nA := nB * cfg.AggsPerCluster
+	nCore := cfg.AggsPerCluster * cfg.CoresPerAgg
+	perCluster := cfg.ToRsPerCluster * perRack
+	nH := nB * perCluster
+	cl.torBase = packet.NodeID(nH)
+	cl.aggBase = cl.torBase + packet.NodeID(nT)
+	cl.coreBase = cl.aggBase + packet.NodeID(nA)
+
+	part := cl.Sys.cfg.partitioner
+	if part == nil {
+		part = ContiguousPartitioner{}
+	}
+	specs := cl.Sys.cfg.workload
+	g := closGraph(cfg, specs)
+	blockLP := make([]int, nB)
+	for c := range blockLP {
+		blockLP[c] = c * lps / nB
+	}
+	fabricLP := part.Partition(g, blockLP, lps)
+	if len(fabricLP) != nCore {
+		return nil, fmt.Errorf("pdes: partitioner %q returned %d placements for %d cores",
+			part.Name(), len(fabricLP), nCore)
+	}
+	for f, lp := range fabricLP {
+		if lp < 0 || lp >= lps {
+			return nil, fmt.Errorf("pdes: partitioner %q placed core %d on LP %d (have %d LPs)",
+				part.Name(), f, lp, lps)
+		}
+	}
+	cl.Partition = partitionStats(part.Name(), g, blockLP, fabricLP, lps,
+		perCluster+cfg.ToRsPerCluster+cfg.AggsPerCluster)
+
+	lpOfCluster := func(c int) int { return blockLP[c] }
+	tr := cl.Sys.Tracer()
+	for t := 0; t < nT; t++ {
+		lp := cl.Sys.LP(lpOfCluster(t / cfg.ToRsPerCluster))
+		sw := netsim.NewSwitch(lp.Kernel(), cl.torBase+packet.NodeID(t), cl)
+		sw.SetTrace(lp.Trace())
+		tr.NameThread(int32(lp.ID()), int32(cl.torBase)+int32(t), fmt.Sprintf("tor%d", t))
+		lp.AddSaver(sw)
+		cl.ToRs = append(cl.ToRs, sw)
+	}
+	for a := 0; a < nA; a++ {
+		lp := cl.Sys.LP(lpOfCluster(a / cfg.AggsPerCluster))
+		sw := netsim.NewSwitch(lp.Kernel(), cl.aggBase+packet.NodeID(a), cl)
+		sw.SetTrace(lp.Trace())
+		tr.NameThread(int32(lp.ID()), int32(cl.aggBase)+int32(a), fmt.Sprintf("agg%d", a))
+		lp.AddSaver(sw)
+		cl.Aggs = append(cl.Aggs, sw)
+	}
+	for c := 0; c < nCore; c++ {
+		lp := cl.Sys.LP(fabricLP[c])
+		sw := netsim.NewSwitch(lp.Kernel(), cl.coreBase+packet.NodeID(c), cl)
+		sw.SetTrace(lp.Trace())
+		tr.NameThread(int32(lp.ID()), int32(cl.coreBase)+int32(c), fmt.Sprintf("core%d", c))
+		lp.AddSaver(sw)
+		cl.Cores = append(cl.Cores, sw)
+	}
+	for h := 0; h < nH; h++ {
+		lp := cl.Sys.LP(lpOfCluster(h / perCluster))
+		host := netsim.NewHost(lp.Kernel(), packet.HostID(h), packet.NodeID(h))
+		stack := tcp.NewStack(host, tcp.Config{})
+		host.SetTrace(lp.Trace())
+		stack.SetTrace(lp.Trace())
+		tr.NameThread(int32(lp.ID()), int32(h), fmt.Sprintf("host%d", h))
+		lp.AddSaver(host)
+		lp.AddSaver(stack)
+		cl.Hosts = append(cl.Hosts, host)
+		cl.Stacks = append(cl.Stacks, stack)
+		cl.lpOfHost = append(cl.lpOfHost, lpOfCluster(h/perCluster))
+	}
+
+	nicCfg := cfg.HostLink
+	if min := int64(200 * packet.MaxFrameSize); nicCfg.QueueBytes < min {
+		nicCfg.QueueBytes = min
+	}
+	// Host <-> ToR and ToR <-> Agg: always cluster-internal, always same LP.
+	for h, host := range cl.Hosts {
+		t := h / perRack
+		lp := cl.Sys.LP(lpOfCluster(t / cfg.ToRsPerCluster))
+		nic := host.AttachNIC(nicCfg)
+		tp := cl.ToRs[t].AddPort(cfg.HostLink)
+		if err := cl.Sys.Connect(lp, nic, lp, tp, host, cl.ToRs[t], 0); err != nil {
+			return nil, err
+		}
+	}
+	for c := 0; c < nB; c++ {
+		lp := cl.Sys.LP(lpOfCluster(c))
+		for a := 0; a < cfg.AggsPerCluster; a++ {
+			agg := cl.Aggs[c*cfg.AggsPerCluster+a]
+			for t := 0; t < cfg.ToRsPerCluster; t++ {
+				tor := cl.ToRs[c*cfg.ToRsPerCluster+t]
+				up := tor.AddPort(cfg.FabricLink)   // ToR port ServersPerToR+a
+				down := agg.AddPort(cfg.FabricLink) // Agg port t
+				if err := cl.Sys.Connect(lp, up, lp, down, tor, agg, 0); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Agg <-> Core: the only links that can cross. Banded and keyed whether
+	// local or crossing (see BuildLeafSpine for the determinism rationale).
+	for c := 0; c < nB; c++ {
+		aLP := cl.Sys.LP(lpOfCluster(c))
+		for a := 0; a < cfg.AggsPerCluster; a++ {
+			agg := cl.Aggs[c*cfg.AggsPerCluster+a]
+			for j := 0; j < cfg.CoresPerAgg; j++ {
+				coreIdx := a*cfg.CoresPerAgg + j
+				core := cl.Cores[coreIdx]
+				cLP := cl.Sys.LP(fabricLP[coreIdx])
+				linkCfg := cfg.CoreLink
+				linkCfg.ArrivalBand = 1
+				lookahead := linkCfg.PropDelay
+				if aLP != cLP {
+					linkCfg.PropDelay = 0
+				}
+				up := agg.AddPort(linkCfg) // Agg port ToRsPerCluster+j
+				for core.NumPorts() <= c {
+					core.AddPort(linkCfg)
+				}
+				if err := cl.Sys.Connect(aLP, up, cLP, core.Port(c), agg, core, lookahead); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Channel quiescence from the declared workload, exactly as in
+	// BuildLeafSpine: every packet of an inter-cluster flow travels one of the
+	// flow's two core-pinned paths.
+	if len(specs) > 0 && lps > 1 {
+		active := make([]bool, lps*lps)
+		mark := func(a, b int) {
+			if a != b {
+				active[a*lps+b] = true
+			}
+		}
+		for _, sp := range specs {
+			srcCl, dstCl := int(sp.Src)/perCluster, int(sp.Dst)/perCluster
+			if srcCl == dstCl {
+				continue
+			}
+			cF, cR := flowCores(cfg, sp)
+			mark(blockLP[srcCl], fabricLP[cF])
+			mark(fabricLP[cF], blockLP[dstCl])
+			mark(blockLP[dstCl], fabricLP[cR])
+			mark(fabricLP[cR], blockLP[srcCl])
+		}
+		cl.Sys.LimitChannels(func(from, to int) bool { return active[from*lps+to] })
+	}
+	return cl, nil
+}
+
+// Route implements netsim.Router with the same arithmetic and ECMP spread as
+// the topology package's three-tier routing.
+func (cl *Clos) Route(sw packet.NodeID, p *packet.Packet) (int, bool) {
+	cfg := cl.Cfg
+	dst := int(p.Dst)
+	if dst < 0 || dst >= len(cl.Hosts) {
+		return 0, false
+	}
+	perCluster := cfg.ToRsPerCluster * cfg.ServersPerToR
+	dstToR := dst / cfg.ServersPerToR
+	dstCluster := dst / perCluster
+	switch {
+	case sw >= cl.coreBase:
+		return dstCluster, true
+	case sw >= cl.aggBase:
+		agg := int(sw - cl.aggBase)
+		cluster := agg / cfg.AggsPerCluster
+		if dstCluster == cluster {
+			return dstToR % cfg.ToRsPerCluster, true
+		}
+		pick := int(ecmpHash(sw, p, cfg.ECMPSeed) % uint64(cfg.CoresPerAgg))
+		return cfg.ToRsPerCluster + pick, true
+	case sw >= cl.torBase:
+		tor := int(sw - cl.torBase)
+		if dstToR == tor {
+			return dst % cfg.ServersPerToR, true
+		}
+		pick := int(ecmpHash(sw, p, cfg.ECMPSeed) % uint64(cfg.AggsPerCluster))
+		return cfg.ServersPerToR + pick, true
+	default:
+		return 0, false
+	}
+}
+
+// Schedule installs the workload: each flow arrival is scheduled on its
+// source host's LP.
+func (cl *Clos) Schedule(specs []traffic.FlowSpec) {
+	for _, sp := range specs {
+		sp := sp
+		lp := cl.Sys.LP(cl.lpOfHost[sp.Src])
+		stack := cl.Stacks[sp.Src]
+		lp.Kernel().At(sp.At, func() {
+			stack.StartFlow(sp.Dst, sp.Size, sp.ID, nil)
+		})
+	}
+}
+
+// RegisterMetrics registers every component of the experiment with reg, in
+// the same groups BuildLeafSpine uses.
+func (cl *Clos) RegisterMetrics(reg *metrics.Registry) {
+	for i := 0; i < cl.Sys.NumLPs(); i++ {
+		reg.Register("des", cl.Sys.LP(i).Kernel())
+	}
+	reg.Register("pdes", cl.Sys)
+	reg.Register("pdes", cl.Partition)
+	for _, sw := range cl.ToRs {
+		reg.Register("netsim", sw)
+	}
+	for _, sw := range cl.Aggs {
+		reg.Register("netsim", sw)
+	}
+	for _, sw := range cl.Cores {
+		reg.Register("netsim", sw)
+	}
+	for _, h := range cl.Hosts {
+		reg.Register("netsim", h)
+	}
+	for _, st := range cl.Stacks {
+		reg.Register("tcp", st)
+	}
+}
+
+// Results gathers every flow result across all stacks.
+func (cl *Clos) Results() []tcp.FlowResult {
+	var out []tcp.FlowResult
+	for _, s := range cl.Stacks {
+		out = append(out, s.Results()...)
+	}
+	return out
+}
+
+// RunClosObserved mirrors RunLeafSpineObserved for the three-tier Clos:
+// generate the workload, hand it to the build (graph weighting + channel
+// quiescence), run, and summarize. clusters plays the role n plays for the
+// leaf-spine.
+func RunClosObserved(clusters, lps int, load float64, dur des.Time, seed uint64,
+	algo SyncAlgo, reg *metrics.Registry, opts ...Option) (*ExperimentResult, error) {
+
+	cfg := topology.DefaultClosConfig(clusters)
+	hosts := make([]packet.HostID, clusters*cfg.ToRsPerCluster*cfg.ServersPerToR)
+	for i := range hosts {
+		hosts[i] = packet.HostID(i)
+	}
+	specs, err := traffic.GenerateSpecs(traffic.Config{
+		Load:             load,
+		HostBandwidthBps: cfg.HostLink.BandwidthBps,
+		Seed:             seed,
+	}, hosts, dur)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := BuildClos(cfg, lps, append([]Option{WithSyncAlgo(algo), withWorkload(specs)}, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	if reg != nil {
+		cl.RegisterMetrics(reg)
+	}
+	cl.Schedule(specs)
+
+	start := time.Now()
+	if err := cl.Sys.Run(dur); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	st := cl.Sys.Stats()
+	res := &ExperimentResult{
+		ToRs: clusters * cfg.ToRsPerCluster, LPs: lps,
+		SimSeconds:      dur.Seconds(),
+		WallSeconds:     wall.Seconds(),
+		Events:          st.Events,
+		Nulls:           st.Nulls,
+		Barriers:        st.Barriers,
+		CrossPkts:       st.CrossPkts,
+		Violations:      st.Violations,
+		EITStalls:       st.EITStalls,
+		Rollbacks:       st.Rollbacks,
+		AntiMessages:    st.AntiMessages,
+		LazyCancelSaved: st.LazyCancelSaved,
+		GVTAdvances:     st.GVTAdvances,
+		Checkpoints:     st.Checkpoints,
+		WindowShrinks:   st.WindowShrinks,
+		WindowGrows:     st.WindowGrows,
+		QuiescentSends:  st.QuiescentSends,
+		FlowsStarted:    len(specs),
+		Partition:       cl.Partition.Name,
+		CutEdges:        cl.Partition.CutEdges,
+		CutWeight:       cl.Partition.CutWeight,
+		Channels:        cl.Partition.Channels,
+		LoadImbalance:   cl.Partition.LoadImbalance,
+	}
+	if wall > 0 {
+		res.SimPerWall = res.SimSeconds / res.WallSeconds
+	}
+	for _, r := range cl.Results() {
+		if r.Completed {
+			res.FlowsCompleted++
+		}
+	}
+	return res, nil
+}

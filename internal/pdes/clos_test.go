@@ -1,0 +1,71 @@
+package pdes
+
+import (
+	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/metrics"
+)
+
+// TestClosSmoke drives traffic through the partitioned three-tier Clos and
+// checks the run is healthy: flows move, cross-LP traffic exists, and neither
+// the conservative promises nor the quiescence analysis are violated.
+func TestClosSmoke(t *testing.T) {
+	res, err := RunClosObserved(4, 2, 0.4, des.Millisecond, 11, NullMessages, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlowsStarted == 0 || res.FlowsCompleted == 0 {
+		t.Fatalf("clos run moved no traffic: %+v", res)
+	}
+	if res.CrossPkts == 0 {
+		t.Error("clos run shipped no cross-LP packets")
+	}
+	if res.Violations != 0 {
+		t.Errorf("%d causality violations", res.Violations)
+	}
+	if res.QuiescentSends != 0 {
+		t.Errorf("%d sends on channels the quiescence analysis declared idle", res.QuiescentSends)
+	}
+}
+
+// TestClosDeterminismAcrossPartitioners: like the leaf-spine determinism
+// property, the Clos build must commit bit-identical netsim+tcp results no
+// matter how the cores are placed — including against the sequential
+// single-LP reference.
+func TestClosDeterminismAcrossPartitioners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped under -short")
+	}
+	run := func(lps int, p Partitioner) string {
+		reg := metrics.NewRegistry()
+		res, err := RunClosObserved(4, lps, 0.4, des.Millisecond, 11, NullMessages, reg, WithPartitioner(p))
+		if err != nil {
+			t.Fatalf("lps=%d %s: %v", lps, p.Name(), err)
+		}
+		if res.Violations != 0 {
+			t.Fatalf("lps=%d %s: %d causality violations", lps, p.Name(), res.Violations)
+		}
+		if res.QuiescentSends != 0 {
+			t.Fatalf("lps=%d %s: %d quiescent-channel sends", lps, p.Name(), res.QuiescentSends)
+		}
+		return committedGroups(t, reg)
+	}
+	ref := run(1, ContiguousPartitioner{})
+	for _, lps := range []int{2, 4} {
+		for _, p := range []Partitioner{ContiguousPartitioner{}, SpineAwarePartitioner{}, MinCutPartitioner{}} {
+			if got := run(lps, p); got != ref {
+				t.Errorf("clos lps=%d %s diverged from the sequential reference", lps, p.Name())
+			}
+		}
+	}
+}
+
+// TestClosRejectsBadShapes pins BuildClos input validation.
+func TestClosRejectsBadShapes(t *testing.T) {
+	for _, lps := range []int{0, 5} {
+		if _, err := RunClosObserved(4, lps, 0.3, des.Millisecond, 1, NullMessages, nil); err == nil {
+			t.Errorf("BuildClos accepted lps=%d on 4 clusters", lps)
+		}
+	}
+}

@@ -98,6 +98,76 @@ func TestTinyInboxBarrierNoDeadlock(t *testing.T) {
 	}
 }
 
+// TestFinalDrainTinyInbox pins the final catch-up rewrite (the old barrier
+// epilogue drained and ran each LP *sequentially*): events at exactly the
+// horizon emit cross-LP sends that are always stamped beyond it (lookahead is
+// positive), and with capacity-1 inboxes the sequential drain wedged — the
+// first LP's catch-up blocked sending into the second's full inbox while the
+// second was not yet draining, and the send fallback spun on the sender's own
+// empty inbox forever. The concurrent two-phase catch-up must complete under
+// both conservative engines, and every beyond-horizon packet must be
+// accounted as a PostHorizonDrop rather than silently lost.
+func TestFinalDrainTinyInbox(t *testing.T) {
+	const (
+		end   = 100 * des.Microsecond
+		burst = 64
+	)
+	for _, mode := range []string{"nullmsg", "barrier"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			s := NewSystemWithInbox(2, 1)
+			a := netsim.NewHost(s.LP(0).Kernel(), 0, 0)
+			b := netsim.NewHost(s.LP(1).Kernel(), 1, 1)
+			// Near-infinite bandwidth: serialization rounds to zero, so a
+			// packet handed to the NIC at the horizon finishes transmitting at
+			// the horizon and its cross-LP arrival (horizon + lookahead) is
+			// post-horizon by construction.
+			cfg := netsim.LinkConfig{BandwidthBps: 1e15, PropDelay: 0, QueueBytes: 1 << 26}
+			na := a.AttachNIC(cfg)
+			nb := b.AttachNIC(cfg)
+			if err := s.Connect(s.LP(0), na, s.LP(1), nb, a, b, 10*des.Microsecond); err != nil {
+				t.Fatal(err)
+			}
+			got := 0
+			a.Handler = func(*packet.Packet) { got++ }
+			b.Handler = func(*packet.Packet) { got++ }
+			s.LP(0).Kernel().Schedule(end, func() {
+				for i := 0; i < burst; i++ {
+					a.Send(&packet.Packet{Src: 0, Dst: 1, PayloadLen: 100})
+				}
+			})
+			s.LP(1).Kernel().Schedule(end, func() {
+				for i := 0; i < burst; i++ {
+					b.Send(&packet.Packet{Src: 1, Dst: 0, PayloadLen: 100})
+				}
+			})
+			runWithWatchdog(t, 30*time.Second, func() {
+				if mode == "barrier" {
+					s.RunBarrier(end)
+				} else {
+					s.Run(end)
+				}
+			})
+			if got != 0 {
+				t.Errorf("%d beyond-horizon packets were delivered, want 0", got)
+			}
+			st := s.Stats()
+			if st.PostHorizonDrops != 2*burst {
+				t.Errorf("post-horizon drops = %d, want %d (one per horizon-stamped send)",
+					st.PostHorizonDrops, 2*burst)
+			}
+			if st.Violations != 0 {
+				t.Errorf("%d causality violations", st.Violations)
+			}
+			for i := 0; i < s.NumLPs(); i++ {
+				if n := s.LP(i).Kernel().Pending(); n != 0 {
+					t.Errorf("LP %d kernel has %d pending events after the run, want 0", i, n)
+				}
+			}
+		})
+	}
+}
+
 // postHorizonScenario sends exactly one packet timed so its serialization
 // completes inside the run but its cross-LP arrival stamp lands beyond the
 // horizon: send at 90us, tx done at 98us, arrival 98us + 10us lookahead =

@@ -45,8 +45,15 @@ func committedGroups(t *testing.T, reg *metrics.Registry) string {
 // seed picks a topology size, offered load, and horizon; the same workload
 // then runs under null messages (the reference), barrier sync with the event
 // pool alternately on and off, and one Time Warp variant from a rotating set
-// covering the pool × cancellation × adaptive-window matrix. Every run's
-// committed netsim+tcp metric snapshot must match the reference exactly.
+// covering the pool × cancellation × adaptive-window matrix. The reference is
+// a SINGLE-LP run — a plain sequential simulation — and every parallel run's
+// committed netsim+tcp metric snapshot must match it exactly, across LP
+// counts (1, 2, and 4 where the topology permits), across all three
+// partitioners (contiguous, spine-aware, min-cut), and across all three
+// synchronization algorithms. Partitioning moves devices between LPs and
+// reshapes which arrivals cross LP boundaries; the keyed arrival ordering
+// (des.AtCtxKeyBand over netsim.ArrivalKey) is what makes that movement
+// invisible to committed results.
 func TestDeterminismProperty(t *testing.T) {
 	if testing.Short() {
 		t.Skip("property test is heavy; skipped under -short")
@@ -63,7 +70,11 @@ func TestDeterminismProperty(t *testing.T) {
 		{"nopool+eager", []Option{WithEventPool(false), WithLazyCancellation(false)}},
 		{"pool+lazy+adaptive", []Option{WithAdaptiveWindow(10*des.Microsecond, 200*des.Microsecond)}},
 	}
-
+	partitioners := []Partitioner{
+		ContiguousPartitioner{},
+		SpineAwarePartitioner{},
+		MinCutPartitioner{},
+	}
 	const seeds = 25
 	for seed := uint64(1); seed <= seeds; seed++ {
 		seed := seed
@@ -72,33 +83,64 @@ func TestDeterminismProperty(t *testing.T) {
 			tors := 2 + 2*r.Intn(2)                        // 2 or 4 ToRs
 			load := 0.3 + 0.4*r.Float64()                  // 0.3 .. 0.7
 			dur := des.Millisecond * des.Time(1+r.Intn(2)) // 1ms or 2ms
-			lps := 2
+			lpsHigh := tors                                // 2 or 4 (BuildLeafSpine caps lps at the ToR count)
 
-			run := func(algo SyncAlgo, opts ...Option) string {
+			run := func(algo SyncAlgo, lps int, opts ...Option) string {
 				reg := metrics.NewRegistry()
 				res, err := RunLeafSpineObserved(tors, lps, load, dur, seed, algo, reg, opts...)
 				if err != nil {
-					t.Fatalf("%v %v: %v", algo, opts, err)
+					t.Fatalf("%v lps=%d %v: %v", algo, lps, opts, err)
 				}
 				if res.Violations != 0 {
-					t.Fatalf("%v: %d causality violations", algo, res.Violations)
+					t.Fatalf("%v lps=%d: %d causality violations", algo, lps, res.Violations)
+				}
+				if res.QuiescentSends != 0 {
+					t.Fatalf("%v lps=%d: %d sends on channels the quiescence analysis declared idle",
+						algo, lps, res.QuiescentSends)
 				}
 				return committedGroups(t, reg)
 			}
 
-			ref := run(NullMessages)
+			// The sequential run is ground truth for everything below.
+			ref := run(NullMessages, 1)
 
-			poolOn := seed%2 == 0
-			if got := run(Barrier, WithEventPool(poolOn)); got != ref {
-				t.Errorf("barrier(pool=%v) committed snapshot diverged from nullmsg:\nref: %s\ngot: %s",
-					poolOn, ref, got)
+			check := func(name, got string) {
+				if got != ref {
+					t.Errorf("%s committed snapshot diverged from the sequential reference:\nref: %s\ngot: %s",
+						name, ref, got)
+				}
 			}
 
+			// All three partitioners under null messages at the highest LP
+			// count this topology supports.
+			for _, p := range partitioners {
+				check(fmt.Sprintf("nullmsg(lps=%d,%s)", lpsHigh, p.Name()),
+					run(NullMessages, lpsHigh, WithPartitioner(p)))
+			}
+
+			// Barrier at lps=2 with the pool toggle alternating, and at
+			// lpsHigh with a rotating partitioner.
+			poolOn := seed%2 == 0
+			check(fmt.Sprintf("barrier(lps=2,pool=%v)", poolOn),
+				run(Barrier, 2, WithEventPool(poolOn)))
+			pb := partitioners[int(seed)%len(partitioners)]
+			check(fmt.Sprintf("barrier(lps=%d,%s)", lpsHigh, pb.Name()),
+				run(Barrier, lpsHigh, WithPartitioner(pb)))
+
+			// One Time Warp variant from the rotating kernel-toggle matrix,
+			// paired with a rotating partitioner so every (variant,
+			// partitioner) combination appears across the seed sweep.
 			v := twVariants[int(seed)%len(twVariants)]
-			opts := append([]Option{WithGVTInterval(50 * time.Microsecond)}, v.opts...)
-			if got := run(TimeWarp, opts...); got != ref {
-				t.Errorf("timewarp(%s) committed snapshot diverged from nullmsg:\nref: %s\ngot: %s",
-					v.name, ref, got)
+			pt := partitioners[int(seed/2)%len(partitioners)]
+			opts := append([]Option{WithGVTInterval(50 * time.Microsecond), WithPartitioner(pt)}, v.opts...)
+			check(fmt.Sprintf("timewarp(lps=2,%s,%s)", v.name, pt.Name()),
+				run(TimeWarp, 2, opts...))
+
+			// Cross-algo at an intermediate LP count when the topology is
+			// large enough to make lps=2 distinct from lpsHigh.
+			if lpsHigh > 2 {
+				check("nullmsg(lps=2,mincut)",
+					run(NullMessages, 2, WithPartitioner(MinCutPartitioner{})))
 			}
 		})
 	}

@@ -15,9 +15,9 @@ import (
 
 // LeafSpine is a leaf-spine network partitioned across logical processes —
 // the Fig. 1 experiment substrate. Racks (a ToR and its servers) are split
-// contiguously across LPs; spines are distributed round-robin. Every
-// ToR–spine link then has a high chance of crossing a partition, which is
-// precisely the dense connectivity that makes data centers hostile to PDES.
+// contiguously across LPs; spine placement is delegated to the configured
+// Partitioner (default: the historical round-robin scatter, the placement
+// that makes data centers maximally hostile to PDES).
 type LeafSpine struct {
 	Sys    *System
 	Cfg    topology.Config
@@ -25,10 +25,119 @@ type LeafSpine struct {
 	Stacks []*tcp.Stack
 	ToRs   []*netsim.Switch
 	Spines []*netsim.Switch
+	// Partition describes the placement the build committed to (cut size,
+	// active channels, load spread). Never nil after BuildLeafSpine.
+	Partition *PartitionStats
 
 	lpOfHost  []int
 	torBase   packet.NodeID
 	spineBase packet.NodeID
+}
+
+// flowPkts estimates the packet-event cost of one flow direction: data
+// segments forward, one ACK per segment back (plus the handshake). Only
+// relative magnitudes matter — the estimates weight the partitioning graph,
+// they are never compared against measured counters.
+func flowPkts(size int64) float64 {
+	segs := (size + packet.MSS - 1) / packet.MSS
+	if segs < 1 {
+		segs = 1
+	}
+	return float64(segs + 1)
+}
+
+// leafSpineGraph builds the partitioning graph: blocks are racks (ToR +
+// servers), fabric nodes are spines, and weights are expected event rates.
+// ECMP pins every flow to one forward and one reverse spine as a pure
+// function of the flow header (see ecmpHash), so with a workload the per-link
+// packet counts are exact a-priori — an edge weight of zero means the
+// workload provably never touches that link. Without a workload every edge
+// carries its normalized bandwidth instead, so placements still order
+// sensibly (and nothing can be declared idle).
+func leafSpineGraph(cfg topology.Config, specs []traffic.FlowSpec) *Graph {
+	nT, nS, perRack := cfg.ToRsPerCluster, cfg.AggsPerCluster, cfg.ServersPerToR
+	g := &Graph{
+		BlockWeight:  make([]float64, nT),
+		FabricWeight: make([]float64, nS),
+		EdgeWeight:   make([][]float64, nT),
+	}
+	for b := range g.EdgeWeight {
+		g.BlockWeight[b] = float64(perRack + 1) // device-count baseline
+		g.EdgeWeight[b] = make([]float64, nS)
+	}
+	for f := range g.FabricWeight {
+		g.FabricWeight[f] = 1
+	}
+	if len(specs) == 0 {
+		bw := float64(cfg.FabricLink.BandwidthBps) / 1e9
+		for b := range g.EdgeWeight {
+			for f := range g.EdgeWeight[b] {
+				g.EdgeWeight[b][f] = bw
+			}
+		}
+		g.ChannelCost = bw
+		return g
+	}
+	torBase := packet.NodeID(nT * perRack)
+	var maxAt des.Time
+	for _, sp := range specs {
+		if sp.At > maxAt {
+			maxAt = sp.At
+		}
+	}
+	// A flow can transfer at most line rate × the virtual time left before the
+	// horizon; estimating its full size would overweight late large flows the
+	// run will truncate, inflating cut weight relative to channel cost.
+	bytesPerNs := float64(cfg.HostLink.BandwidthBps) / 8e9
+	for _, sp := range specs {
+		size := sp.Size
+		if cap := int64(float64(maxAt-sp.At) * bytesPerNs); cap < size {
+			size = cap
+		}
+		pk := flowPkts(size)
+		srcRack, dstRack := int(sp.Src)/perRack, int(sp.Dst)/perRack
+		// An endpoint block runs ~3 events per packet (host link hop, ToR hop,
+		// TCP processing/timers) in each direction; a spine runs ~1 per
+		// traversal. The ratio, not the absolute scale, is what matters: it
+		// sets how much fabric the imbalance bound lets one LP absorb.
+		g.BlockWeight[srcRack] += 3 * pk
+		g.BlockWeight[dstRack] += 3 * pk
+		if srcRack == dstRack {
+			continue // rack-local: never touches the fabric
+		}
+		sF, sR := flowSpines(cfg, torBase, sp)
+		g.FabricWeight[sF] += pk
+		g.FabricWeight[sR] += pk
+		g.EdgeWeight[srcRack][sF] += pk
+		g.EdgeWeight[dstRack][sF] += pk
+		g.EdgeWeight[dstRack][sR] += pk
+		g.EdgeWeight[srcRack][sR] += pk
+	}
+	// One active channel costs up to one promise per lookahead of virtual
+	// time; this prices removing a channel in the same units (packet events)
+	// as the cut weight.
+	la := cfg.FabricLink.PropDelay
+	if la < 1 {
+		la = 1
+	}
+	g.ChannelCost = float64(maxAt / la)
+	return g
+}
+
+// flowSpines returns the forward spine (data: src→dst) and reverse spine
+// (ACKs: dst→src) ECMP pins the flow to. The hash depends only on the
+// switch, the packet's Src/Dst/FlowID, and the seed — fields identical on
+// every packet of a direction, retransmissions included — which is what makes
+// the pin exact rather than statistical.
+func flowSpines(cfg topology.Config, torBase packet.NodeID, sp traffic.FlowSpec) (int, int) {
+	nS := cfg.AggsPerCluster
+	perRack := cfg.ServersPerToR
+	srcRack, dstRack := int(sp.Src)/perRack, int(sp.Dst)/perRack
+	fwd := packet.Packet{Src: sp.Src, Dst: sp.Dst, FlowID: sp.ID}
+	rev := packet.Packet{Src: sp.Dst, Dst: sp.Src, FlowID: sp.ID}
+	sF := int(ecmpHash(torBase+packet.NodeID(srcRack), &fwd, cfg.ECMPSeed) % uint64(nS))
+	sR := int(ecmpHash(torBase+packet.NodeID(dstRack), &rev, cfg.ECMPSeed) % uint64(nS))
+	return sF, sR
 }
 
 // BuildLeafSpine constructs an n-rack leaf-spine on lps logical processes.
@@ -53,8 +162,33 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 	ls.torBase = packet.NodeID(nH)
 	ls.spineBase = ls.torBase + packet.NodeID(nT)
 
-	lpOfToR := func(t int) int { return t * lps / nT }
-	lpOfSpine := func(s int) int { return s % lps }
+	// Placement. Rack blocks are pinned contiguously (identical across
+	// partitioners — see partition.go); only the spines move.
+	part := ls.Sys.cfg.partitioner
+	if part == nil {
+		part = ContiguousPartitioner{}
+	}
+	specs := ls.Sys.cfg.workload
+	g := leafSpineGraph(cfg, specs)
+	blockLP := make([]int, nT)
+	for t := range blockLP {
+		blockLP[t] = t * lps / nT
+	}
+	fabricLP := part.Partition(g, blockLP, lps)
+	if len(fabricLP) != nS {
+		return nil, fmt.Errorf("pdes: partitioner %q returned %d placements for %d spines",
+			part.Name(), len(fabricLP), nS)
+	}
+	for f, lp := range fabricLP {
+		if lp < 0 || lp >= lps {
+			return nil, fmt.Errorf("pdes: partitioner %q placed spine %d on LP %d (have %d LPs)",
+				part.Name(), f, lp, lps)
+		}
+	}
+	ls.Partition = partitionStats(part.Name(), g, blockLP, fabricLP, lps, perRack+1)
+
+	lpOfToR := func(t int) int { return blockLP[t] }
+	lpOfSpine := func(s int) int { return fabricLP[s] }
 
 	// Devices, each on its LP's kernel and in its LP's rollback saver list.
 	// When the system carries a tracer, every device emits on its owning
@@ -115,6 +249,11 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 		for s, spine := range ls.Spines {
 			sLP := ls.Sys.LP(lpOfSpine(s))
 			linkCfg := cfg.FabricLink
+			// Fabric arrivals are banded and keyed on EVERY fabric link, local
+			// or crossing: the committed event order at a timestamp is then a
+			// property of the topology, not of which partition happened to make
+			// a link local (see netsim.LinkConfig.ArrivalBand, LP.ingest).
+			linkCfg.ArrivalBand = 1
 			lookahead := linkCfg.PropDelay
 			if tLP != sLP {
 				linkCfg.PropDelay = 0
@@ -127,6 +266,37 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 				return nil, err
 			}
 		}
+	}
+
+	// Channel quiescence: with the workload declared up front, the set of LP
+	// pairs any packet can ever cross is computable exactly — the workload is
+	// fully pre-scheduled, ECMP pins each flow direction to one spine, and
+	// every packet of a flow (handshake, data, ACKs, retransmissions) travels
+	// one of the flow's two pinned paths. Channels outside that set are
+	// promised-idle: no null messages, and receivers never wait on them. A
+	// packet on a quiescent channel still flows correctly but trips the
+	// QuiescentSends counter — the loud invariant breach detector for this
+	// analysis.
+	if len(specs) > 0 && lps > 1 {
+		active := make([]bool, lps*lps)
+		mark := func(a, b int) {
+			if a != b {
+				active[a*lps+b] = true
+			}
+		}
+		for _, sp := range specs {
+			srcRack, dstRack := int(sp.Src)/perRack, int(sp.Dst)/perRack
+			if srcRack == dstRack {
+				continue
+			}
+			sF, sR := flowSpines(cfg, ls.torBase, sp)
+			// Data: srcRack → sF → dstRack; ACKs: dstRack → sR → srcRack.
+			mark(blockLP[srcRack], fabricLP[sF])
+			mark(fabricLP[sF], blockLP[dstRack])
+			mark(blockLP[dstRack], fabricLP[sR])
+			mark(fabricLP[sR], blockLP[srcRack])
+		}
+		ls.Sys.LimitChannels(func(from, to int) bool { return active[from*lps+to] })
 	}
 	return ls, nil
 }
@@ -189,6 +359,7 @@ func (ls *LeafSpine) RegisterMetrics(reg *metrics.Registry) {
 		reg.Register("des", ls.Sys.LP(i).Kernel())
 	}
 	reg.Register("pdes", ls.Sys)
+	reg.Register("pdes", ls.Partition)
 	for _, sw := range ls.ToRs {
 		reg.Register("netsim", sw)
 	}
@@ -228,8 +399,18 @@ type ExperimentResult struct {
 	AntiMessages    uint64 // Time Warp: speculative sends cancelled
 	LazyCancelSaved uint64 // Time Warp: anti-messages avoided by lazy cancellation
 	GVTAdvances     uint64 // Time Warp: committed GVT advances
+	Checkpoints     uint64 // Time Warp: state snapshots taken
+	WindowShrinks   uint64 // Time Warp: adaptive-window contractions
+	WindowGrows     uint64 // Time Warp: adaptive-window expansions
+	QuiescentSends  uint64 // packets on promised-idle channels: nonzero means the analysis is unsound
 	FlowsStarted    int
 	FlowsCompleted  int
+	// Placement summary (see PartitionStats).
+	Partition     string
+	CutEdges      int
+	CutWeight     float64
+	Channels      int
+	LoadImbalance float64
 }
 
 // RunLeafSpine executes the Fig. 1 measurement: an n-ToR, n-spine leaf-spine
@@ -253,14 +434,13 @@ func RunLeafSpineObserved(n, lps int, load float64, dur des.Time, seed uint64,
 	algo SyncAlgo, reg *metrics.Registry, opts ...Option) (*ExperimentResult, error) {
 
 	cfg := topology.DefaultLeafSpineConfig(n)
-	ls, err := BuildLeafSpine(cfg, lps, append([]Option{WithSyncAlgo(algo)}, opts...)...)
-	if err != nil {
-		return nil, err
-	}
-	if reg != nil {
-		ls.RegisterMetrics(reg)
-	}
-	hosts := make([]packet.HostID, len(ls.Hosts))
+	// The workload is generated BEFORE the build and handed to it: the
+	// partitioning graph is weighted with the exact per-link packet counts
+	// ECMP will pin these flows to, and provably idle cross-LP channels are
+	// marked quiescent. Scheduling the same specs afterwards keeps the
+	// declared and actual workloads identical — the soundness condition of
+	// both analyses.
+	hosts := make([]packet.HostID, n*cfg.ServersPerToR)
 	for i := range hosts {
 		hosts[i] = packet.HostID(i)
 	}
@@ -271,6 +451,13 @@ func RunLeafSpineObserved(n, lps int, load float64, dur des.Time, seed uint64,
 	}, hosts, dur)
 	if err != nil {
 		return nil, err
+	}
+	ls, err := BuildLeafSpine(cfg, lps, append([]Option{WithSyncAlgo(algo), withWorkload(specs)}, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	if reg != nil {
+		ls.RegisterMetrics(reg)
 	}
 	ls.Schedule(specs)
 
@@ -295,7 +482,16 @@ func RunLeafSpineObserved(n, lps int, load float64, dur des.Time, seed uint64,
 		AntiMessages:    st.AntiMessages,
 		LazyCancelSaved: st.LazyCancelSaved,
 		GVTAdvances:     st.GVTAdvances,
+		Checkpoints:     st.Checkpoints,
+		WindowShrinks:   st.WindowShrinks,
+		WindowGrows:     st.WindowGrows,
+		QuiescentSends:  st.QuiescentSends,
 		FlowsStarted:    len(specs),
+		Partition:       ls.Partition.Name,
+		CutEdges:        ls.Partition.CutEdges,
+		CutWeight:       ls.Partition.CutWeight,
+		Channels:        ls.Partition.Channels,
+		LoadImbalance:   ls.Partition.LoadImbalance,
 	}
 	if wall > 0 {
 		res.SimPerWall = res.SimSeconds / res.WallSeconds

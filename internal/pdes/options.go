@@ -6,6 +6,7 @@ import (
 
 	"approxsim/internal/des"
 	"approxsim/internal/obs"
+	"approxsim/internal/traffic"
 )
 
 // SyncAlgo selects the synchronization algorithm a System runs under.
@@ -75,6 +76,8 @@ type config struct {
 	adaptWindow     bool
 	windowMin       des.Time
 	windowMax       des.Time
+	partitioner     Partitioner
+	workload        []traffic.FlowSpec
 }
 
 func defaultConfig() config {
@@ -209,6 +212,24 @@ func WithSampler(s *obs.Sampler) Option { return func(c *config) { c.sampler = s
 // WithSamplerPoll sets the wall-clock poll period of the Run-managed sampler
 // (see WithSampler). Non-positive keeps the sampler's default (1ms).
 func WithSamplerPoll(d time.Duration) Option { return func(c *config) { c.samplerPoll = d } }
+
+// WithPartitioner selects how the topology builders place fabric switches
+// onto LPs (see Partitioner). The default is ContiguousPartitioner, which
+// reproduces the historical placement exactly. Committed simulation results
+// are bit-identical across partitioners — the choice affects performance
+// (cross-LP traffic, null-message volume), never outcomes.
+func WithPartitioner(p Partitioner) Option { return func(c *config) { c.partitioner = p } }
+
+// withWorkload hands the builders the flow specs that will later be
+// scheduled, so the partitioning graph can be weighted with the exact
+// per-link packet counts ECMP will pin the flows to, and so provably idle
+// cross-LP channels can be marked quiescent (System.LimitChannels). The run
+// helpers set it automatically; it is unexported because scheduling a
+// DIFFERENT workload than the one declared here would make the quiescence
+// analysis unsound.
+func withWorkload(specs []traffic.FlowSpec) Option {
+	return func(c *config) { c.workload = specs }
+}
 
 // WithStallTimeout arms the deadlock watchdog: if the committed-time
 // frontier makes no progress for d of wall-clock time while Run is active,

@@ -34,11 +34,14 @@ import (
 )
 
 // message is one cross-LP communication: a packet delivery or, when pkt is
-// nil, a null message (pure timestamp promise).
+// nil, a null message (pure timestamp promise). src is the transmitting
+// device, carried so the receiver can schedule the arrival with the same
+// content-derived ordering key a local delivery would use (netsim.ArrivalKey).
 type message struct {
 	from int
 	at   des.Time
 	pkt  *packet.Packet
+	src  packet.NodeID
 	dst  netsim.Device
 	port int
 }
@@ -48,6 +51,13 @@ type outLink struct {
 	to        *LP
 	lookahead des.Time
 	lastSent  des.Time // monotone promise already made
+
+	// quiescent marks a channel the scheduled workload provably never uses
+	// (see System.LimitChannels): it sends no null messages and does not
+	// constrain the receiver's earliest input time. Data sent on a quiescent
+	// channel still flows — counted in QuiescentSends as a loud invariant
+	// breach, since the receiver no longer waits for this channel's promises.
+	quiescent bool
 }
 
 // LP is one logical process: a kernel, its devices, and its channel state.
@@ -101,7 +111,14 @@ type LP struct {
 	// at ingest (with this accounting) rather than left to linger in the
 	// kernel heap where they would skew Pending() and event counts.
 	PostHorizonDrops uint64
-	// InboxHighWater is the deepest the inbox has been observed at drain.
+	// QuiescentSends counts packets emitted on a channel LimitChannels marked
+	// quiescent. Always zero when the quiescence analysis is sound (the
+	// workload is fully pre-scheduled and paths are deterministic); nonzero
+	// means a packet took a path the analysis missed, and the receiver may
+	// have executed past it — tests treat this like Violations.
+	QuiescentSends uint64
+	// InboxHighWater is the deepest the inbox has been observed, sampled at
+	// drain entry and on send backpressure (where inboxes are deepest).
 	InboxHighWater int64
 
 	// Time Warp counters (zero under the conservative engines). These are
@@ -143,9 +160,16 @@ func (lp *LP) maxHorizon(t des.Time) {
 }
 
 // inboxDepth records an observed inbox depth against the high-water mark.
+// CAS loop rather than load-then-store: depth is sampled both by the LP's own
+// drain and by OTHER LPs blocked sending into this inbox, so the mark has
+// concurrent writers.
 func (lp *LP) inboxDepth(n int) {
-	if d := int64(n); d > lp.InboxHighWater {
-		atomic.StoreInt64(&lp.InboxHighWater, d)
+	d := int64(n)
+	for {
+		cur := atomic.LoadInt64(&lp.InboxHighWater)
+		if d <= cur || atomic.CompareAndSwapInt64(&lp.InboxHighWater, cur, d) {
+			return
+		}
 	}
 }
 
@@ -275,6 +299,7 @@ func (s *System) CommittedTime() des.Time {
 type proxy struct {
 	lp   *LP
 	out  *outLink
+	src  packet.NodeID // the local transmitting device (the arrival's order key)
 	dst  netsim.Device
 	port int
 }
@@ -286,14 +311,17 @@ func (p *proxy) NodeID() packet.NodeID { return -1000 - packet.NodeID(p.lp.id) }
 func (p *proxy) Receive(pkt *packet.Packet, _ int) {
 	at := p.lp.kernel.Now() + p.out.lookahead
 	if p.lp.tw != nil {
-		p.lp.twEmit(p.out.to, at, pkt, p.dst, p.port)
+		p.lp.twEmit(p.out.to, at, pkt, p.src, p.dst, p.port)
 		return
 	}
 	atomic.AddUint64(&p.lp.CrossPkts, 1)
+	if p.out.quiescent {
+		atomic.AddUint64(&p.lp.QuiescentSends, 1)
+	}
 	if at > p.out.lastSent {
 		p.out.lastSent = at
 	}
-	p.lp.send(p.out.to, message{from: p.lp.id, at: at, pkt: pkt, dst: p.dst, port: p.port})
+	p.lp.send(p.out.to, message{from: p.lp.id, at: at, pkt: pkt, src: p.src, dst: p.dst, port: p.port})
 }
 
 // send delivers m to dst's inbox without risking deadlock. A naive blocking
@@ -309,6 +337,9 @@ func (lp *LP) send(dst *LP, m message) {
 		return
 	default:
 	}
+	// Backpressure path: the destination inbox is at its deepest right now —
+	// sample it for the high-water gauge (drain only samples its own entry).
+	dst.inboxDepth(len(dst.inbox))
 	for {
 		select {
 		case dst.inbox <- m:
@@ -346,8 +377,8 @@ func (s *System) Connect(la *LP, a *netsim.Port, lb *LP, b *netsim.Port,
 	}
 	outAB := s.ensureOut(la, lb, lookahead)
 	outBA := s.ensureOut(lb, la, lookahead)
-	pa := &proxy{lp: la, out: outAB, dst: bOwner, port: b.Index()}
-	pb := &proxy{lp: lb, out: outBA, dst: aOwner, port: a.Index()}
+	pa := &proxy{lp: la, out: outAB, src: aOwner.NodeID(), dst: bOwner, port: b.Index()}
+	pb := &proxy{lp: lb, out: outBA, src: bOwner.NodeID(), dst: aOwner, port: a.Index()}
 	netsim.Connect(a, netsim.NewPort(la.kernel, pa, 0, a.Config()))
 	netsim.Connect(b, netsim.NewPort(lb.kernel, pb, 0, b.Config()))
 	return nil
@@ -368,6 +399,46 @@ func (s *System) ensureOut(from, to *LP, lookahead des.Time) *outLink {
 	// Register the input on the receiving side.
 	to.inputs = append(to.inputs, from.id)
 	return o
+}
+
+// LimitChannels restricts the conservative synchronization graph to the
+// channels `active` reports as used: every other channel is marked quiescent —
+// it sends no null messages and no longer holds down its receiver's earliest
+// input time. Callers must derive `active` soundly: a channel may be excluded
+// only if the scheduled workload provably never routes a packet across it
+// (with a fully pre-scheduled workload and deterministic ECMP, the exact set
+// of directed LP pairs that ever carry data is computable at build time).
+// Packets that cross a quiescent channel anyway still arrive, but are counted
+// in QuiescentSends as an invariant breach. Null-message traffic is
+// proportional to active-channel count, so this is where a traffic-aware
+// partition turns locality into less synchronization chatter. Must be called
+// before Run; it has no effect on the Time Warp engine, which does not use
+// promises.
+func (s *System) LimitChannels(active func(from, to int) bool) {
+	for _, lp := range s.lps {
+		lp.inputs = lp.inputs[:0]
+	}
+	for _, lp := range s.lps {
+		for _, o := range lp.outs {
+			o.quiescent = !active(lp.id, o.to.id)
+			if !o.quiescent {
+				o.to.inputs = append(o.to.inputs, lp.id)
+			}
+		}
+	}
+}
+
+// ActiveChannels counts non-quiescent directed cross-LP channels.
+func (s *System) ActiveChannels() int {
+	n := 0
+	for _, lp := range s.lps {
+		for _, o := range lp.outs {
+			if !o.quiescent {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // Run executes all LPs concurrently until the common virtual-time horizon,
@@ -481,34 +552,30 @@ func (s *System) runNull(end des.Time) {
 		go func(lp *LP) {
 			defer wg.Done()
 			lp.run()
-			// Keep the inbox draining so late senders never block, until
-			// the coordinator announces global completion. Anything that
-			// arrives now is beyond this LP's horizon (its inputs promised
-			// nothing earlier); packets among it are accounted as
-			// post-horizon drops. Only this drainer touches the counter
-			// after lp.run returned, so the access is race-free.
+			// Keep the inbox draining so late senders never block, until the
+			// coordinator announces global completion. Ingest (not just count)
+			// what arrives: everything is stamped at or beyond this LP's
+			// horizon — its inputs promised nothing earlier — so packets at
+			// exactly `end` are scheduled for the final catch-up and later
+			// ones are dropped with accounting. Only this drainer touches the
+			// LP's state after lp.run returned, so the access is race-free.
 			drainers.Add(1)
 			go func() {
 				defer drainers.Done()
 				for {
 					select {
 					case m := <-lp.inbox:
-						if m.pkt != nil {
-							atomic.AddUint64(&lp.PostHorizonDrops, 1)
-						}
+						lp.ingest(m)
 					case <-stop:
 						// stop closes only after every LP goroutine has
 						// returned, so nothing sends anymore — but a message
 						// may already be sitting in the inbox, and select
 						// picks branches at random when both are ready. Flush
-						// before exiting so every post-horizon packet is
-						// accounted.
+						// before exiting so every straggler is accounted.
 						for {
 							select {
 							case m := <-lp.inbox:
-								if m.pkt != nil {
-									atomic.AddUint64(&lp.PostHorizonDrops, 1)
-								}
+								lp.ingest(m)
 							default:
 								return
 							}
@@ -521,6 +588,53 @@ func (s *System) runNull(end des.Time) {
 	wg.Wait()
 	close(stop)
 	drainers.Wait()
+	// The window loops execute strictly below their horizons (RunBefore), so
+	// deliveries stamped exactly at `end` are still pending. Execute them now
+	// that every same-timestamp arrival is guaranteed to be in the heap.
+	s.finalCatchUp(end)
+}
+
+// finalCatchUp runs every kernel once more, inclusively, to the horizon, so
+// deliveries stamped exactly at `end` execute instead of lingering in the
+// heap. Events at `end` can emit cross-LP sends (always stamped beyond the
+// horizon: lookahead is positive), so the catch-up needs the same two-phase
+// structure as a barrier window: every LP computes while its inbox stays
+// drained, because a sequential catch-up would leave some inboxes unconsumed
+// and a sender blocked on a full one would deadlock — with a bounded inbox
+// the send fallback spins on the sender's own empty inbox forever. The
+// drained messages are ingested, which accounts every post-horizon packet
+// (PostHorizonDrops) instead of silently losing it.
+func (s *System) finalCatchUp(end des.Time) {
+	var wg, compute sync.WaitGroup
+	stop := make(chan struct{})
+	for _, lp := range s.lps {
+		wg.Add(1)
+		compute.Add(1)
+		go func(lp *LP) {
+			defer wg.Done()
+			lp.drain(false)
+			lp.kernel.Run(end)
+			compute.Done()
+			for {
+				select {
+				case m := <-lp.inbox:
+					lp.ingest(m)
+				case <-stop:
+					for {
+						select {
+						case m := <-lp.inbox:
+							lp.ingest(m)
+						default:
+							return
+						}
+					}
+				}
+			}
+		}(lp)
+	}
+	compute.Wait()
+	close(stop)
+	wg.Wait()
 }
 
 // eit is the earliest input time: the weakest promise across inputs.
@@ -543,7 +657,12 @@ func (lp *LP) run() {
 			horizon = lp.end
 		}
 		lp.maxHorizon(horizon)
-		lp.kernel.Run(horizon)
+		// Strictly below the horizon: a promise of T only says no FUTURE
+		// message is earlier than T — one stamped exactly T may still be in
+		// flight, so events at T run only once the horizon strictly passes
+		// them (and every same-timestamp arrival is in the heap, where the
+		// (band, key) order is ingestion-timing-independent).
+		lp.kernel.RunBefore(horizon)
 		lp.sendNulls(horizon)
 		if horizon >= lp.end {
 			return
@@ -586,12 +705,13 @@ func (lp *LP) ingest(m message) {
 		return
 	}
 	pkt, dst, port := m.pkt, m.dst, m.port
-	// Band 1: cross-LP arrivals order after same-timestamp local events. The
-	// three synchronization algorithms ingest messages at different moments
-	// (null-message drains, barrier windows, optimistic re-ingestion), so the
-	// kernel seq an arrival gets is engine-dependent; the band makes the
-	// committed order among same-timestamp events engine-independent.
-	lp.kernel.AtCtxBand(at, 1, pkt, func() { dst.Receive(pkt, port) })
+	// Band 1, keyed by the transmitting device: cross-LP arrivals order after
+	// same-timestamp local events, and same-timestamp arrivals from different
+	// sender LPs order by transmitter — not by the racy interleaving in which
+	// their messages happened to reach the inbox. The same (band, key) is used
+	// by netsim for locally simulated fabric links (LinkConfig.ArrivalBand),
+	// so the committed order is also independent of the partitioning.
+	lp.kernel.AtCtxKeyBand(at, 1, netsim.ArrivalKey(m.src), pkt, func() { dst.Receive(pkt, port) })
 }
 
 // drain ingests inbox messages; when block is set it waits for at least one.
@@ -623,6 +743,9 @@ func (lp *LP) sendNulls(horizon des.Time) {
 		eot = t
 	}
 	for _, o := range lp.outs {
+		if o.quiescent {
+			continue // receiver does not wait on this channel
+		}
 		promise := eot + o.lookahead
 		if promise <= o.lastSent {
 			continue // nothing new to promise
@@ -658,6 +781,11 @@ type Stats struct {
 	LazyCancelSaved uint64
 	WindowShrinks   uint64
 	WindowGrows     uint64
+	// Checkpoints counts state snapshots taken (Time Warp only).
+	Checkpoints uint64
+	// QuiescentSends counts packets emitted on channels LimitChannels marked
+	// quiescent — always zero when the quiescence analysis is sound.
+	QuiescentSends uint64
 }
 
 // Stats sums counters across LPs. Safe to call mid-run from any goroutine:
@@ -677,6 +805,8 @@ func (s *System) Stats() Stats {
 		out.AntiMessages += atomic.LoadUint64(&lp.AntiMessages)
 		out.RolledBackEvents += atomic.LoadUint64(&lp.RolledBackEvents)
 		out.LazyCancelSaved += atomic.LoadUint64(&lp.LazyCancelSaved)
+		out.Checkpoints += atomic.LoadUint64(&lp.Checkpoints)
+		out.QuiescentSends += atomic.LoadUint64(&lp.QuiescentSends)
 	}
 	out.GVTAdvances = atomic.LoadUint64(&s.gvtAdvances)
 	out.WindowShrinks = atomic.LoadUint64(&s.windowShrinks)
@@ -704,6 +834,7 @@ func (s *System) CollectMetrics(e *metrics.Emitter) {
 		e.Counter("rolled_back_events", atomic.LoadUint64(&lp.RolledBackEvents))
 		e.Counter("checkpoints", atomic.LoadUint64(&lp.Checkpoints))
 		e.Counter("lazy_cancel_saved", atomic.LoadUint64(&lp.LazyCancelSaved))
+		e.Counter("quiescent_sends", atomic.LoadUint64(&lp.QuiescentSends))
 		e.Gauge("inbox_high_water", atomic.LoadInt64(&lp.InboxHighWater))
 		e.Gauge("max_horizon_ns", atomic.LoadInt64((*int64)(&lp.MaxHorizon)))
 	}
@@ -765,7 +896,14 @@ func (s *System) runBarrier(end des.Time) {
 				defer wg.Done()
 				lp.drain(false)
 				lp.maxHorizon(horizon)
-				lp.kernel.Run(horizon)
+				// Strictly below the window boundary: a message sent during
+				// this window may be stamped exactly `horizon`, and it is only
+				// guaranteed to have been ingested by the NEXT window's drain.
+				// Deferring boundary events until the window strictly passes
+				// them makes the committed order independent of message arrival
+				// timing (the keyed heap orders all same-timestamp arrivals
+				// identically).
+				lp.kernel.RunBefore(horizon)
 				atomic.AddUint64(&lp.Barriers, 1)
 				compute.Done()
 				for {
@@ -782,14 +920,11 @@ func (s *System) runBarrier(end des.Time) {
 		close(stop)
 		wg.Wait()
 	}
-	// Final drain: messages sent during the last window carry timestamps at
-	// or beyond the window boundary. Ingest them — packets stamped beyond
-	// `end` are dropped and counted (they could never execute in this run;
-	// scheduling them would leave phantom events in the kernel heap) — then
-	// run each kernel once more so deliveries stamped exactly at `end`
-	// execute instead of lingering, matching the null-message engine.
-	for _, lp := range s.lps {
-		lp.drain(false)
-		lp.kernel.Run(end)
-	}
+	// Final catch-up: messages sent during the last window carry timestamps
+	// at or beyond `end`; deliveries stamped exactly `end` still execute and
+	// may themselves emit cross-LP sends. A sequential drain-and-run here can
+	// deadlock with a small inbox capacity (a later LP's catch-up send blocks
+	// on an earlier, no-longer-consuming LP), so the catch-up runs all LPs
+	// concurrently with live drainers, matching the null-message engine.
+	s.finalCatchUp(end)
 }

@@ -53,6 +53,10 @@ type twMsg struct {
 	// every (re)ingestion so per-hop mutation of a speculative delivery never
 	// leaks into a replay.
 	orig packet.Packet
+	// src is the transmitting device, carried so the receiver can key the
+	// delivery event (netsim.ArrivalKey) — same-timestamp arrivals commit in
+	// transmitter order regardless of message arrival interleaving.
+	src  packet.NodeID
 	dst  netsim.Device
 	port int
 	neg  bool // anti-message: annihilate the matching positive
@@ -175,7 +179,7 @@ func (lp *LP) twSend(to *LP, m twMsg) {
 // the anti-message), then send. During coast-forward the send is suppressed
 // entirely — the original message from the first execution is still valid
 // and still logged.
-func (lp *LP) twEmit(to *LP, at des.Time, pkt *packet.Packet, dst netsim.Device, port int) {
+func (lp *LP) twEmit(to *LP, at des.Time, pkt *packet.Packet, src packet.NodeID, dst netsim.Device, port int) {
 	t := lp.tw
 	if t.coasting {
 		return
@@ -234,7 +238,7 @@ func (lp *LP) twEmit(to *LP, at des.Time, pkt *packet.Packet, dst netsim.Device,
 		}
 	}
 	t.sendSeq[to.id]++
-	m := twMsg{from: lp.id, seq: t.sendSeq[to.id], at: at, orig: *pkt, dst: dst, port: port}
+	m := twMsg{from: lp.id, seq: t.sendSeq[to.id], at: at, orig: *pkt, src: src, dst: dst, port: port}
 	t.outLog = append(t.outLog, twSent{to: to, sendAt: now, m: m})
 	lp.twSend(to, m)
 }
@@ -363,7 +367,13 @@ func (lp *LP) twHandlePositive(m twMsg) {
 		lp.tw.postQ = append(lp.tw.postQ, m)
 		return
 	}
-	if now := lp.kernel.Now(); m.at < now {
+	// An arrival at EXACTLY the current clock is also a straggler: RunLimit
+	// never idle-advances, so now == m.at means some event at m.at already
+	// executed — and the keyed heap order (band, transmitter key) is only the
+	// committed order if every same-timestamp event is in the heap together.
+	// Rolling back re-executes the whole instant in keyed order, making the
+	// committed sequence independent of message arrival timing.
+	if now := lp.kernel.Now(); m.at <= now {
 		if lp.buf.Enabled() {
 			// The straggler marker lands at the message's own timestamp — in
 			// the LP's executed past — which is what makes a flight-recorder
@@ -383,9 +393,10 @@ func (lp *LP) twIngest(m twMsg) {
 	pkt := new(packet.Packet)
 	*pkt = m.orig
 	dst, port := m.dst, m.port
-	// Band 1 matches the conservative ingest path: arrivals order after
-	// same-timestamp local events in every engine (see LP.ingest).
-	ev := lp.kernel.AtCtxBand(m.at, 1, pkt, func() { dst.Receive(pkt, port) })
+	// Band 1, keyed by transmitter, matches the conservative ingest path:
+	// arrivals order after same-timestamp local events and same-timestamp
+	// arrivals order by transmitting device in every engine (see LP.ingest).
+	ev := lp.kernel.AtCtxKeyBand(m.at, 1, netsim.ArrivalKey(m.src), pkt, func() { dst.Receive(pkt, port) })
 	lp.tw.processed = append(lp.tw.processed, twEntry{m: m, pkt: pkt, ev: ev, gen: ev.Gen()})
 }
 
@@ -469,7 +480,7 @@ func (lp *LP) twRollback(at des.Time) {
 		}
 		*e.pkt = e.m.orig
 		pkt, dst, port := e.pkt, e.m.dst, e.m.port
-		e.ev = lp.kernel.AtCtxBand(e.m.at, 1, pkt, func() { dst.Receive(pkt, port) })
+		e.ev = lp.kernel.AtCtxKeyBand(e.m.at, 1, netsim.ArrivalKey(e.m.src), pkt, func() { dst.Receive(pkt, port) })
 		e.gen = e.ev.Gen()
 	}
 	t.snaps = t.snaps[:idx+1]
