@@ -85,6 +85,7 @@ func main() {
 		noPool     = flag.Bool("no-pool", false, "disable the kernel event free list (pdes mode; for A/B measurement)")
 		eagerCan   = flag.Bool("eager-cancel", false, "timewarp: anti-message rolled-back sends immediately instead of lazy cancellation")
 		adaptWin   = flag.String("adaptive-window", "", "timewarp: adapt the speculation window between MIN:MAX microseconds (e.g. 10:200)")
+		faultSpec  = flag.String("faults", "", "pdes mode fault schedule, e.g. 'link:tor0-spine1@1ms+500us,detect=50us,jitter=10us;switch:spine0@2ms+1ms' ('+dur' omitted = permanent)")
 		progressMS = flag.Int("progress", 0, "progress line to stderr every N virtual ms (0 = off)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
@@ -102,6 +103,7 @@ func main() {
 		noPool:       *noPool,
 		eagerCancel:  *eagerCan,
 		adaptWindow:  *adaptWin,
+		faults:       *faultSpec,
 	}
 	if err := run(*mode, *clusters, *durMS, *load, *seed, *pattern, *models,
 		*dctcp, *workload, *racks, *lps, *sync, *partition, opts); err != nil {
@@ -123,6 +125,7 @@ type obsOptions struct {
 	noPool       bool
 	eagerCancel  bool
 	adaptWindow  string // "MIN:MAX" in microseconds, empty = fixed window
+	faults       string // fault schedule spec (pdes mode), empty = healthy
 }
 
 // registry returns the registry to wire into the run — nil only when neither
@@ -430,6 +433,14 @@ func runPDES(racks, lps int, load float64, dur des.Time, seed uint64, sync, part
 		popts = append(popts, pdes.WithAdaptiveWindow(
 			des.Time(minUS)*des.Microsecond, des.Time(maxUS)*des.Microsecond))
 	}
+	faulted := opts.faults != ""
+	if faulted {
+		sched, err := topology.ParseFaults(topology.DefaultLeafSpineConfig(racks), opts.faults)
+		if err != nil {
+			return fmt.Errorf("bad -faults: %w", err)
+		}
+		popts = append(popts, pdes.WithFaults(sched))
+	}
 	res, err := pdes.RunLeafSpineObserved(racks, lps, load, dur, seed, algo, reg, popts...)
 	if err != nil {
 		return err
@@ -445,7 +456,11 @@ func runPDES(racks, lps int, load float64, dur des.Time, seed uint64, sync, part
 			res.Rollbacks, res.AntiMessages, res.LazyCancelSaved, res.GVTAdvances,
 			res.Checkpoints, res.WindowShrinks, res.WindowGrows)
 	}
-	fmt.Printf("flows=%d completed=%d\n", res.FlowsStarted, res.FlowsCompleted)
+	fmt.Printf("flows=%d completed=%d mean_fct=%.6gs p99_fct=%.6gs\n",
+		res.FlowsStarted, res.FlowsCompleted, res.MeanFCTSec, res.P99FCTSec)
+	if faulted {
+		fmt.Printf("fault_drops=%d route_drops=%d\n", res.FaultDrops, res.RouteDrops)
+	}
 	if res.Violations != 0 {
 		return fmt.Errorf("pdes: %d causality violations (synchronization bug)", res.Violations)
 	}

@@ -50,6 +50,7 @@ func main() {
 		sync    = flag.String("sync", "nullmsg", "PDES synchronization for fig 1: nullmsg | barrier | timewarp")
 		part    = flag.String("partition", "contiguous", "PDES fabric placement for fig 1: contiguous | spine | mincut")
 		trace   = flag.String("trace", "", "fig 1: Chrome trace of the last sweep point to this file (open in Perfetto)")
+		faults  = flag.String("faults", "", "fig 1: fault schedule applied to every sweep point, e.g. 'link:tor0-spine1@1ms+500us,detect=50us'")
 	)
 	flag.Parse()
 	trainBatches = *batches
@@ -57,7 +58,7 @@ func main() {
 	var err error
 	switch *fig {
 	case "1":
-		err = fig1(*durMS, *load, *seed, *quick, *sync, *part, *trace)
+		err = fig1(*durMS, *load, *seed, *quick, *sync, *part, *trace, *faults)
 	case "4":
 		err = fig4(*durMS, *load, *seed, *paper)
 	case "5":
@@ -88,7 +89,7 @@ func main() {
 // from the shared metrics registry: every kernel, LP, switch, and stack in
 // the experiment reports through it, so the columns here are the same
 // aggregates a -metrics snapshot of the approxsim command would show.
-func fig1(durMS int, load float64, seed uint64, quick bool, sync, partition, tracePath string) error {
+func fig1(durMS int, load float64, seed uint64, quick bool, sync, partition, tracePath, faultSpec string) error {
 	if durMS == 0 {
 		durMS = 2
 	}
@@ -116,7 +117,12 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync, partition, tra
 		}
 	}
 	fmt.Printf("# Figure 1: leaf-spine scaling, sim-seconds per wall-second (sync=%v partition=%s)\n", algo, part.Name())
-	fmt.Println("tors\tlps\tsim_per_wall\tevents\tsync_msgs\tcross_pkts\tchannels\trollbacks\tckpts\twin_shrink\twin_grow\tflows")
+	header := "tors\tlps\tsim_per_wall\tevents\tsync_msgs\tcross_pkts\tchannels\trollbacks\tckpts\twin_shrink\twin_grow\tflows"
+	if faultSpec != "" {
+		fmt.Printf("# faults: %s\n", faultSpec)
+		header += "\tfault_drops\troute_drops\tp99_fct"
+	}
+	fmt.Println(header)
 	curves := map[int]*textplot.Series{}
 	var order []int
 	for i, c0 := range combos {
@@ -126,6 +132,15 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync, partition, tra
 		// pattern), so only the last sweep point is traced: the timing
 		// columns above it stay untouched.
 		popts := []pdes.Option{pdes.WithPartitioner(part)}
+		if faultSpec != "" {
+			// Fault names (tor0, spine1, ...) resolve against each sweep
+			// point's own topology, so the schedule is re-parsed per size.
+			sched, err := topology.ParseFaults(topology.DefaultLeafSpineConfig(n), faultSpec)
+			if err != nil {
+				return fmt.Errorf("-faults on the %d-ToR point: %w", n, err)
+			}
+			popts = append(popts, pdes.WithFaults(sched))
+		}
 		var tracer *obs.Tracer
 		if tracePath != "" && i == len(combos)-1 {
 			tracer = obs.New(obs.Options{Trace: true})
@@ -151,11 +166,15 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync, partition, tra
 		}
 		snap := reg.Snapshot()
 		syncMsgs := snap.Counter("pdes", "null_messages") + snap.Counter("pdes", "barriers")
-		fmt.Printf("%d\t%d\t%.6g\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+		fmt.Printf("%d\t%d\t%.6g\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d",
 			n, lps, res.SimPerWall, snap.Counter("des", "events_executed"),
 			syncMsgs, snap.Counter("pdes", "cross_lp_packets"), res.Channels,
 			snap.Counter("pdes", "rollbacks"), res.Checkpoints,
 			res.WindowShrinks, res.WindowGrows, res.FlowsCompleted)
+		if faultSpec != "" {
+			fmt.Printf("\t%d\t%d\t%.6g", res.FaultDrops, res.RouteDrops, res.P99FCTSec)
+		}
+		fmt.Println()
 		c, ok := curves[lps]
 		if !ok {
 			c = &textplot.Series{Name: fmt.Sprintf("%d LP(s)", lps)}

@@ -25,6 +25,7 @@ import (
 	"approxsim/internal/metrics"
 	"approxsim/internal/nn"
 	"approxsim/internal/packet"
+	"approxsim/internal/pdes"
 	"approxsim/internal/topology"
 )
 
@@ -87,4 +88,54 @@ func main() {
 	fmt.Println("\neach sweep point reuses the same trained background models;")
 	fmt.Println("only the full-fidelity cluster re-simulates the design change.")
 	fmt.Printf("per-run interval telemetry: %s\n", seriesPath)
+
+	faultStudy()
+}
+
+// faultStudy is the second what-if: how much failure-detection delay can the
+// fabric tolerate? A spine switch dies for 3ms mid-workload; until each ToR's
+// detection delay elapses it keeps hashing flows onto the dead spine, and
+// every packet sent there blackholes. The sweep varies only the detection
+// delay — the outage itself, the workload, and the seed are fixed — so the
+// fault-drop and completed-flow columns isolate the cost of slow failure
+// detection. The schedule is declarative (parsed up front, like the
+// workload), so the same study reproduces bit-identically under any sync
+// algorithm or LP count.
+func faultStudy() {
+	const (
+		tors = 8
+		lps  = 2
+		load = 0.5
+		seed = uint64(1003)
+		// Long horizon: flows whose early segments blackhole recover by
+		// retransmission timeout, so the damage only shows up if the run
+		// drains well past the outage.
+		dur = 40 * des.Millisecond
+	)
+	fmt.Println("\nsweep: failure-detection delay under a 3ms spine-switch outage @ 8 ToRs")
+	fmt.Printf("%12s %12s %12s %12s %12s\n",
+		"detect", "fault drops", "completed", "mean FCT", "p99 FCT")
+	for _, detect := range []string{"", "50us", "400us", "1ms"} {
+		var opts []pdes.Option
+		label := "(healthy)"
+		if detect != "" {
+			label = detect
+			spec := fmt.Sprintf("switch:spine0@2ms+3ms,detect=%s,jitter=20us", detect)
+			sched, err := topology.ParseFaults(topology.DefaultLeafSpineConfig(tors), spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts = append(opts, pdes.WithFaults(sched))
+		}
+		res, err := pdes.RunLeafSpineSync(tors, lps, load, dur, seed, pdes.NullMessages, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12s %12d %8d/%-3d %10.3fms %10.3fms\n",
+			label, res.FaultDrops, res.FlowsCompleted, res.FlowsStarted,
+			res.MeanFCTSec*1e3, res.P99FCTSec*1e3)
+	}
+	fmt.Println("\nthe outage and the workload are identical down the column; only the")
+	fmt.Println("per-switch detection delay moves the blackhole window. FCT columns")
+	fmt.Println("cover completed flows only — the damage is in the completed count.")
 }

@@ -1,0 +1,73 @@
+package flowsim
+
+import (
+	"fmt"
+	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/packet"
+	"approxsim/internal/topology"
+)
+
+// TestFCTPanicsOnIncompleteFlow pins the contract that replaced the old
+// silent bug: FCT on a never-completed flow used to return end-Start with a
+// zero end — a huge negative duration that poisoned means downstream.
+func TestFCTPanicsOnIncompleteFlow(t *testing.T) {
+	s := newSim(t, 2)
+	// 1 GB in 1µs cannot finish.
+	s.Add(Flow{ID: 1, Src: 0, Dst: 8, Size: 1 << 30, Start: 0})
+	flows := s.Run(des.Microsecond)
+	if len(flows) != 1 || flows[0].Completed() {
+		t.Fatal("flow unexpectedly completed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FCT() on an incomplete flow did not panic")
+		}
+	}()
+	_ = flows[0].FCT()
+}
+
+// TestRunDeterministicUnderTies reruns a workload engineered for
+// same-timestamp collisions — batches of identical flows arriving at the
+// same instants, completing at the same instants — and demands bit-identical
+// outcomes. Before the ID-ordered tie-breaks, the active-set map iteration
+// made completion order (and with it every subsequent fair-share epoch)
+// depend on Go's randomized map walk.
+func TestRunDeterministicUnderTies(t *testing.T) {
+	run := func() string {
+		topo, err := topology.Build(des.NewKernel(), topology.DefaultClosConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(topo)
+		id := uint64(1)
+		// Four arrival instants, each with a burst of same-size flows from
+		// distinct sources so shares and completions collide exactly.
+		for wave := 0; wave < 4; wave++ {
+			at := des.Time(wave) * 100 * des.Microsecond
+			for i := 0; i < 6; i++ {
+				src := packet.HostID(i)
+				dst := packet.HostID((i + 8) % 16)
+				s.Add(Flow{ID: id, Src: src, Dst: dst, Size: 1 << 20, Start: at})
+				id++
+			}
+		}
+		flows := s.Run(des.Second)
+		out := ""
+		for _, f := range flows {
+			end := des.Time(-1)
+			if f.Completed() {
+				end = f.FCT()
+			}
+			out += fmt.Sprintf("%d:%v:%v;", f.ID, f.Completed(), end)
+		}
+		return out
+	}
+	want := run()
+	for i := 0; i < 10; i++ {
+		if got := run(); got != want {
+			t.Fatalf("run %d diverged:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}

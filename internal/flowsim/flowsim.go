@@ -17,6 +17,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 
 	"approxsim/internal/des"
 	"approxsim/internal/packet"
@@ -37,8 +38,15 @@ type Flow struct {
 	end       des.Time
 }
 
-// FCT returns the flow's completion time (valid after the run).
-func (f *Flow) FCT() des.Time { return f.end - f.Start }
+// FCT returns the flow's completion time. It panics on a flow that never
+// completed: end is zero for such flows, so end-Start would silently return
+// a negative garbage duration. Callers must check Completed() first.
+func (f *Flow) FCT() des.Time {
+	if !f.done {
+		panic(fmt.Sprintf("flowsim: FCT of incomplete flow %d (check Completed() first)", f.ID))
+	}
+	return f.end - f.Start
+}
 
 // Completed reports whether the flow finished within the simulated horizon.
 func (f *Flow) Completed() bool { return f.done }
@@ -186,7 +194,9 @@ func (s *Simulator) Run(until des.Time) []*Flow {
 	heap.Init(&h)
 
 	for {
-		// Next completion under current rates.
+		// Next completion under current rates. Iterating the active map
+		// yields a random order, so same-timestamp completions MUST be
+		// tie-broken on flow ID or reruns of the same workload diverge.
 		var nextDone *Flow
 		doneAt := des.MaxTime
 		for _, f := range s.active {
@@ -194,7 +204,7 @@ func (s *Simulator) Run(until des.Time) []*Flow {
 				continue
 			}
 			t := s.now + des.FromSeconds(f.remaining/f.rate) + 1
-			if t < doneAt {
+			if t < doneAt || (t == doneAt && nextDone != nil && f.ID < nextDone.ID) {
 				doneAt, nextDone = t, f
 			}
 		}
@@ -212,7 +222,9 @@ func (s *Simulator) Run(until des.Time) []*Flow {
 		}
 		s.advance(next)
 		s.events++
-		if arriveAt <= doneAt {
+		// An arrival and a completion at the same instant order by flow ID,
+		// like everything else — not "arrival always first".
+		if arriveAt < doneAt || (arriveAt == doneAt && h[0].ID < nextDone.ID) {
 			f := heap.Pop(&h).(*Flow)
 			f.links = s.route(f)
 			s.active[f.ID] = f
@@ -230,6 +242,9 @@ func (s *Simulator) Run(until des.Time) []*Flow {
 	for _, f := range s.active {
 		out = append(out, f)
 	}
+	// Map iteration would leak nondeterministic ordering of the unfinished
+	// tail to callers; return everything in flow-ID order instead.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -262,11 +277,17 @@ func (s *Simulator) finish(f *Flow) {
 // the fluid analogue of the packet simulator's event count.
 func (s *Simulator) Events() uint64 { return s.events }
 
-// arrivalHeap orders pending flows by start time.
+// arrivalHeap orders pending flows by start time, flow ID breaking ties so
+// same-instant arrivals enter the fair-share computation deterministically.
 type arrivalHeap []*Flow
 
-func (h arrivalHeap) Len() int            { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool  { return h[i].Start < h[j].Start }
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].Start != h[j].Start {
+		return h[i].Start < h[j].Start
+	}
+	return h[i].ID < h[j].ID
+}
 func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(*Flow)) }
 func (h *arrivalHeap) Pop() interface{} {

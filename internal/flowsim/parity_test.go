@@ -1,0 +1,99 @@
+package flowsim
+
+import (
+	"fmt"
+	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/netsim"
+	"approxsim/internal/packet"
+	"approxsim/internal/topology"
+)
+
+// walkPacketPath traverses the packet topology hop by hop — the same way a
+// packet actually moves: topology.Route picks the egress port at each switch,
+// Port.Peer crosses the link — and returns the directed (from, to) node pairs
+// visited from src to dst.
+func walkPacketPath(t *testing.T, topo *topology.Topology, src, dst packet.HostID, flowID uint64) [][2]packet.NodeID {
+	t.Helper()
+	probe := &packet.Packet{Src: src, Dst: dst, FlowID: flowID}
+	var hops [][2]packet.NodeID
+
+	// Host NIC: single port, no routing decision.
+	cur, _ := topo.Hosts[src].NIC().Peer()
+	hops = append(hops, [2]packet.NodeID{packet.NodeID(src), cur.NodeID()})
+	for i := 0; i < 8; i++ { // bound: no real path exceeds 6 hops
+		sw, ok := cur.(*netsim.Switch)
+		if !ok {
+			break // reached a host
+		}
+		port, ok := topo.Route(sw.NodeID(), probe)
+		if !ok {
+			t.Fatalf("route failed at switch %d for %d->%d", sw.NodeID(), src, dst)
+		}
+		next, _ := sw.Port(port).Peer()
+		hops = append(hops, [2]packet.NodeID{sw.NodeID(), next.NodeID()})
+		cur = next
+	}
+	if cur.NodeID() != packet.NodeID(dst) {
+		t.Fatalf("walk from %d to %d ended at node %d", src, dst, cur.NodeID())
+	}
+	return hops
+}
+
+// TestRouteParity is the regression test for the fluid/packet path split:
+// flowsim.route must put a flow on exactly the directed links the packet
+// simulator's Route walks, in order, for both topology kinds. A divergence
+// here silently invalidates every fluid-vs-packet comparison.
+func TestRouteParity(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  topology.Config
+	}{
+		{"leafspine", topology.DefaultLeafSpineConfig(4)},
+		{"clos", topology.DefaultClosConfig(3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := topology.Build(des.NewKernel(), tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := New(topo)
+			hosts := tc.cfg.NumHosts()
+
+			// Reverse index: flowsim link id -> directed node pair.
+			pairOf := func() map[int][2]packet.NodeID {
+				m := make(map[int][2]packet.NodeID, len(s.linkIndex))
+				for k, v := range s.linkIndex {
+					m[v] = k
+				}
+				return m
+			}
+
+			// Every (src, dst) pair with a few flow IDs covers same-rack,
+			// intra-cluster, and inter-cluster paths plus ECMP spread.
+			for src := 0; src < hosts; src++ {
+				for dst := 0; dst < hosts; dst++ {
+					if src == dst {
+						continue
+					}
+					for _, flowID := range []uint64{1, 7, 42} {
+						f := &Flow{ID: flowID, Src: packet.HostID(src), Dst: packet.HostID(dst)}
+						fluidLinks := s.route(f)
+						rev := pairOf()
+						var fluid [][2]packet.NodeID
+						for _, li := range fluidLinks {
+							fluid = append(fluid, rev[li])
+						}
+						pkt := walkPacketPath(t, topo, f.Src, f.Dst, flowID)
+						if fmt.Sprint(fluid) != fmt.Sprint(pkt) {
+							t.Fatalf("flow %d %d->%d: fluid links %v != packet path %v",
+								flowID, src, dst, fluid, pkt)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -85,11 +85,12 @@ func (c LinkConfig) SerializationDelay(size int32) des.Time {
 // value returned by Port.Stats (and checkpointed by SaveState) is a plain
 // struct.
 type PortStats struct {
-	TxPackets uint64 // packets fully serialized onto the link
-	TxBytes   uint64
-	Drops     uint64 // packets dropped at enqueue (queue full)
-	ECNMarks  uint64 // packets CE-marked at enqueue
-	MaxQueue  int64  // high-water mark of queued bytes
+	TxPackets  uint64 // packets fully serialized onto the link
+	TxBytes    uint64
+	Drops      uint64 // packets dropped at enqueue (queue full)
+	ECNMarks   uint64 // packets CE-marked at enqueue
+	FaultDrops uint64 // packets dropped because the link was down (fault injection)
+	MaxQueue   int64  // high-water mark of queued bytes
 }
 
 // Port is one direction of a link: an output queue plus a transmitter.
@@ -127,6 +128,14 @@ type Port struct {
 
 	// OnDrop, if non-nil, observes each packet dropped at this port.
 	OnDrop func(*packet.Packet)
+
+	// Down, if non-nil, reports whether the attached link is physically dead
+	// at a virtual time. The fault-injection builders install a closure over
+	// the (immutable) fault schedule, so the answer is a pure function of
+	// time — evaluated identically under every sync algorithm and across
+	// optimistic re-execution, with nothing to checkpoint. Packets clocked
+	// onto a dead link are dropped and counted in FaultDrops.
+	Down func(des.Time) bool
 }
 
 // NewPort creates an unconnected output port owned by owner at index.
@@ -169,11 +178,12 @@ func (p *Port) SetTrace(b *obs.Buf, tid int32) { p.trace, p.tid = b, tid }
 // any goroutine.
 func (p *Port) Stats() PortStats {
 	return PortStats{
-		TxPackets: atomic.LoadUint64(&p.stats.TxPackets),
-		TxBytes:   atomic.LoadUint64(&p.stats.TxBytes),
-		Drops:     atomic.LoadUint64(&p.stats.Drops),
-		ECNMarks:  atomic.LoadUint64(&p.stats.ECNMarks),
-		MaxQueue:  atomic.LoadInt64(&p.stats.MaxQueue),
+		TxPackets:  atomic.LoadUint64(&p.stats.TxPackets),
+		TxBytes:    atomic.LoadUint64(&p.stats.TxBytes),
+		Drops:      atomic.LoadUint64(&p.stats.Drops),
+		ECNMarks:   atomic.LoadUint64(&p.stats.ECNMarks),
+		FaultDrops: atomic.LoadUint64(&p.stats.FaultDrops),
+		MaxQueue:   atomic.LoadInt64(&p.stats.MaxQueue),
 	}
 }
 
@@ -226,10 +236,54 @@ func (p *Port) Send(pkt *packet.Packet) {
 	}
 }
 
+// dropFault discards a packet that hit a dead link, charging FaultDrops.
+func (p *Port) dropFault(pkt *packet.Packet) {
+	atomic.AddUint64(&p.stats.FaultDrops, 1)
+	if p.trace != nil {
+		p.trace.Emit(obs.Event{TS: p.kernel.Now(), Ph: obs.PhInstant,
+			Name: "fault_drop", Cat: "netsim", Tid: p.tid,
+			K1: "bytes", V1: int64(pkt.Size()), K2: "flow", V2: int64(pkt.FlowID)})
+	}
+	if p.OnDrop != nil {
+		p.OnDrop(pkt)
+	}
+}
+
+// popQueue dequeues the head-of-line packet, nil when the queue is empty.
+func (p *Port) popQueue() *packet.Packet {
+	if len(p.queue) == 0 {
+		return nil
+	}
+	next := p.queue[0]
+	p.queue[0] = nil
+	p.queue = p.queue[1:]
+	atomic.AddInt64(&p.queuedBytes, -int64(next.Size()))
+	if len(p.queue) == 0 {
+		// Reset the backing array so a long-drained queue does not
+		// pin its high-water-mark allocation forever.
+		p.queue = nil
+	}
+	return next
+}
+
 // transmit clocks pkt onto the wire. The transmitter stays busy for the
 // serialization delay; arrival at the peer happens one propagation delay
 // after serialization completes.
+//
+// When the link is down (fault injection) the packet — and any queued
+// successors, since the down state cannot change before the kernel advances —
+// is dropped here, at the physical failure point. Packets whose arrival was
+// already scheduled when the link died still arrive: the failure severs the
+// link from the instant of the fault onward, not retroactively.
 func (p *Port) transmit(pkt *packet.Packet) {
+	if p.Down != nil && p.Down(p.kernel.Now()) {
+		for pkt != nil {
+			p.dropFault(pkt)
+			pkt = p.popQueue()
+		}
+		p.busy = false
+		return
+	}
 	p.busy = true
 	p.txSize = int64(pkt.Size())
 	ser := p.cfg.SerializationDelay(pkt.Size())
@@ -261,18 +315,10 @@ func (p *Port) transmit(pkt *packet.Packet) {
 func (p *Port) onTxDone() {
 	atomic.AddUint64(&p.stats.TxPackets, 1)
 	atomic.AddUint64(&p.stats.TxBytes, uint64(p.txSize))
-	if len(p.queue) == 0 {
+	next := p.popQueue()
+	if next == nil {
 		p.busy = false
 		return
-	}
-	next := p.queue[0]
-	p.queue[0] = nil
-	p.queue = p.queue[1:]
-	atomic.AddInt64(&p.queuedBytes, -int64(next.Size()))
-	if len(p.queue) == 0 {
-		// Reset the backing array so a long-drained queue does not
-		// pin its high-water-mark allocation forever.
-		p.queue = nil
 	}
 	if p.trace != nil {
 		if wait := p.kernel.Now() - next.EnqueueTime; wait > 0 && next.EnqueueTime > 0 {
@@ -293,6 +339,7 @@ func (p *Port) CollectMetrics(e *metrics.Emitter) {
 	e.Counter("tx_bytes", st.TxBytes)
 	e.Counter("drops", st.Drops)
 	e.Counter("ecn_marks", st.ECNMarks)
+	e.Counter("fault_drops", st.FaultDrops)
 	e.Gauge("queue_high_water_bytes", st.MaxQueue)
 	e.Gauge("queued_bytes", p.QueuedBytes())
 }
@@ -329,6 +376,15 @@ type Switch struct {
 	// Updated atomically; read it with atomic.LoadUint64 (or at quiescence).
 	RouteDrops uint64
 
+	// Down, if non-nil, reports whether the switch is physically dead at a
+	// virtual time (see Port.Down for the pure-function contract). A dead
+	// switch drops every arriving packet, counted in FaultDrops.
+	Down func(des.Time) bool
+
+	// FaultDrops counts packets that arrived while the switch was down.
+	// Updated atomically; read it with atomic.LoadUint64 (or at quiescence).
+	FaultDrops uint64
+
 	trace *obs.Buf
 }
 
@@ -339,6 +395,10 @@ func NewSwitch(k *des.Kernel, id packet.NodeID, router Router) *Switch {
 
 // NodeID implements Device.
 func (s *Switch) NodeID() packet.NodeID { return s.id }
+
+// Kernel returns the event kernel the switch schedules on. PDES routers use
+// it to evaluate fault state at the owning LP's local virtual time.
+func (s *Switch) Kernel() *des.Kernel { return s.kernel }
 
 // AddPort creates, attaches, and returns the switch's next output port.
 func (s *Switch) AddPort(cfg LinkConfig) *Port {
@@ -365,10 +425,25 @@ func (s *Switch) SetTrace(b *obs.Buf) {
 	}
 }
 
+// TraceBuf returns the trace buffer installed by SetTrace (nil when tracing
+// is disabled).
+func (s *Switch) TraceBuf() *obs.Buf { return s.trace }
+
+// TotalFaultDrops sums the switch's receive-side fault drops with every
+// port's dead-link drops. Safe to call from any goroutine.
+func (s *Switch) TotalFaultDrops() uint64 {
+	n := atomic.LoadUint64(&s.FaultDrops)
+	for _, p := range s.ports {
+		n += p.Stats().FaultDrops
+	}
+	return n
+}
+
 // CollectMetrics implements metrics.Collector: the switch's route drops plus
 // every attached port's counters.
 func (s *Switch) CollectMetrics(e *metrics.Emitter) {
 	e.Counter("route_drops", atomic.LoadUint64(&s.RouteDrops))
+	e.Counter("fault_drops", atomic.LoadUint64(&s.FaultDrops))
 	for _, p := range s.ports {
 		p.CollectMetrics(e)
 	}
@@ -379,6 +454,15 @@ func (s *Switch) CollectMetrics(e *metrics.Emitter) {
 func (s *Switch) Receive(pkt *packet.Packet, inPort int) {
 	if s.OnReceive != nil {
 		s.OnReceive(pkt, inPort)
+	}
+	if s.Down != nil && s.Down(s.kernel.Now()) {
+		atomic.AddUint64(&s.FaultDrops, 1)
+		if s.trace != nil {
+			s.trace.Emit(obs.Event{TS: s.kernel.Now(), Ph: obs.PhInstant,
+				Name: "fault_drop", Cat: "netsim", Tid: int32(s.id),
+				K1: "bytes", V1: int64(pkt.Size()), K2: "flow", V2: int64(pkt.FlowID)})
+		}
+		return
 	}
 	pkt.Hops++
 	pkt.TTL--

@@ -19,10 +19,10 @@ func TestSerializationDelayOverflowBoundary(t *testing.T) {
 		bw   int64
 		want des.Time
 	}{
-		{1500, 1e9, 12_000},                      // the everyday case, unchanged
-		{0, 1e9, 0},                              // empty frame
-		{1 << 30, 1e9, 8 * 1 << 30},              // 1 GiB at 1G: pre-overflow
-		{math.MaxInt32, 1e9, 17_179_869_176},     // 2 GiB at 1G: naive math overflows
+		{1500, 1e9, 12_000},                          // the everyday case, unchanged
+		{0, 1e9, 0},                                  // empty frame
+		{1 << 30, 1e9, 8 * 1 << 30},                  // 1 GiB at 1G: pre-overflow
+		{math.MaxInt32, 1e9, 17_179_869_176},         // 2 GiB at 1G: naive math overflows
 		{math.MaxInt32, 1e3, 17_179_869_176_000_000}, // low bandwidth: even further past 2^63
 		// 2 GiB at 1 bps: the true delay (1.7e19 ns) exceeds MaxInt64, so the
 		// computation saturates instead of wrapping.

@@ -54,6 +54,7 @@ func (p *Port) RestoreState(v any) {
 	atomic.StoreUint64(&p.stats.TxBytes, st.stats.TxBytes)
 	atomic.StoreUint64(&p.stats.Drops, st.stats.Drops)
 	atomic.StoreUint64(&p.stats.ECNMarks, st.stats.ECNMarks)
+	atomic.StoreUint64(&p.stats.FaultDrops, st.stats.FaultDrops)
 	atomic.StoreInt64(&p.stats.MaxQueue, st.stats.MaxQueue)
 	p.queue = nil
 	if len(st.queue) > 0 {
@@ -68,12 +69,14 @@ func (p *Port) RestoreState(v any) {
 // switchState is a checkpoint of a Switch and all its ports.
 type switchState struct {
 	routeDrops uint64
+	faultDrops uint64
 	ports      []any
 }
 
 // SaveState implements the pdes StateSaver contract for a switch.
 func (s *Switch) SaveState() any {
-	st := switchState{routeDrops: s.RouteDrops, ports: make([]any, len(s.ports))}
+	st := switchState{routeDrops: s.RouteDrops, faultDrops: s.FaultDrops,
+		ports: make([]any, len(s.ports))}
 	for i, p := range s.ports {
 		st.ports[i] = p.SaveState()
 	}
@@ -84,6 +87,7 @@ func (s *Switch) SaveState() any {
 func (s *Switch) RestoreState(v any) {
 	st := v.(switchState)
 	atomic.StoreUint64(&s.RouteDrops, st.routeDrops)
+	atomic.StoreUint64(&s.FaultDrops, st.faultDrops)
 	for i, p := range s.ports {
 		if i < len(st.ports) {
 			p.RestoreState(st.ports[i])

@@ -130,7 +130,7 @@ func (s *Sampler) formatRow(now des.Time, snap *metrics.Snapshot, final bool) st
 	if final {
 		b.WriteString(`,"final":true`)
 	}
-	var counters, gauges, floats, histCounts []string
+	var counters, gauges, floats, histCounts, hists []string
 	for _, m := range snap.Metrics() {
 		key := quote(m.Group + "." + m.Name)
 		switch m.Value.Kind {
@@ -153,12 +153,29 @@ func (s *Sampler) formatRow(now des.Time, snap *metrics.Snapshot, final bool) st
 			}
 			floats = append(floats, key+":"+strconv.FormatFloat(m.Value.Float-base, 'g', -1, 64))
 		case metrics.KindHistogram:
-			var base uint64
+			var base metrics.HistogramSummary
 			if s.prev != nil {
 				pv, _ := s.prev.Get(m.Group, m.Name)
-				base = pv.Hist.Count
+				base = pv.Hist
 			}
-			histCounts = append(histCounts, key+":"+strconv.FormatInt(int64(m.Value.Hist.Count-base), 10))
+			h := m.Value.Hist
+			histCounts = append(histCounts, key+":"+strconv.FormatInt(int64(h.Count-base.Count), 10))
+			if h.Count == 0 {
+				break
+			}
+			// Quantiles are cumulative (a log2-bucketed histogram cannot be
+			// re-quantiled over a window), but int_mean is the mean of just
+			// this interval's samples — reconstructed from the sum deltas —
+			// which is what makes tail-latency DEGRADATION during an outage
+			// window visible row by row. Negative interval counts (Time Warp
+			// rollback shrank the histogram) suppress int_mean for the row.
+			f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+			fields := `{"p50":` + f(h.P50) + `,"p99":` + f(h.P99) + `,"max":` + strconv.FormatUint(h.Max, 10)
+			if dc := int64(h.Count - base.Count); dc > 0 {
+				dsum := h.Mean*float64(h.Count) - base.Mean*float64(base.Count)
+				fields += `,"int_mean":` + f(dsum/float64(dc))
+			}
+			hists = append(hists, key+":"+fields+"}")
 		}
 	}
 	writeGroup := func(name string, kv []string) {
@@ -173,6 +190,7 @@ func (s *Sampler) formatRow(now des.Time, snap *metrics.Snapshot, final bool) st
 	writeGroup("gauges", gauges)
 	writeGroup("floats", floats)
 	writeGroup("hist_counts", histCounts)
+	writeGroup("hists", hists)
 	b.WriteString("}\n")
 	return b.String()
 }

@@ -2,9 +2,11 @@ package pdes
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"approxsim/internal/des"
+	"approxsim/internal/faults"
 	"approxsim/internal/metrics"
 	"approxsim/internal/netsim"
 	"approxsim/internal/packet"
@@ -34,13 +36,14 @@ type Clos struct {
 	torBase  packet.NodeID
 	aggBase  packet.NodeID
 	coreBase packet.NodeID
+	faults   *faults.Schedule
 }
 
 // closGraph builds the partitioning graph for the three-tier Clos: blocks are
 // clusters, fabric nodes are cores. See leafSpineGraph for the weighting
 // rationale; here only inter-CLUSTER flows touch the fabric (intra-cluster
 // traffic turns around at the aggregation layer).
-func closGraph(cfg topology.Config, specs []traffic.FlowSpec) *Graph {
+func closGraph(cfg topology.Config, specs []traffic.FlowSpec, sched *faults.Schedule) *Graph {
 	nB := cfg.Clusters
 	nF := cfg.AggsPerCluster * cfg.CoresPerAgg
 	perCluster := cfg.ToRsPerCluster * cfg.ServersPerToR
@@ -73,6 +76,11 @@ func closGraph(cfg topology.Config, specs []traffic.FlowSpec) *Graph {
 		}
 	}
 	bytesPerNs := float64(cfg.HostLink.BandwidthBps) / 8e9
+	// Union-of-epochs weighting under faults, exactly as in leafSpineGraph.
+	samples := []des.Time{0}
+	if !sched.Empty() {
+		samples = sched.SampleTimes()
+	}
 	for _, sp := range specs {
 		size := sp.Size
 		if cap := int64(float64(maxAt-sp.At) * bytesPerNs); cap < size {
@@ -85,13 +93,17 @@ func closGraph(cfg topology.Config, specs []traffic.FlowSpec) *Graph {
 		if srcCl == dstCl {
 			continue // never leaves the cluster
 		}
-		cF, cR := flowCores(cfg, sp)
-		g.FabricWeight[cF] += pk
-		g.FabricWeight[cR] += pk
-		g.EdgeWeight[srcCl][cF] += pk
-		g.EdgeWeight[dstCl][cF] += pk
-		g.EdgeWeight[dstCl][cR] += pk
-		g.EdgeWeight[srcCl][cR] += pk
+		fwd, rev := flowCoreSets(cfg, sched, sp, samples)
+		for _, cF := range fwd {
+			g.FabricWeight[cF] += pk
+			g.EdgeWeight[srcCl][cF] += pk
+			g.EdgeWeight[dstCl][cF] += pk
+		}
+		for _, cR := range rev {
+			g.FabricWeight[cR] += pk
+			g.EdgeWeight[dstCl][cR] += pk
+			g.EdgeWeight[srcCl][cR] += pk
+		}
 	}
 	la := cfg.CoreLink.PropDelay
 	if la < 1 {
@@ -114,13 +126,58 @@ func flowCores(cfg topology.Config, sp traffic.FlowSpec) (int, int) {
 	core := func(src, dst packet.HostID) int {
 		p := packet.Packet{Src: src, Dst: dst, FlowID: sp.ID}
 		srcToR := int(src) / perRack
-		a := int(ecmpHash(torBase+packet.NodeID(srcToR), &p, cfg.ECMPSeed) % uint64(cfg.AggsPerCluster))
+		a := int(topology.ECMPHash(torBase+packet.NodeID(srcToR), &p, cfg.ECMPSeed) % uint64(cfg.AggsPerCluster))
 		srcCl := int(src) / perCluster
 		agg := aggBase + packet.NodeID(srcCl*cfg.AggsPerCluster+a)
-		j := int(ecmpHash(agg, &p, cfg.ECMPSeed) % uint64(cfg.CoresPerAgg))
+		j := int(topology.ECMPHash(agg, &p, cfg.ECMPSeed) % uint64(cfg.CoresPerAgg))
 		return a*cfg.CoresPerAgg + j
 	}
 	return core(sp.Src, sp.Dst), core(sp.Dst, sp.Src)
+}
+
+// flowCoreSets returns the distinct forward and reverse cores the flow can be
+// pinned to across the fault epochs in samples, ascending, by evaluating the
+// shared two-stage routing (ToR picks the aggregation position, the agg picks
+// within its core group) at each epoch.
+func flowCoreSets(cfg topology.Config, sched *faults.Schedule,
+	sp traffic.FlowSpec, samples []des.Time) ([]int, []int) {
+
+	if sched.Empty() {
+		cF, cR := flowCores(cfg, sp)
+		return []int{cF}, []int{cR}
+	}
+	perRack := cfg.ServersPerToR
+	perCluster := cfg.ToRsPerCluster * perRack
+	torBase := packet.NodeID(cfg.NumHosts())
+	aggBase := torBase + packet.NodeID(cfg.NumToRs())
+	collect := func(src, dst packet.HostID) []int {
+		probe := packet.Packet{Src: src, Dst: dst, FlowID: sp.ID}
+		tor := torBase + packet.NodeID(int(src)/perRack)
+		srcCl := int(src) / perCluster
+		seen := make([]bool, cfg.AggsPerCluster*cfg.CoresPerAgg)
+		var out []int
+		for _, at := range samples {
+			p1, ok := topology.RouteOn(cfg, sched, at, tor, &probe)
+			if !ok || p1 < perRack {
+				continue
+			}
+			a := p1 - perRack
+			agg := aggBase + packet.NodeID(srcCl*cfg.AggsPerCluster+a)
+			p2, ok := topology.RouteOn(cfg, sched, at, agg, &probe)
+			if !ok || p2 < cfg.ToRsPerCluster {
+				continue
+			}
+			j := p2 - cfg.ToRsPerCluster
+			seen[a*cfg.CoresPerAgg+j] = true
+		}
+		for c, hit := range seen {
+			if hit {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	return collect(sp.Src, sp.Dst), collect(sp.Dst, sp.Src)
 }
 
 // BuildClos constructs a three-tier Clos on lps logical processes, one LP
@@ -139,6 +196,11 @@ func BuildClos(cfg topology.Config, lps int, opts ...Option) (*Clos, error) {
 			lps, cfg.Clusters)
 	}
 	cl := &Clos{Sys: NewSystem(lps, opts...), Cfg: cfg}
+	sched := cl.Sys.cfg.faults
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	cl.faults = sched
 	nB, perRack := cfg.Clusters, cfg.ServersPerToR
 	nT := nB * cfg.ToRsPerCluster
 	nA := nB * cfg.AggsPerCluster
@@ -154,7 +216,7 @@ func BuildClos(cfg topology.Config, lps int, opts ...Option) (*Clos, error) {
 		part = ContiguousPartitioner{}
 	}
 	specs := cl.Sys.cfg.workload
-	g := closGraph(cfg, specs)
+	g := closGraph(cfg, specs, sched)
 	blockLP := make([]int, nB)
 	for c := range blockLP {
 		blockLP[c] = c * lps / nB
@@ -226,6 +288,7 @@ func BuildClos(cfg topology.Config, lps int, opts ...Option) (*Clos, error) {
 		if err := cl.Sys.Connect(lp, nic, lp, tp, host, cl.ToRs[t], 0); err != nil {
 			return nil, err
 		}
+		wireLinkFaults(sched, host.NodeID(), cl.ToRs[t].NodeID(), nic, tp)
 	}
 	for c := 0; c < nB; c++ {
 		lp := cl.Sys.LP(lpOfCluster(c))
@@ -238,6 +301,7 @@ func BuildClos(cfg topology.Config, lps int, opts ...Option) (*Clos, error) {
 				if err := cl.Sys.Connect(lp, up, lp, down, tor, agg, 0); err != nil {
 					return nil, err
 				}
+				wireLinkFaults(sched, tor.NodeID(), agg.NodeID(), up, down)
 			}
 		}
 	}
@@ -264,14 +328,28 @@ func BuildClos(cfg topology.Config, lps int, opts ...Option) (*Clos, error) {
 				if err := cl.Sys.Connect(aLP, up, cLP, core.Port(c), agg, core, lookahead); err != nil {
 					return nil, err
 				}
+				wireLinkFaults(sched, agg.NodeID(), core.NodeID(), up, core.Port(c))
 			}
+		}
+	}
+	wireSwitchFaults(sched, func(id packet.NodeID) *netsim.Switch { return cl.switchByID(id) })
+	if !sched.Empty() {
+		for i := 0; i < lps; i++ {
+			k := cl.Sys.LP(i).Kernel()
+			topology.ScheduleFaultInstants(k, sched, func(id packet.NodeID) *netsim.Switch {
+				if sw := cl.switchByID(id); sw != nil && sw.Kernel() == k {
+					return sw
+				}
+				return nil
+			})
 		}
 	}
 
 	// Channel quiescence from the declared workload, exactly as in
 	// BuildLeafSpine: every packet of an inter-cluster flow travels one of the
-	// flow's two core-pinned paths.
-	if len(specs) > 0 && lps > 1 {
+	// flow's two core-pinned paths. Skipped under a fault schedule — rerouting
+	// makes the static path analysis unsound (see System.LimitChannels).
+	if len(specs) > 0 && lps > 1 && sched.Empty() {
 		active := make([]bool, lps*lps)
 		mark := func(a, b int) {
 			if a != b {
@@ -289,43 +367,40 @@ func BuildClos(cfg topology.Config, lps int, opts ...Option) (*Clos, error) {
 			mark(blockLP[dstCl], fabricLP[cR])
 			mark(fabricLP[cR], blockLP[srcCl])
 		}
-		cl.Sys.LimitChannels(func(from, to int) bool { return active[from*lps+to] })
+		if err := cl.Sys.LimitChannels(func(from, to int) bool { return active[from*lps+to] }); err != nil {
+			return nil, err
+		}
 	}
 	return cl, nil
 }
 
-// Route implements netsim.Router with the same arithmetic and ECMP spread as
-// the topology package's three-tier routing.
-func (cl *Clos) Route(sw packet.NodeID, p *packet.Packet) (int, bool) {
-	cfg := cl.Cfg
-	dst := int(p.Dst)
-	if dst < 0 || dst >= len(cl.Hosts) {
-		return 0, false
-	}
-	perCluster := cfg.ToRsPerCluster * cfg.ServersPerToR
-	dstToR := dst / cfg.ServersPerToR
-	dstCluster := dst / perCluster
+// switchByID resolves a fabric switch NodeID to the Switch the builder
+// created for it, or nil for hosts and out-of-range ids.
+func (cl *Clos) switchByID(id packet.NodeID) *netsim.Switch {
 	switch {
-	case sw >= cl.coreBase:
-		return dstCluster, true
-	case sw >= cl.aggBase:
-		agg := int(sw - cl.aggBase)
-		cluster := agg / cfg.AggsPerCluster
-		if dstCluster == cluster {
-			return dstToR % cfg.ToRsPerCluster, true
-		}
-		pick := int(ecmpHash(sw, p, cfg.ECMPSeed) % uint64(cfg.CoresPerAgg))
-		return cfg.ToRsPerCluster + pick, true
-	case sw >= cl.torBase:
-		tor := int(sw - cl.torBase)
-		if dstToR == tor {
-			return dst % cfg.ServersPerToR, true
-		}
-		pick := int(ecmpHash(sw, p, cfg.ECMPSeed) % uint64(cfg.AggsPerCluster))
-		return cfg.ServersPerToR + pick, true
+	case id >= cl.coreBase && int(id-cl.coreBase) < len(cl.Cores):
+		return cl.Cores[id-cl.coreBase]
+	case id >= cl.aggBase && int(id-cl.aggBase) < len(cl.Aggs):
+		return cl.Aggs[id-cl.aggBase]
+	case id >= cl.torBase && int(id-cl.torBase) < len(cl.ToRs):
+		return cl.ToRs[id-cl.torBase]
 	default:
-		return 0, false
+		return nil
 	}
+}
+
+// Route implements netsim.Router by delegating to the topology package's
+// three-tier routing, evaluated at the owning switch's local virtual time so
+// fault-aware reroutes key off the same clock under every sync algorithm.
+func (cl *Clos) Route(sw packet.NodeID, p *packet.Packet) (int, bool) {
+	sched := cl.faults
+	var now des.Time
+	if !sched.Empty() {
+		if own := cl.switchByID(sw); own != nil {
+			now = own.Kernel().Now()
+		}
+	}
+	return topology.RouteOn(cl.Cfg, sched, now, sw, p)
 }
 
 // Schedule installs the workload: each flow arrival is scheduled on its
@@ -373,6 +448,42 @@ func (cl *Clos) Results() []tcp.FlowResult {
 		out = append(out, s.Results()...)
 	}
 	return out
+}
+
+// FaultDrops totals every packet lost to a dead link or switch across the
+// fabric — the accounting that lets tests assert zero SILENT loss.
+func (cl *Clos) FaultDrops() uint64 {
+	var n uint64
+	for _, sw := range cl.ToRs {
+		n += sw.TotalFaultDrops()
+	}
+	for _, sw := range cl.Aggs {
+		n += sw.TotalFaultDrops()
+	}
+	for _, sw := range cl.Cores {
+		n += sw.TotalFaultDrops()
+	}
+	for _, h := range cl.Hosts {
+		if nic := h.NIC(); nic != nil {
+			n += nic.Stats().FaultDrops
+		}
+	}
+	return n
+}
+
+// RouteDrops totals packets dropped for lack of any surviving route.
+func (cl *Clos) RouteDrops() uint64 {
+	var n uint64
+	for _, sw := range cl.ToRs {
+		n += atomic.LoadUint64(&sw.RouteDrops)
+	}
+	for _, sw := range cl.Aggs {
+		n += atomic.LoadUint64(&sw.RouteDrops)
+	}
+	for _, sw := range cl.Cores {
+		n += atomic.LoadUint64(&sw.RouteDrops)
+	}
+	return n
 }
 
 // RunClosObserved mirrors RunLeafSpineObserved for the three-tier Clos:
@@ -439,10 +550,11 @@ func RunClosObserved(clusters, lps int, load float64, dur des.Time, seed uint64,
 	if wall > 0 {
 		res.SimPerWall = res.SimSeconds / res.WallSeconds
 	}
-	for _, r := range cl.Results() {
-		if r.Completed {
-			res.FlowsCompleted++
-		}
-	}
+	sum := traffic.Summarize(cl.Results(), dur)
+	res.FlowsCompleted = sum.Completed
+	res.MeanFCTSec = sum.MeanFCT
+	res.P99FCTSec = sum.P99FCT
+	res.FaultDrops = cl.FaultDrops()
+	res.RouteDrops = cl.RouteDrops()
 	return res, nil
 }

@@ -9,6 +9,7 @@ import (
 	"approxsim/internal/des"
 	"approxsim/internal/metrics"
 	"approxsim/internal/rng"
+	"approxsim/internal/topology"
 )
 
 // Determinism property test: the committed results of a leaf-spine run must
@@ -142,6 +143,38 @@ func TestDeterminismProperty(t *testing.T) {
 				check("nullmsg(lps=2,mincut)",
 					run(NullMessages, 2, WithPartitioner(MinCutPartitioner{})))
 			}
+
+			// The same property must hold with a NONEMPTY fault schedule: a
+			// mid-run link flap plus a spine failure, with detection delay and
+			// per-viewer jitter. Fault state is a pure function of virtual
+			// time, so reroutes, blackholed packets, and recovery must commit
+			// identically under every engine — the first regression a
+			// stateful (checkpoint-hostile) failure model would fail.
+			spec := "link:tor0-spine0@300us+400us,detect=20us,jitter=10us;" +
+				"switch:spine1@700us+250us,detect=30us,jitter=5us"
+			fsched, err := topology.ParseFaults(topology.DefaultLeafSpineConfig(tors), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fref := run(NullMessages, 1, WithFaults(fsched))
+			fcheck := func(name, got string) {
+				if got != fref {
+					t.Errorf("%s faulted snapshot diverged from the sequential reference:\nref: %s\ngot: %s",
+						name, fref, got)
+				}
+			}
+			for _, p := range partitioners {
+				fcheck(fmt.Sprintf("faults/nullmsg(lps=%d,%s)", lpsHigh, p.Name()),
+					run(NullMessages, lpsHigh, WithFaults(fsched), WithPartitioner(p)))
+			}
+			pf := partitioners[int(seed)%len(partitioners)]
+			fcheck(fmt.Sprintf("faults/barrier(lps=2,%s)", pf.Name()),
+				run(Barrier, 2, WithFaults(fsched), WithPartitioner(pf)))
+			fv := twVariants[int(seed)%len(twVariants)]
+			fopts := append([]Option{WithFaults(fsched),
+				WithGVTInterval(50 * time.Microsecond), WithPartitioner(pf)}, fv.opts...)
+			fcheck(fmt.Sprintf("faults/timewarp(lps=2,%s,%s)", fv.name, pf.Name()),
+				run(TimeWarp, 2, fopts...))
 		})
 	}
 }

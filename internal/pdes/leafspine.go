@@ -2,9 +2,11 @@ package pdes
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"approxsim/internal/des"
+	"approxsim/internal/faults"
 	"approxsim/internal/metrics"
 	"approxsim/internal/netsim"
 	"approxsim/internal/packet"
@@ -32,6 +34,7 @@ type LeafSpine struct {
 	lpOfHost  []int
 	torBase   packet.NodeID
 	spineBase packet.NodeID
+	faults    *faults.Schedule
 }
 
 // flowPkts estimates the packet-event cost of one flow direction: data
@@ -54,7 +57,7 @@ func flowPkts(size int64) float64 {
 // workload provably never touches that link. Without a workload every edge
 // carries its normalized bandwidth instead, so placements still order
 // sensibly (and nothing can be declared idle).
-func leafSpineGraph(cfg topology.Config, specs []traffic.FlowSpec) *Graph {
+func leafSpineGraph(cfg topology.Config, specs []traffic.FlowSpec, sched *faults.Schedule) *Graph {
 	nT, nS, perRack := cfg.ToRsPerCluster, cfg.AggsPerCluster, cfg.ServersPerToR
 	g := &Graph{
 		BlockWeight:  make([]float64, nT),
@@ -89,6 +92,14 @@ func leafSpineGraph(cfg topology.Config, specs []traffic.FlowSpec) *Graph {
 	// horizon; estimating its full size would overweight late large flows the
 	// run will truncate, inflating cut weight relative to channel cost.
 	bytesPerNs := float64(cfg.HostLink.BandwidthBps) / 8e9
+	// With a fault schedule, a flow's spine pin can change at each detection
+	// or recovery edge; weight every spine in the UNION of pre- and
+	// post-failure routes at full cost, so whichever epoch the run spends
+	// longest in, the placement already accounted for that traffic.
+	samples := []des.Time{0}
+	if !sched.Empty() {
+		samples = sched.SampleTimes()
+	}
 	for _, sp := range specs {
 		size := sp.Size
 		if cap := int64(float64(maxAt-sp.At) * bytesPerNs); cap < size {
@@ -105,13 +116,17 @@ func leafSpineGraph(cfg topology.Config, specs []traffic.FlowSpec) *Graph {
 		if srcRack == dstRack {
 			continue // rack-local: never touches the fabric
 		}
-		sF, sR := flowSpines(cfg, torBase, sp)
-		g.FabricWeight[sF] += pk
-		g.FabricWeight[sR] += pk
-		g.EdgeWeight[srcRack][sF] += pk
-		g.EdgeWeight[dstRack][sF] += pk
-		g.EdgeWeight[dstRack][sR] += pk
-		g.EdgeWeight[srcRack][sR] += pk
+		fwd, rev := flowSpineSets(cfg, sched, torBase, sp, samples)
+		for _, sF := range fwd {
+			g.FabricWeight[sF] += pk
+			g.EdgeWeight[srcRack][sF] += pk
+			g.EdgeWeight[dstRack][sF] += pk
+		}
+		for _, sR := range rev {
+			g.FabricWeight[sR] += pk
+			g.EdgeWeight[dstRack][sR] += pk
+			g.EdgeWeight[srcRack][sR] += pk
+		}
 	}
 	// One active channel costs up to one promise per lookahead of virtual
 	// time; this prices removing a channel in the same units (packet events)
@@ -135,9 +150,44 @@ func flowSpines(cfg topology.Config, torBase packet.NodeID, sp traffic.FlowSpec)
 	srcRack, dstRack := int(sp.Src)/perRack, int(sp.Dst)/perRack
 	fwd := packet.Packet{Src: sp.Src, Dst: sp.Dst, FlowID: sp.ID}
 	rev := packet.Packet{Src: sp.Dst, Dst: sp.Src, FlowID: sp.ID}
-	sF := int(ecmpHash(torBase+packet.NodeID(srcRack), &fwd, cfg.ECMPSeed) % uint64(nS))
-	sR := int(ecmpHash(torBase+packet.NodeID(dstRack), &rev, cfg.ECMPSeed) % uint64(nS))
+	sF := int(topology.ECMPHash(torBase+packet.NodeID(srcRack), &fwd, cfg.ECMPSeed) % uint64(nS))
+	sR := int(topology.ECMPHash(torBase+packet.NodeID(dstRack), &rev, cfg.ECMPSeed) % uint64(nS))
 	return sF, sR
+}
+
+// flowSpineSets returns the distinct forward and reverse spines the flow can
+// be pinned to across every fault epoch in samples, ascending. With an empty
+// schedule this is exactly the healthy single pin per direction.
+func flowSpineSets(cfg topology.Config, sched *faults.Schedule, torBase packet.NodeID,
+	sp traffic.FlowSpec, samples []des.Time) ([]int, []int) {
+
+	if sched.Empty() {
+		sF, sR := flowSpines(cfg, torBase, sp)
+		return []int{sF}, []int{sR}
+	}
+	perRack := cfg.ServersPerToR
+	collect := func(src, dst packet.HostID) []int {
+		probe := packet.Packet{Src: src, Dst: dst, FlowID: sp.ID}
+		tor := torBase + packet.NodeID(int(src)/perRack)
+		seen := make([]bool, cfg.AggsPerCluster)
+		var out []int
+		for _, at := range samples {
+			port, ok := topology.RouteOn(cfg, sched, at, tor, &probe)
+			if !ok || port < perRack {
+				continue // no surviving uplink at this epoch
+			}
+			if s := port - perRack; !seen[s] {
+				seen[s] = true
+			}
+		}
+		for s, hit := range seen {
+			if hit {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return collect(sp.Src, sp.Dst), collect(sp.Dst, sp.Src)
 }
 
 // BuildLeafSpine constructs an n-rack leaf-spine on lps logical processes.
@@ -161,6 +211,11 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 	nH := nT * perRack
 	ls.torBase = packet.NodeID(nH)
 	ls.spineBase = ls.torBase + packet.NodeID(nT)
+	sched := ls.Sys.cfg.faults
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	ls.faults = sched
 
 	// Placement. Rack blocks are pinned contiguously (identical across
 	// partitioners — see partition.go); only the spines move.
@@ -169,7 +224,7 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 		part = ContiguousPartitioner{}
 	}
 	specs := ls.Sys.cfg.workload
-	g := leafSpineGraph(cfg, specs)
+	g := leafSpineGraph(cfg, specs, sched)
 	blockLP := make([]int, nT)
 	for t := range blockLP {
 		blockLP[t] = t * lps / nT
@@ -240,6 +295,7 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 		if err := ls.Sys.Connect(lp, nic, lp, tp, host, ls.ToRs[t], 0); err != nil {
 			return nil, err
 		}
+		wireLinkFaults(sched, host.NodeID(), ls.ToRs[t].NodeID(), nic, tp)
 	}
 	// ToR <-> spine: cross-LP when partitions differ. Port layout matches
 	// the topology package: ToR uplink s at port perRack+s; spine port t
@@ -265,6 +321,21 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 			if err := ls.Sys.Connect(tLP, up, sLP, spine.Port(t), tor, spine, lookahead); err != nil {
 				return nil, err
 			}
+			wireLinkFaults(sched, tor.NodeID(), spine.NodeID(), up, spine.Port(t))
+		}
+	}
+	wireSwitchFaults(sched, func(id packet.NodeID) *netsim.Switch { return ls.switchByID(id) })
+	if !sched.Empty() {
+		// Fail/detect/recover trace instants, as ordinary events on each
+		// involved switch's own LP (see topology.ScheduleFaultInstants).
+		for i := 0; i < lps; i++ {
+			k := ls.Sys.LP(i).Kernel()
+			topology.ScheduleFaultInstants(k, sched, func(id packet.NodeID) *netsim.Switch {
+				if sw := ls.switchByID(id); sw != nil && sw.Kernel() == k {
+					return sw
+				}
+				return nil
+			})
 		}
 	}
 
@@ -277,7 +348,11 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 	// packet on a quiescent channel still flows correctly but trips the
 	// QuiescentSends counter — the loud invariant breach detector for this
 	// analysis.
-	if len(specs) > 0 && lps > 1 {
+	//
+	// Skipped entirely under a fault schedule: failure rerouting moves flows
+	// onto spines the healthy analysis proved idle (LimitChannels would
+	// reject the call anyway — see its fault guard).
+	if len(specs) > 0 && lps > 1 && sched.Empty() {
 		active := make([]bool, lps*lps)
 		mark := func(a, b int) {
 			if a != b {
@@ -296,46 +371,100 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 			mark(blockLP[dstRack], fabricLP[sR])
 			mark(fabricLP[sR], blockLP[srcRack])
 		}
-		ls.Sys.LimitChannels(func(from, to int) bool { return active[from*lps+to] })
+		if err := ls.Sys.LimitChannels(func(from, to int) bool { return active[from*lps+to] }); err != nil {
+			return nil, err
+		}
 	}
 	return ls, nil
 }
 
-// Route implements netsim.Router with the same arithmetic and ECMP spread
-// as the topology package's leaf-spine routing.
-func (ls *LeafSpine) Route(sw packet.NodeID, p *packet.Packet) (int, bool) {
-	cfg := ls.Cfg
-	dst := int(p.Dst)
-	if dst < 0 || dst >= len(ls.Hosts) {
-		return 0, false
+// wireLinkFaults installs the down-state closure on both real ports of a
+// duplex link when the schedule can ever take the link (or an endpoint) out.
+// The closure is a pure function of the immutable schedule, shared by both
+// directions; untouched links keep a nil Down and pay nothing.
+func wireLinkFaults(sched *faults.Schedule, a, b packet.NodeID, pa, pb *netsim.Port) {
+	if !sched.TouchesLink(a, b) {
+		return
 	}
-	dstToR := dst / cfg.ServersPerToR
-	switch {
-	case sw >= ls.spineBase:
-		return dstToR, true
-	case sw >= ls.torBase:
-		tor := int(sw - ls.torBase)
-		if dstToR == tor {
-			return dst % cfg.ServersPerToR, true
+	down := func(at des.Time) bool { return sched.PathDown(a, b, at) }
+	pa.Down = down
+	pb.Down = down
+}
+
+// wireSwitchFaults installs receive-side down closures on every switch the
+// schedule fails outright.
+func wireSwitchFaults(sched *faults.Schedule, lookup func(packet.NodeID) *netsim.Switch) {
+	if sched.Empty() {
+		return
+	}
+	for i := range sched.Faults {
+		f := &sched.Faults[i]
+		if f.Kind != faults.SwitchFault {
+			continue
 		}
-		pick := int(ecmpHash(sw, p, cfg.ECMPSeed) % uint64(cfg.AggsPerCluster))
-		return cfg.ServersPerToR + pick, true
-	default:
-		return 0, false
+		if sw := lookup(f.A); sw != nil {
+			id := f.A
+			sw.Down = func(at des.Time) bool { return sched.SwitchDown(id, at) }
+		}
 	}
 }
 
-// ecmpHash mirrors topology.ecmpHash so paths match across engines.
-func ecmpHash(sw packet.NodeID, p *packet.Packet, seed uint64) uint64 {
-	x := uint64(sw)*0x9e3779b97f4a7c15 ^ seed
-	x ^= uint64(uint32(p.Src))<<32 | uint64(uint32(p.Dst))
-	x ^= p.FlowID * 0xbf58476d1ce4e5b9
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+// switchByID maps a NodeID to the owning switch, nil for hosts.
+func (ls *LeafSpine) switchByID(id packet.NodeID) *netsim.Switch {
+	switch {
+	case id >= ls.spineBase && int(id-ls.spineBase) < len(ls.Spines):
+		return ls.Spines[id-ls.spineBase]
+	case id >= ls.torBase && id < ls.spineBase:
+		return ls.ToRs[id-ls.torBase]
+	default:
+		return nil
+	}
+}
+
+// FaultDrops totals every packet lost to a dead link or switch across the
+// fabric — the accounting that lets tests assert zero SILENT loss.
+func (ls *LeafSpine) FaultDrops() uint64 {
+	var n uint64
+	for _, sw := range ls.ToRs {
+		n += sw.TotalFaultDrops()
+	}
+	for _, sw := range ls.Spines {
+		n += sw.TotalFaultDrops()
+	}
+	for _, h := range ls.Hosts {
+		if nic := h.NIC(); nic != nil {
+			n += nic.Stats().FaultDrops
+		}
+	}
+	return n
+}
+
+// RouteDrops totals packets dropped for lack of any surviving route.
+func (ls *LeafSpine) RouteDrops() uint64 {
+	var n uint64
+	for _, sw := range ls.ToRs {
+		n += atomic.LoadUint64(&sw.RouteDrops)
+	}
+	for _, sw := range ls.Spines {
+		n += atomic.LoadUint64(&sw.RouteDrops)
+	}
+	return n
+}
+
+// Route implements netsim.Router by delegating to the shared fault-aware
+// routing arithmetic (topology.RouteOn). Under a fault schedule the view time
+// is the ROUTING switch's own kernel clock: each LP evaluates the pure fault
+// function at the executing event's timestamp, which is identical across sync
+// algorithms and invariant under optimistic re-execution.
+func (ls *LeafSpine) Route(sw packet.NodeID, p *packet.Packet) (int, bool) {
+	sched := ls.faults
+	var now des.Time
+	if !sched.Empty() {
+		if own := ls.switchByID(sw); own != nil {
+			now = own.Kernel().Now()
+		}
+	}
+	return topology.RouteOn(ls.Cfg, sched, now, sw, p)
 }
 
 // Schedule installs the workload: each flow arrival is scheduled on its
@@ -405,6 +534,16 @@ type ExperimentResult struct {
 	QuiescentSends  uint64 // packets on promised-idle channels: nonzero means the analysis is unsound
 	FlowsStarted    int
 	FlowsCompleted  int
+	// Fault accounting: every packet lost to a dead element (FaultDrops) or
+	// to the absence of any surviving route (RouteDrops). Both zero on a
+	// healthy run; under a fault schedule their sum is the total blackholed
+	// traffic — counted, never silent.
+	FaultDrops uint64
+	RouteDrops uint64
+	// Flow-completion summary over completed flows (seconds). Zero when no
+	// flow completed.
+	MeanFCTSec float64
+	P99FCTSec  float64
 	// Placement summary (see PartitionStats).
 	Partition     string
 	CutEdges      int
@@ -496,10 +635,11 @@ func RunLeafSpineObserved(n, lps int, load float64, dur des.Time, seed uint64,
 	if wall > 0 {
 		res.SimPerWall = res.SimSeconds / res.WallSeconds
 	}
-	for _, r := range ls.Results() {
-		if r.Completed {
-			res.FlowsCompleted++
-		}
-	}
+	sum := traffic.Summarize(ls.Results(), dur)
+	res.FlowsCompleted = sum.Completed
+	res.MeanFCTSec = sum.MeanFCT
+	res.P99FCTSec = sum.P99FCT
+	res.FaultDrops = ls.FaultDrops()
+	res.RouteDrops = ls.RouteDrops()
 	return res, nil
 }

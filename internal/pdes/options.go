@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"approxsim/internal/des"
+	"approxsim/internal/faults"
 	"approxsim/internal/obs"
 	"approxsim/internal/traffic"
 )
@@ -78,6 +79,7 @@ type config struct {
 	windowMax       des.Time
 	partitioner     Partitioner
 	workload        []traffic.FlowSpec
+	faults          *faults.Schedule
 }
 
 func defaultConfig() config {
@@ -230,6 +232,17 @@ func WithPartitioner(p Partitioner) Option { return func(c *config) { c.partitio
 func withWorkload(specs []traffic.FlowSpec) Option {
 	return func(c *config) { c.workload = specs }
 }
+
+// WithFaults installs a fault schedule on the built topology: link and switch
+// down state becomes visible to the netsim transmit/receive paths, routing
+// turns failure-aware (deterministic ECMP rehash over the surviving set after
+// a per-switch detection delay), the partition graph is weighted by the union
+// of pre- and post-failure routes, and channel quiescence is skipped (see
+// System.LimitChannels). Fault state is a pure function of virtual time, so
+// committed results stay bit-identical across sync algorithms, partitioners,
+// and LP counts — the property TestDeterminismProperty checks with a nonempty
+// schedule. A nil or empty schedule is the healthy default.
+func WithFaults(s *faults.Schedule) Option { return func(c *config) { c.faults = s } }
 
 // WithStallTimeout arms the deadlock watchdog: if the committed-time
 // frontier makes no progress for d of wall-clock time while Run is active,

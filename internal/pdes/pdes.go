@@ -414,7 +414,17 @@ func (s *System) ensureOut(from, to *LP, lookahead des.Time) *outLink {
 // partition turns locality into less synchronization chatter. Must be called
 // before Run; it has no effect on the Time Warp engine, which does not use
 // promises.
-func (s *System) LimitChannels(active func(from, to int) bool) {
+//
+// Quiescence is incompatible with fault injection: a fault reroutes flows
+// onto paths the workload analysis never saw, so "provably idle" stops being
+// provable the moment the first element fails. Until per-failure-epoch
+// recomputation exists, declaring both is a configuration error, returned
+// here rather than silently producing an unsound synchronization graph.
+func (s *System) LimitChannels(active func(from, to int) bool) error {
+	if !s.cfg.faults.Empty() {
+		return fmt.Errorf("pdes: LimitChannels is unsound with a fault schedule: " +
+			"failure rerouting invalidates the workload-derived channel analysis")
+	}
 	for _, lp := range s.lps {
 		lp.inputs = lp.inputs[:0]
 	}
@@ -426,6 +436,7 @@ func (s *System) LimitChannels(active func(from, to int) bool) {
 			}
 		}
 	}
+	return nil
 }
 
 // ActiveChannels counts non-quiescent directed cross-LP channels.

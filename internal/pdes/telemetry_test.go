@@ -89,10 +89,11 @@ func TestSnapshotConcurrentWithRun(t *testing.T) {
 
 // samplerRow is the decoded shape of one JSONL time-series row.
 type samplerRow struct {
-	TS       float64          `json:"t_s"`
-	Row      int              `json:"row"`
-	Final    bool             `json:"final"`
-	Counters map[string]int64 `json:"counters"`
+	TS       float64                       `json:"t_s"`
+	Row      int                           `json:"row"`
+	Final    bool                          `json:"final"`
+	Counters map[string]int64              `json:"counters"`
+	Hists    map[string]map[string]float64 `json:"hists"`
 }
 
 func decodeRows(t *testing.T, data []byte) []samplerRow {

@@ -419,6 +419,7 @@ func (c *conn) complete() {
 	c.done = true
 	c.stack.flowsCompleted.Inc()
 	c.end = c.stack.kernel.Now()
+	c.stack.fctNanos.Observe(uint64(c.end - c.start))
 	if c.stack.trace != nil {
 		// The whole flow as one span: start-to-last-ACK, on the sender's track.
 		c.stack.trace.Emit(obs.Event{TS: c.start, Dur: c.end - c.start, Ph: obs.PhSpan,

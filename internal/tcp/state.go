@@ -36,6 +36,7 @@ type stackState struct {
 	timeoutTotal   metrics.Counter
 	cwndBytes      metrics.Histogram
 	rttNanos       metrics.Histogram
+	fctNanos       metrics.Histogram
 }
 
 // SaveState implements the pdes StateSaver contract.
@@ -47,6 +48,7 @@ func (s *Stack) SaveState() any {
 		timeoutTotal:   s.timeoutTotal,
 		cwndBytes:      s.cwndBytes,
 		rttNanos:       s.rttNanos,
+		fctNanos:       s.fctNanos,
 		conns:          make([]connState, 0, len(s.conns)),
 	}
 	for _, c := range s.conns {
@@ -74,6 +76,7 @@ func (s *Stack) RestoreState(v any) {
 	s.timeoutTotal.Store(st.timeoutTotal.Value())
 	s.cwndBytes.CopyFrom(&st.cwndBytes)
 	s.rttNanos.CopyFrom(&st.rttNanos)
+	s.fctNanos.CopyFrom(&st.fctNanos)
 	for k := range s.conns {
 		delete(s.conns, k)
 	}

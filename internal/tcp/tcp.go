@@ -130,6 +130,7 @@ type Stack struct {
 	timeoutTotal   metrics.Counter
 	cwndBytes      metrics.Histogram // sender cwnd sampled at each RTT measurement
 	rttNanos       metrics.Histogram // RTT samples in nanoseconds
+	fctNanos       metrics.Histogram // flow completion times, observed at the sender
 
 	// nconns mirrors len(conns) atomically so a mid-run metrics snapshot
 	// never reads the demux map while the owning goroutine mutates it.
@@ -154,6 +155,7 @@ func (s *Stack) CollectMetrics(e *metrics.Emitter) {
 	e.Gauge("open_connections", atomic.LoadInt64(&s.nconns))
 	e.Histogram("cwnd_bytes", &s.cwndBytes)
 	e.Histogram("rtt_ns", &s.rttNanos)
+	e.Histogram("fct_ns", &s.fctNanos)
 }
 
 // NewStack installs a TCP stack on host, replacing its packet handler.

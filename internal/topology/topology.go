@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"approxsim/internal/des"
+	"approxsim/internal/faults"
 	"approxsim/internal/metrics"
 	"approxsim/internal/netsim"
 	"approxsim/internal/obs"
@@ -167,6 +168,24 @@ type Topology struct {
 	Cores []*netsim.Switch
 
 	hostBase, torBase, aggBase, coreBase packet.NodeID
+
+	// links records every wired duplex link so SetFaults can install
+	// down-state closures on the affected ports.
+	links []linkRec
+	// sched is the installed fault schedule, nil while healthy.
+	sched *faults.Schedule
+}
+
+// linkRec remembers one duplex link: its endpoint NodeIDs and the two ports.
+type linkRec struct {
+	a, b   packet.NodeID
+	pa, pb *netsim.Port
+}
+
+// connect cross-wires two ports and records the link for fault injection.
+func (t *Topology) connect(a packet.NodeID, pa *netsim.Port, b packet.NodeID, pb *netsim.Port) {
+	netsim.Connect(pa, pb)
+	t.links = append(t.links, linkRec{a: a, b: b, pa: pa, pb: pb})
 }
 
 // CollectMetrics implements metrics.Collector: it aggregates every switch
@@ -271,7 +290,7 @@ func (t *Topology) wire() {
 		tor := t.ToRs[h/cfg.ServersPerToR]
 		nic := host.AttachNIC(nicCfg)
 		tp := tor.AddPort(cfg.HostLink)
-		netsim.Connect(nic, tp)
+		t.connect(host.NodeID(), nic, tor.NodeID(), tp)
 	}
 	// ToR <-> Agg.
 	if cfg.Kind == LeafSpine {
@@ -282,7 +301,7 @@ func (t *Topology) wire() {
 				for spine.NumPorts() <= ti {
 					spine.AddPort(cfg.FabricLink)
 				}
-				netsim.Connect(up, spine.Port(ti))
+				t.connect(tor.NodeID(), up, spine.NodeID(), spine.Port(ti))
 				_ = si
 			}
 		}
@@ -295,7 +314,7 @@ func (t *Topology) wire() {
 				tor := t.ToRs[c*cfg.ToRsPerCluster+tr]
 				up := tor.AddPort(cfg.FabricLink)   // ToR port ServersPerToR+a
 				down := agg.AddPort(cfg.FabricLink) // Agg port tr
-				netsim.Connect(up, down)
+				t.connect(tor.NodeID(), up, agg.NodeID(), down)
 			}
 		}
 	}
@@ -309,7 +328,7 @@ func (t *Topology) wire() {
 				for core.NumPorts() <= c {
 					core.AddPort(cfg.CoreLink)
 				}
-				netsim.Connect(up, core.Port(c)) // Core port c
+				t.connect(agg.NodeID(), up, core.NodeID(), core.Port(c)) // Core port c
 			}
 		}
 	}
@@ -357,11 +376,13 @@ func (t *Topology) nodeTier(id packet.NodeID) int {
 
 // --- ECMP ---
 
-// ecmpHash mixes the flow identity with a per-switch salt, modeling
+// ECMPHash mixes the flow identity with a per-switch salt, modeling
 // hardware ECMP (each switch hashes the 5-tuple with its own seed so a flow
-// takes one deterministic path but different flows spread).
-func (t *Topology) ecmpHash(sw packet.NodeID, p *packet.Packet) uint64 {
-	x := uint64(sw)*0x9e3779b97f4a7c15 ^ t.Cfg.ECMPSeed
+// takes one deterministic path but different flows spread). It is exported
+// so the PDES builders' partition-graph weighting uses the exact arithmetic
+// the routers do.
+func ECMPHash(sw packet.NodeID, p *packet.Packet, seed uint64) uint64 {
+	x := uint64(sw)*0x9e3779b97f4a7c15 ^ seed
 	// Hash the canonical flow direction (src,dst,flow) — not symmetric:
 	// forward and reverse directions may take different paths, as in
 	// real ECMP.
@@ -375,41 +396,12 @@ func (t *Topology) ecmpHash(sw packet.NodeID, p *packet.Packet) uint64 {
 	return x
 }
 
-// Route implements netsim.Router with pure index arithmetic.
+// Route implements netsim.Router with pure index arithmetic, evaluating the
+// installed fault schedule (if any) at the kernel's current virtual time: a
+// switch skips elements it believes are down and rehashes over the surviving
+// equal-cost set (see RouteOn in faults.go).
 func (t *Topology) Route(sw packet.NodeID, p *packet.Packet) (int, bool) {
-	cfg := t.Cfg
-	dst := int(p.Dst)
-	if dst < 0 || dst >= len(t.Hosts) {
-		return 0, false
-	}
-	dstToR := dst / cfg.ServersPerToR
-	switch t.nodeTier(sw) {
-	case 1: // ToR
-		tor := int(sw - t.torBase)
-		if dstToR == tor {
-			return dst % cfg.ServersPerToR, true // down to host
-		}
-		uplinks := cfg.AggsPerCluster
-		pick := int(t.ecmpHash(sw, p) % uint64(uplinks))
-		return cfg.ServersPerToR + pick, true
-	case 2: // Agg / spine
-		agg := int(sw - t.aggBase)
-		if cfg.Kind == LeafSpine {
-			return dstToR, true // spine port index == leaf index
-		}
-		cluster := agg / cfg.AggsPerCluster
-		dstCluster := dst / (cfg.ToRsPerCluster * cfg.ServersPerToR)
-		if dstCluster == cluster {
-			return dstToR % cfg.ToRsPerCluster, true // down to ToR
-		}
-		pick := int(t.ecmpHash(sw, p) % uint64(cfg.CoresPerAgg))
-		return cfg.ToRsPerCluster + pick, true
-	case 3: // Core
-		dstCluster := dst / (cfg.ToRsPerCluster * cfg.ServersPerToR)
-		return dstCluster, true
-	default: // host: hosts do not route
-		return 0, false
-	}
+	return RouteOn(t.Cfg, t.sched, t.Kernel.Now(), sw, p)
 }
 
 // Path is the deterministic switch sequence a flow's packets traverse.
@@ -426,6 +418,11 @@ type Path struct {
 // by evaluating the same ECMP arithmetic Route uses. This is how the micro
 // model obtains its "switches the packet would pass through" features for
 // clusters that no longer physically exist in the hybrid simulation.
+//
+// PathFor always enumerates the HEALTHY-baseline path, ignoring any installed
+// fault schedule: the approximation features and the flow-level fast path
+// consume it as a time-independent flow property, which a time-varying
+// failure view cannot be.
 func (t *Topology) PathFor(src, dst packet.HostID, flowID uint64) Path {
 	cfg := t.Cfg
 	probe := &packet.Packet{Src: src, Dst: dst, FlowID: flowID}
@@ -436,7 +433,7 @@ func (t *Topology) PathFor(src, dst packet.HostID, flowID uint64) Path {
 	if srcToR == dstToR {
 		return path
 	}
-	upPort, _ := t.Route(srcToR, probe)
+	upPort, _ := RouteOn(cfg, nil, 0, srcToR, probe)
 	aggPick := upPort - cfg.ServersPerToR
 	if cfg.Kind == LeafSpine {
 		path.SrcAgg = t.aggBase + packet.NodeID(aggPick)
@@ -449,7 +446,7 @@ func (t *Topology) PathFor(src, dst packet.HostID, flowID uint64) Path {
 		path.DstAgg = path.SrcAgg
 		return path
 	}
-	corePort, _ := t.Route(path.SrcAgg, probe)
+	corePort, _ := RouteOn(cfg, nil, 0, path.SrcAgg, probe)
 	corePick := corePort - cfg.ToRsPerCluster
 	path.Core = t.coreBase + packet.NodeID(aggPick*cfg.CoresPerAgg+corePick)
 	// Down side: the core connects to exactly one agg in the destination
