@@ -1,6 +1,9 @@
 // Command approxsim runs a single data-center simulation — full-fidelity,
 // hybrid (approximated), flow-level, or PDES-parallel — and prints a
-// workload summary.
+// workload summary. It is a thin front-end over the scenario API: the flags
+// assemble a scenario.Spec (see internal/scenario) and scenario.Run executes
+// it, so the exact same experiment can be replayed through the figures
+// command, the whatif example, or a JSON POST to the simd scenario server.
 //
 // Usage:
 //
@@ -46,35 +49,19 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
-	"time"
 
 	"approxsim/internal/core"
 	"approxsim/internal/des"
-	"approxsim/internal/flowsim"
 	"approxsim/internal/metrics"
 	"approxsim/internal/nn"
 	"approxsim/internal/obs"
-	"approxsim/internal/packet"
 	"approxsim/internal/pdes"
-	"approxsim/internal/topology"
-	"approxsim/internal/traffic"
+	"approxsim/internal/scenario"
 )
 
 func main() {
+	f := scenario.Bind(flag.CommandLine)
 	var (
-		mode       = flag.String("mode", "full", "full | hybrid | blackbox | fluid | pdes")
-		clusters   = flag.Int("clusters", 2, "number of clusters (4 switches + 8 servers each)")
-		durMS      = flag.Int("dur", 5, "virtual milliseconds of flow arrivals")
-		load       = flag.Float64("load", 0.4, "offered load fraction of host bandwidth")
-		seed       = flag.Uint64("seed", 1, "root random seed")
-		pattern    = flag.String("pattern", "uniform", "uniform | intercluster | intracluster | incast")
-		models     = flag.String("models", "", "model bundle from trainmodel (hybrid mode)")
-		dctcp      = flag.Bool("dctcp", false, "run DCTCP instead of TCP New Reno (shallow ECN marking everywhere)")
-		workload   = flag.String("workload", "websearch", "flow-size distribution: websearch | datamining")
-		racks      = flag.Int("racks", 4, "leaf-spine racks (pdes mode)")
-		lps        = flag.Int("lps", 2, "logical processes (pdes mode; 1 = sequential)")
-		sync       = flag.String("sync", "nullmsg", "pdes synchronization: nullmsg | barrier | timewarp")
-		partition  = flag.String("partition", "contiguous", "pdes fabric placement: contiguous | spine | mincut")
 		metricsOut = flag.Bool("metrics", false, "dump a JSON metrics snapshot to stdout at end of run")
 		intervalMS = flag.Float64("metrics-interval", 0, "stream interval metrics deltas as JSONL every N virtual ms (0 = off)")
 		seriesPath = flag.String("metrics-out", "metrics.jsonl", "JSONL time-series output path (with -metrics-interval)")
@@ -85,7 +72,6 @@ func main() {
 		noPool     = flag.Bool("no-pool", false, "disable the kernel event free list (pdes mode; for A/B measurement)")
 		eagerCan   = flag.Bool("eager-cancel", false, "timewarp: anti-message rolled-back sends immediately instead of lazy cancellation")
 		adaptWin   = flag.String("adaptive-window", "", "timewarp: adapt the speculation window between MIN:MAX microseconds (e.g. 10:200)")
-		faultSpec  = flag.String("faults", "", "pdes mode fault schedule, e.g. 'link:tor0-spine1@1ms+500us,detect=50us,jitter=10us;switch:spine0@2ms+1ms' ('+dur' omitted = permanent)")
 		progressMS = flag.Int("progress", 0, "progress line to stderr every N virtual ms (0 = off)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
@@ -103,10 +89,8 @@ func main() {
 		noPool:       *noPool,
 		eagerCancel:  *eagerCan,
 		adaptWindow:  *adaptWin,
-		faults:       *faultSpec,
 	}
-	if err := run(*mode, *clusters, *durMS, *load, *seed, *pattern, *models,
-		*dctcp, *workload, *racks, *lps, *sync, *partition, opts); err != nil {
+	if err := run(f, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "approxsim:", err)
 		os.Exit(1)
 	}
@@ -125,7 +109,6 @@ type obsOptions struct {
 	noPool       bool
 	eagerCancel  bool
 	adaptWindow  string // "MIN:MAX" in microseconds, empty = fixed window
-	faults       string // fault schedule spec (pdes mode), empty = healthy
 }
 
 // registry returns the registry to wire into the run — nil only when neither
@@ -271,26 +254,9 @@ func dumpMetrics(reg *metrics.Registry) error {
 	return nil
 }
 
-func parsePattern(s string) (traffic.Pattern, error) {
-	switch s {
-	case "uniform":
-		return traffic.Uniform, nil
-	case "intercluster":
-		return traffic.InterCluster, nil
-	case "intracluster":
-		return traffic.IntraCluster, nil
-	case "incast":
-		return traffic.Incast, nil
-	default:
-		return 0, fmt.Errorf("unknown pattern %q", s)
-	}
-}
-
-func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, modelPath string,
-	dctcp bool, workload string, racks, lps int, sync, partition string, opts obsOptions) error {
-
-	pat, err := parsePattern(pattern)
-	if err != nil {
+func run(f *scenario.Flags, opts obsOptions) error {
+	sp := f.Spec()
+	if err := sp.Validate(); err != nil {
 		return err
 	}
 	reg := opts.registry()
@@ -299,117 +265,65 @@ func run(mode string, clusters, durMS int, load float64, seed uint64, pattern, m
 		return err
 	}
 	defer orun.close()
-	cfg := core.Config{
-		Clusters:        clusters,
-		Duration:        des.Time(durMS) * des.Millisecond,
-		Load:            load,
-		Seed:            seed,
-		Pattern:         pat,
-		DCTCP:           dctcp,
-		Metrics:         reg,
-		MetricsInterval: opts.interval,
-		Trace:           orun.tracer,
-		ProgressEvery:   opts.progress,
-		ProgressWriter:  os.Stderr,
+
+	ropts := []scenario.RunOption{}
+	if reg != nil {
+		ropts = append(ropts, scenario.WithRegistry(reg))
 	}
-	if orun.series != nil {
-		cfg.MetricsWriter = orun.series
-	}
-	switch workload {
-	case "websearch":
-		cfg.SizeCDF = traffic.WebSearchCDF()
-	case "datamining":
-		cfg.SizeCDF = traffic.DataMiningCDF()
+	switch f.Mode {
+	case "pdes":
+		ropts = append(ropts, scenario.WithPDESOptions(pdesOptions(opts, orun, reg)...))
+	case "hybrid", "blackbox":
+		if f.Models == "" {
+			m, err := trainInProcess(sp, f.Mode)
+			if err != nil {
+				return err
+			}
+			ropts = append(ropts, scenario.WithModels(m))
+		}
+		fallthrough
 	default:
-		return fmt.Errorf("unknown workload %q", workload)
+		// Single-kernel modes take the observability plumbing through the
+		// engine config; fluid ignores it.
+		ropts = append(ropts, scenario.WithCoreConfig(func(cfg *core.Config) {
+			cfg.MetricsInterval = opts.interval
+			if orun.series != nil {
+				cfg.MetricsWriter = orun.series
+			}
+			cfg.Trace = orun.tracer
+			cfg.ProgressEvery = opts.progress
+			cfg.ProgressWriter = os.Stderr
+		}))
 	}
-	runErr := dispatch(mode, cfg, modelPath, seed, racks, lps, sync, partition, reg, opts, orun)
+
+	res, runErr := scenario.Run(sp, ropts...)
+	if runErr == nil {
+		report(res)
+	}
 	// Flush the trace even after a failed run — an aborted timewarp run's
 	// trace (and flight-recorder dump, already on disk) is exactly what you
 	// want open in Perfetto.
 	if ferr := orun.finish(opts); ferr != nil && runErr == nil {
 		runErr = ferr
 	}
-	return runErr
-}
-
-func dispatch(mode string, cfg core.Config, modelPath string, seed uint64,
-	racks, lps int, sync, partition string, reg *metrics.Registry, opts obsOptions, orun *obsRun) error {
+	if runErr != nil {
+		return runErr
+	}
 	// The registry may exist only to feed the interval sampler; the end-of-run
 	// snapshot on stdout is still opt-in via -metrics.
-	snapReg := reg
-	if !opts.metrics {
-		snapReg = nil
+	if opts.metrics {
+		return dumpMetrics(reg)
 	}
-	switch mode {
-	case "full":
-		res, err := core.RunFull(cfg, false)
-		if err != nil {
-			return err
-		}
-		report("full", res)
-		return dumpMetrics(snapReg)
-	case "hybrid":
-		m, err := obtainModels(cfg, modelPath, seed)
-		if err != nil {
-			return err
-		}
-		res, err := core.RunHybrid(cfg, m)
-		if err != nil {
-			return err
-		}
-		report("hybrid", res)
-		for i, fs := range res.FabricStats {
-			fmt.Printf("fabric[%d]: egress=%d ingress=%d drops=%d/%d conflicts=%d\n",
-				i, fs.EgressPackets, fs.IngressPackets,
-				fs.EgressDrops, fs.IngressDrops, fs.Conflicts)
-		}
-		return dumpMetrics(snapReg)
-	case "blackbox":
-		m, err := obtainBlackBoxModels(cfg, modelPath, seed)
-		if err != nil {
-			return err
-		}
-		res, err := core.RunBlackBox(cfg, m)
-		if err != nil {
-			return err
-		}
-		report("blackbox", res)
-		s := res.FabricStats[0]
-		fmt.Printf("blackbox: outbound=%d inbound=%d drops=%d/%d conflicts=%d\n",
-			s.EgressPackets, s.IngressPackets, s.EgressDrops, s.IngressDrops, s.Conflicts)
-		return dumpMetrics(snapReg)
-	case "fluid":
-		if err := runFluid(cfg); err != nil {
-			return err
-		}
-		return dumpMetrics(snapReg)
-	case "pdes":
-		if err := runPDES(racks, lps, cfg.Load, cfg.Duration, seed, sync, partition, reg, opts, orun); err != nil {
-			return err
-		}
-		return dumpMetrics(snapReg)
-	default:
-		return fmt.Errorf("unknown mode %q", mode)
-	}
+	return nil
 }
 
-// runPDES runs the leaf-spine PDES experiment (Fig. 1 substrate) on the
-// requested number of logical processes. Unlike the single-kernel modes the
-// time-series sampler here is polling-driven off the system's committed-time
-// clock (System.Run manages its lifecycle), because under optimistic sync a
-// kernel-scheduled sample could itself be rolled back.
-func runPDES(racks, lps int, load float64, dur des.Time, seed uint64, sync, partition string,
-	reg *metrics.Registry, opts obsOptions, orun *obsRun) error {
-	algo, err := pdes.ParseSyncAlgo(sync)
-	if err != nil {
-		return err
-	}
-	part, err := pdes.ParsePartitioner(partition)
-	if err != nil {
-		return err
-	}
-	popts := []pdes.Option{pdes.WithPartitioner(part)}
+// pdesOptions translates the observability flags into engine options for a
+// pdes-mode run. Unlike the single-kernel modes the time-series sampler here
+// is polling-driven off the system's committed-time clock (System.Run manages
+// its lifecycle), because under optimistic sync a kernel-scheduled sample
+// could itself be rolled back.
+func pdesOptions(opts obsOptions, orun *obsRun, reg *metrics.Registry) []pdes.Option {
+	var popts []pdes.Option
 	if orun.tracer != nil {
 		popts = append(popts, pdes.WithObs(orun.tracer))
 	}
@@ -427,157 +341,76 @@ func runPDES(racks, lps int, load float64, dur des.Time, seed uint64, sync, part
 	}
 	if opts.adaptWindow != "" {
 		var minUS, maxUS int64
-		if n, err := fmt.Sscanf(opts.adaptWindow, "%d:%d", &minUS, &maxUS); n != 2 || err != nil {
-			return fmt.Errorf("bad -adaptive-window %q (want MIN:MAX microseconds)", opts.adaptWindow)
+		if n, err := fmt.Sscanf(opts.adaptWindow, "%d:%d", &minUS, &maxUS); n == 2 && err == nil {
+			popts = append(popts, pdes.WithAdaptiveWindow(
+				des.Time(minUS)*des.Microsecond, des.Time(maxUS)*des.Microsecond))
+		} else {
+			fmt.Fprintf(os.Stderr, "approxsim: ignoring bad -adaptive-window %q (want MIN:MAX microseconds)\n", opts.adaptWindow)
 		}
-		popts = append(popts, pdes.WithAdaptiveWindow(
-			des.Time(minUS)*des.Microsecond, des.Time(maxUS)*des.Microsecond))
 	}
-	faulted := opts.faults != ""
-	if faulted {
-		sched, err := topology.ParseFaults(topology.DefaultLeafSpineConfig(racks), opts.faults)
-		if err != nil {
-			return fmt.Errorf("bad -faults: %w", err)
-		}
-		popts = append(popts, pdes.WithFaults(sched))
-	}
-	res, err := pdes.RunLeafSpineObserved(racks, lps, load, dur, seed, algo, reg, popts...)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("mode=pdes sync=%v tors=%d lps=%d sim_time=%v wall=%.4fs sim_per_wall=%.4g events=%d\n",
-		algo, res.ToRs, res.LPs, dur, res.WallSeconds, res.SimPerWall, res.Events)
-	fmt.Printf("nulls=%d barriers=%d cross_lp_packets=%d violations=%d eit_stalls=%d\n",
-		res.Nulls, res.Barriers, res.CrossPkts, res.Violations, res.EITStalls)
-	fmt.Printf("partition=%s cut_edges=%d cut_weight=%.1f active_channels=%d lp_load_imbalance=%.3f\n",
-		res.Partition, res.CutEdges, res.CutWeight, res.Channels, res.LoadImbalance)
-	if algo == pdes.TimeWarp {
-		fmt.Printf("rollbacks=%d anti_messages=%d lazy_saved=%d gvt_advances=%d checkpoints=%d window_shrinks=%d window_grows=%d\n",
-			res.Rollbacks, res.AntiMessages, res.LazyCancelSaved, res.GVTAdvances,
-			res.Checkpoints, res.WindowShrinks, res.WindowGrows)
-	}
-	fmt.Printf("flows=%d completed=%d mean_fct=%.6gs p99_fct=%.6gs\n",
-		res.FlowsStarted, res.FlowsCompleted, res.MeanFCTSec, res.P99FCTSec)
-	if faulted {
-		fmt.Printf("fault_drops=%d route_drops=%d\n", res.FaultDrops, res.RouteDrops)
-	}
-	if res.Violations != 0 {
-		return fmt.Errorf("pdes: %d causality violations (synchronization bug)", res.Violations)
-	}
-	if res.QuiescentSends != 0 {
-		return fmt.Errorf("pdes: %d packets crossed channels the quiescence analysis declared idle", res.QuiescentSends)
-	}
-	return nil
+	return popts
 }
 
-// obtainModels loads a trained bundle or, if none was given, trains a small
-// one in-process from a fresh 2-cluster capture.
-func obtainModels(cfg core.Config, path string, seed uint64) (*core.Models, error) {
-	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return core.LoadModels(f)
+// trainInProcess fits a small model bundle when no -models file was given:
+// a boundary-captured full-fidelity run through the same scenario API
+// (cluster boundary for hybrid, whole-network for blackbox), then a quick
+// training pass.
+func trainInProcess(sp scenario.Spec, mode string) (*core.Models, error) {
+	capture := "cluster"
+	if mode == "blackbox" {
+		capture = "wholenet"
 	}
-	fmt.Fprintln(os.Stderr, "approxsim: no -models given; training a small model in-process")
-	trainCfg := cfg
-	trainCfg.Clusters = 2
-	trainCfg.Metrics = nil // only the measured run reports metrics
-	trainCfg.ProgressEvery = 0
-	full, err := core.RunFull(trainCfg, true)
+	fmt.Fprintf(os.Stderr, "approxsim: no -models given; training a small %s model in-process\n", capture)
+	trainSp := sp.Normalized()
+	trainSp.Mode = "full"
+	trainSp.ModelsPath = ""
+	trainSp.Capture = capture
+	if mode == "hybrid" {
+		// Cluster-boundary models generalize across scale; capture small.
+		trainSp.Topology.Clusters = 2
+	}
+	res, err := scenario.Run(trainSp)
 	if err != nil {
 		return nil, err
 	}
-	return core.TrainModels(full.Records, trainCfg.TopologyConfig(), core.TrainOptions{
+	topoCfg := core.Config{Clusters: trainSp.Topology.Clusters, DCTCP: trainSp.DCTCP}.TopologyConfig()
+	return core.TrainModels(res.Run.Records, topoCfg, core.TrainOptions{
 		Hidden: 16, Layers: 1,
-		NN:   nn.TrainConfig{LR: 0.02, Batches: 300, Batch: 16, BPTT: 16, Seed: seed},
-		Seed: seed,
+		NN:   nn.TrainConfig{LR: 0.02, Batches: 300, Batch: 16, BPTT: 16, Seed: sp.Seed},
+		Seed: sp.Seed,
 	})
 }
 
-// obtainBlackBoxModels loads or trains models for the whole-network
-// boundary (the -mode blackbox path trains fresh when no bundle is given,
-// since cluster-boundary bundles are not interchangeable with it).
-func obtainBlackBoxModels(cfg core.Config, path string, seed uint64) (*core.Models, error) {
-	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return core.LoadModels(f)
-	}
-	fmt.Fprintln(os.Stderr, "approxsim: training whole-network black-box models in-process")
-	trainCfg := cfg
-	trainCfg.Metrics = nil // only the measured run reports metrics
-	trainCfg.ProgressEvery = 0
-	if trainCfg.Clusters < 2 {
-		trainCfg.Clusters = 2
-	}
-	full, err := core.RunFullWithCapture(trainCfg, core.CaptureWholeNet)
-	if err != nil {
-		return nil, err
-	}
-	return core.TrainModels(full.Records, trainCfg.TopologyConfig(), core.TrainOptions{
-		Hidden: 16, Layers: 1,
-		NN:   nn.TrainConfig{LR: 0.02, Batches: 300, Batch: 16, BPTT: 16, Seed: seed},
-		Seed: seed,
-	})
-}
-
-func runFluid(cfg core.Config) error {
-	topoCfg := cfg.TopologyConfig()
-	topo, err := topology.Build(des.NewKernel(), topoCfg)
-	if err != nil {
-		return err
-	}
-	hosts := make([]packet.HostID, len(topo.Hosts))
-	for i := range hosts {
-		hosts[i] = packet.HostID(i)
-	}
-	specs, err := traffic.GenerateSpecs(traffic.Config{
-		Load:             cfg.Load,
-		HostBandwidthBps: topoCfg.HostLink.BandwidthBps,
-		Seed:             cfg.Seed,
-	}, hosts, cfg.Duration)
-	if err != nil {
-		return err
-	}
-	sim := flowsim.New(topo)
-	for _, sp := range specs {
-		sim.Add(flowsim.Flow{ID: sp.ID, Src: sp.Src, Dst: sp.Dst, Size: sp.Size, Start: sp.At})
-	}
-	start := time.Now()
-	flows := sim.Run(cfg.Duration * 4)
-	wall := time.Since(start)
-	done := 0
-	var meanFCT float64
-	for _, f := range flows {
-		if f.Completed() {
-			done++
-			meanFCT += f.FCT().Seconds()
-		}
-	}
-	if done > 0 {
-		meanFCT /= float64(done)
-	}
-	fmt.Printf("mode=fluid flows=%d completed=%d mean_fct=%.6gs events=%d wall=%.4fs\n",
-		len(flows), done, meanFCT, sim.Events(), wall.Seconds())
-	return nil
-}
-
-func report(mode string, res *core.RunResult) {
-	s := res.Summary
-	fmt.Printf("mode=%s sim_time=%v wall=%.4fs sim_per_wall=%.4g events=%d\n",
-		mode, res.SimTime, res.Wall.Seconds(), res.SimSecondsPerSecond(), res.Events)
+// report prints the result summary for any mode.
+func report(res *scenario.Result) {
+	m, p := res.Metrics, res.Perf
+	fmt.Printf("mode=%s sim_time=%.6gs wall=%.4fs sim_per_wall=%.4g events=%d\n",
+		res.Spec.Mode, p.SimSeconds, p.WallSeconds, p.SimPerWall, p.Events)
 	fmt.Printf("flows=%d completed=%d mean_fct=%.6gs p99_fct=%.6gs goodput=%.4g bps\n",
-		s.Flows, s.Completed, s.MeanFCT, s.P99FCT, s.GoodputBps)
-	fmt.Printf("retransmissions=%d timeouts=%d rtt_samples=%d\n",
-		s.Retrans, s.Timeouts, res.RTTs.Len())
-	if res.RTTs.Len() > 0 {
-		fmt.Printf("rtt p50=%.6gs p99=%.6gs\n",
-			res.RTTs.Quantile(0.5), res.RTTs.Quantile(0.99))
+		m.Flows, m.Completed, m.MeanFCTSec, m.P99FCTSec, m.GoodputBps)
+	fmt.Printf("retransmissions=%d timeouts=%d rtt_samples=%d\n", m.Retrans, m.Timeouts, m.RTTSamples)
+	if m.RTTSamples > 0 {
+		fmt.Printf("rtt p50=%.6gs p99=%.6gs\n", m.RTTP50Sec, m.RTTP99Sec)
+	}
+	if r := res.Run; r != nil {
+		for i, fs := range r.FabricStats {
+			fmt.Printf("fabric[%d]: egress=%d ingress=%d drops=%d/%d conflicts=%d\n",
+				i, fs.EgressPackets, fs.IngressPackets,
+				fs.EgressDrops, fs.IngressDrops, fs.Conflicts)
+		}
+	}
+	if e := res.Experiment; e != nil {
+		fmt.Printf("sync=%s lps=%d nulls=%d barriers=%d cross_lp_packets=%d violations=%d eit_stalls=%d\n",
+			res.Spec.Sync, e.LPs, e.Nulls, e.Barriers, e.CrossPkts, e.Violations, e.EITStalls)
+		fmt.Printf("partition=%s cut_edges=%d cut_weight=%.1f active_channels=%d lp_load_imbalance=%.3f\n",
+			e.Partition, e.CutEdges, e.CutWeight, e.Channels, e.LoadImbalance)
+		if res.Spec.Sync == "timewarp" {
+			fmt.Printf("rollbacks=%d anti_messages=%d lazy_saved=%d gvt_advances=%d checkpoints=%d window_shrinks=%d window_grows=%d\n",
+				e.Rollbacks, e.AntiMessages, e.LazyCancelSaved, e.GVTAdvances,
+				e.Checkpoints, e.WindowShrinks, e.WindowGrows)
+		}
+		if res.Spec.Faults != "" {
+			fmt.Printf("fault_drops=%d route_drops=%d\n", m.FaultDrops, m.RouteDrops)
+		}
 	}
 }

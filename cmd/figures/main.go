@@ -16,26 +16,26 @@
 // Output is tab-separated series, one row per data point, mirroring the
 // figure's axes. Pass -dur/-load/-seed to vary the workload, and -quick to
 // shrink the sweep for smoke runs.
+//
+// Every run goes through the scenario API (internal/scenario): each sweep
+// point is a scenario.Spec, so any row here can be reproduced exactly by
+// POSTing the same spec to the simd server or passing the same flags to
+// approxsim. The -sync / -partition / -faults grammars come from
+// scenario.BindSweep — defined once, shared with every other front-end.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"approxsim/internal/core"
-	"approxsim/internal/des"
-	"approxsim/internal/flowsim"
-	"approxsim/internal/macro"
 	"approxsim/internal/metrics"
 	"approxsim/internal/nn"
 	"approxsim/internal/obs"
-	"approxsim/internal/packet"
 	"approxsim/internal/pdes"
+	"approxsim/internal/scenario"
 	"approxsim/internal/textplot"
-	"approxsim/internal/topology"
-	"approxsim/internal/traffic"
 )
 
 func main() {
@@ -47,18 +47,16 @@ func main() {
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		paper   = flag.Bool("paper-scale", false, "train the paper's 2x128 LSTM (slow)")
 		batches = flag.Int("batches", 400, "training batches for figs 4/5")
-		sync    = flag.String("sync", "nullmsg", "PDES synchronization for fig 1: nullmsg | barrier | timewarp")
-		part    = flag.String("partition", "contiguous", "PDES fabric placement for fig 1: contiguous | spine | mincut")
 		trace   = flag.String("trace", "", "fig 1: Chrome trace of the last sweep point to this file (open in Perfetto)")
-		faults  = flag.String("faults", "", "fig 1: fault schedule applied to every sweep point, e.g. 'link:tor0-spine1@1ms+500us,detect=50us'")
 	)
+	sweep := scenario.BindSweep(flag.CommandLine) // -sync, -partition, -faults (fig 1)
 	flag.Parse()
 	trainBatches = *batches
 
 	var err error
 	switch *fig {
 	case "1":
-		err = fig1(*durMS, *load, *seed, *quick, *sync, *part, *trace, *faults)
+		err = fig1(*durMS, *load, *seed, *quick, sweep, *trace)
 	case "4":
 		err = fig4(*durMS, *load, *seed, *paper)
 	case "5":
@@ -89,17 +87,9 @@ func main() {
 // from the shared metrics registry: every kernel, LP, switch, and stack in
 // the experiment reports through it, so the columns here are the same
 // aggregates a -metrics snapshot of the approxsim command would show.
-func fig1(durMS int, load float64, seed uint64, quick bool, sync, partition, tracePath, faultSpec string) error {
+func fig1(durMS int, load float64, seed uint64, quick bool, sweep *scenario.Flags, tracePath string) error {
 	if durMS == 0 {
 		durMS = 2
-	}
-	algo, err := pdes.ParseSyncAlgo(sync)
-	if err != nil {
-		return err
-	}
-	part, err := pdes.ParsePartitioner(partition)
-	if err != nil {
-		return err
 	}
 	sizes := []int{4, 8, 16, 32, 64}
 	lpsSet := []int{1, 2, 4, 8}
@@ -116,10 +106,11 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync, partition, tra
 			}
 		}
 	}
-	fmt.Printf("# Figure 1: leaf-spine scaling, sim-seconds per wall-second (sync=%v partition=%s)\n", algo, part.Name())
+	fmt.Printf("# Figure 1: leaf-spine scaling, sim-seconds per wall-second (sync=%s partition=%s)\n",
+		sweep.Sync, sweep.Partition)
 	header := "tors\tlps\tsim_per_wall\tevents\tsync_msgs\tcross_pkts\tchannels\trollbacks\tckpts\twin_shrink\twin_grow\tflows"
-	if faultSpec != "" {
-		fmt.Printf("# faults: %s\n", faultSpec)
+	if sweep.Faults != "" {
+		fmt.Printf("# faults: %s\n", sweep.Faults)
 		header += "\tfault_drops\troute_drops\tp99_fct"
 	}
 	fmt.Println(header)
@@ -127,28 +118,22 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync, partition, tra
 	var order []int
 	for i, c0 := range combos {
 		n, lps := c0.n, c0.lps
+		// Fault names (tor0, spine1, ...) resolve against each sweep point's
+		// own topology; scenario.Run re-parses the schedule per size.
+		sp := sweep.PDESSpec(n, lps, load, seed, float64(durMS))
 		reg := metrics.NewRegistry()
+		opts := []scenario.RunOption{scenario.WithRegistry(reg)}
 		// Tracing slows the run (and, under timewarp, changes the rollback
 		// pattern), so only the last sweep point is traced: the timing
 		// columns above it stay untouched.
-		popts := []pdes.Option{pdes.WithPartitioner(part)}
-		if faultSpec != "" {
-			// Fault names (tor0, spine1, ...) resolve against each sweep
-			// point's own topology, so the schedule is re-parsed per size.
-			sched, err := topology.ParseFaults(topology.DefaultLeafSpineConfig(n), faultSpec)
-			if err != nil {
-				return fmt.Errorf("-faults on the %d-ToR point: %w", n, err)
-			}
-			popts = append(popts, pdes.WithFaults(sched))
-		}
 		var tracer *obs.Tracer
 		if tracePath != "" && i == len(combos)-1 {
 			tracer = obs.New(obs.Options{Trace: true})
-			popts = append(popts, pdes.WithObs(tracer))
+			opts = append(opts, scenario.WithPDESOptions(pdes.WithObs(tracer)))
 		}
-		res, err := pdes.RunLeafSpineObserved(n, lps, load, des.Time(durMS)*des.Millisecond, seed, algo, reg, popts...)
+		res, err := scenario.Run(sp, opts...)
 		if err != nil {
-			return err
+			return fmt.Errorf("%d-ToR/%d-LP point: %w", n, lps, err)
 		}
 		if tracer != nil {
 			f, err := os.Create(tracePath)
@@ -164,15 +149,16 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync, partition, tra
 			}
 			fmt.Fprintf(os.Stderr, "figures: trace of %d-ToR/%d-LP run written to %s\n", n, lps, tracePath)
 		}
+		e := res.Experiment
 		snap := reg.Snapshot()
 		syncMsgs := snap.Counter("pdes", "null_messages") + snap.Counter("pdes", "barriers")
 		fmt.Printf("%d\t%d\t%.6g\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d",
-			n, lps, res.SimPerWall, snap.Counter("des", "events_executed"),
-			syncMsgs, snap.Counter("pdes", "cross_lp_packets"), res.Channels,
-			snap.Counter("pdes", "rollbacks"), res.Checkpoints,
-			res.WindowShrinks, res.WindowGrows, res.FlowsCompleted)
-		if faultSpec != "" {
-			fmt.Printf("\t%d\t%d\t%.6g", res.FaultDrops, res.RouteDrops, res.P99FCTSec)
+			n, lps, res.Perf.SimPerWall, snap.Counter("des", "events_executed"),
+			syncMsgs, snap.Counter("pdes", "cross_lp_packets"), e.Channels,
+			snap.Counter("pdes", "rollbacks"), e.Checkpoints,
+			e.WindowShrinks, e.WindowGrows, res.Metrics.Completed)
+		if sweep.Faults != "" {
+			fmt.Printf("\t%d\t%d\t%.6g", res.Metrics.FaultDrops, res.Metrics.RouteDrops, res.Metrics.P99FCTSec)
 		}
 		fmt.Println()
 		c, ok := curves[lps]
@@ -182,7 +168,7 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync, partition, tra
 			order = append(order, lps)
 		}
 		c.X = append(c.X, float64(n))
-		c.Y = append(c.Y, res.SimPerWall)
+		c.Y = append(c.Y, res.Perf.SimPerWall)
 	}
 	var series []textplot.Series
 	for _, lps := range order {
@@ -197,31 +183,41 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sync, partition, tra
 // trainBatches is settable from the command line (-batches).
 var trainBatches = 400
 
-// trainOnce runs the training pipeline shared by fig4/fig5: a 2-cluster
-// full-fidelity capture and a model fit.
-func trainOnce(durMS int, load float64, seed uint64, hidden, layers int, paperScale bool) (core.Config, *core.Models, error) {
-	cfg := core.Config{
-		Clusters: 2,
-		Duration: des.Time(durMS) * des.Millisecond,
-		Load:     load,
-		Seed:     seed,
+// closSpec is the shared clos-mode spec template the training and ablation
+// figures start from.
+func closSpec(clusters, durMS int, load float64, seed uint64) scenario.Spec {
+	return scenario.Spec{
+		Mode:      "full",
+		Topology:  scenario.Topology{Kind: "clos", Clusters: clusters},
+		Workload:  scenario.Workload{Load: load},
+		Seed:      seed,
+		HorizonMS: float64(durMS),
 	}
-	full, err := core.RunFull(cfg, true)
+}
+
+// trainOnce runs the training pipeline shared by fig4/fig5: a 2-cluster
+// full-fidelity capture and a model fit. It returns the capture spec (reuse
+// it, reseeded, for evaluation runs) alongside the models.
+func trainOnce(durMS int, load float64, seed uint64, hidden, layers int, paperScale bool) (scenario.Spec, *core.Models, error) {
+	sp := closSpec(2, durMS, load, seed)
+	sp.Capture = "cluster"
+	res, err := scenario.Run(sp)
 	if err != nil {
-		return cfg, nil, err
+		return sp, nil, err
 	}
 	opts := core.TrainOptions{
 		Hidden: hidden, Layers: layers,
 		NN:         nn.TrainConfig{LR: 0.02, Batches: trainBatches, Batch: 16, BPTT: 16, Seed: seed},
-		Macro:      macro.Config{},
 		Seed:       seed,
 		PaperScale: paperScale,
 	}
 	if paperScale {
 		opts.NN = nn.TrainConfig{Seed: seed} // paper defaults: lr 1e-4, 50k batches
 	}
-	models, err := core.TrainModels(full.Records, cfg.TopologyConfig(), opts)
-	return cfg, models, err
+	topoCfg := core.Config{Clusters: sp.Topology.Clusters}.TopologyConfig()
+	models, err := core.TrainModels(res.Run.Records, topoCfg, opts)
+	sp.Capture = ""
+	return sp, models, err
 }
 
 // fig4 reproduces Figure 4: the CDF of RTTs observed by hosts in the
@@ -231,28 +227,30 @@ func fig4(durMS int, load float64, seed uint64, paperScale bool) error {
 		durMS = 8
 	}
 	// Accuracy experiment: favor model capacity (2x32 LSTM by default).
-	cfg, models, err := trainOnce(durMS, load, seed, 32, 2, paperScale)
+	sp, models, err := trainOnce(durMS, load, seed, 32, 2, paperScale)
 	if err != nil {
 		return err
 	}
 	// Evaluate on a fresh seed so the model is not replaying its training
 	// workload.
-	cfg.Seed = seed + 1000
-	full, err := core.RunFull(cfg, false)
+	sp.Seed = seed + 1000
+	full, err := scenario.Run(sp)
 	if err != nil {
 		return err
 	}
-	hybrid, err := core.RunHybrid(cfg, models)
+	hySp := sp
+	hySp.Mode = "hybrid"
+	hybrid, err := scenario.Run(hySp, scenario.WithModels(models))
 	if err != nil {
 		return err
 	}
-	cmp, err := core.CompareRTT(full, hybrid, 128)
+	cmp, err := core.CompareRTT(full.Run, hybrid.Run, 128)
 	if err != nil {
 		return err
 	}
 	fmt.Println("# Figure 4: CDF of packet RTTs, ground truth vs approximation")
 	fmt.Printf("# KS distance: %.4f (full n=%d, approx n=%d)\n",
-		cmp.KS, full.RTTs.Len(), hybrid.RTTs.Len())
+		cmp.KS, full.Run.RTTs.Len(), hybrid.Run.RTTs.Len())
 	fmt.Println("series\trtt_seconds\tcdf")
 	var fx, fy, ax, ay []float64
 	for _, p := range cmp.Full {
@@ -282,7 +280,7 @@ func fig5(durMS int, load float64, seed uint64, quick bool, paperScale bool) err
 	// on one CPU core the micro model's size IS the speed/accuracy knob
 	// (paper section 7), so the speed figure uses the smallest model that
 	// still tracks the fabric.
-	_, models, err := trainOnce(durMS, load, seed, 16, 1, paperScale)
+	sp, models, err := trainOnce(durMS, load, seed, 16, 1, paperScale)
 	if err != nil {
 		return err
 	}
@@ -294,23 +292,22 @@ func fig5(durMS int, load float64, seed uint64, quick bool, paperScale bool) err
 	fmt.Println("clusters\tspeedup\tevent_ratio\tfull_wall_s\thybrid_wall_s\tfull_events\thybrid_events")
 	var xs, ys, es []float64
 	for _, c := range counts {
-		cfg := core.Config{
-			Clusters: c,
-			Duration: des.Time(durMS) * des.Millisecond,
-			Load:     load,
-			Seed:     seed + uint64(c),
-		}
-		sp, err := core.MeasureSpeedup(cfg, models)
+		// MeasureSpeedup interleaves the paired runs itself; the spec supplies
+		// the engine config so the workload matches the scenario exactly.
+		runSp := sp
+		runSp.Topology.Clusters = c
+		runSp.Seed = seed + uint64(c)
+		msp, err := core.MeasureSpeedup(runSp.EngineConfig(), models)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%d\t%.3f\t%.3f\t%.4f\t%.4f\t%d\t%d\n",
-			c, sp.Speedup, sp.EventRatio,
-			sp.FullWall.Seconds(), sp.HybridWall.Seconds(),
-			sp.FullEvents, sp.HybridEvents)
+			c, msp.Speedup, msp.EventRatio,
+			msp.FullWall.Seconds(), msp.HybridWall.Seconds(),
+			msp.FullEvents, msp.HybridEvents)
 		xs = append(xs, float64(c))
-		ys = append(ys, sp.Speedup)
-		es = append(es, sp.EventRatio)
+		ys = append(ys, msp.Speedup)
+		es = append(es, msp.EventRatio)
 	}
 	fmt.Println()
 	fmt.Print(textplot.Plot("speedup vs cluster count", []textplot.Series{
@@ -332,18 +329,19 @@ func figEvents(durMS int, load float64, seed uint64) error {
 	}
 	fmt.Println("# Ablation: scheduler events per simulation variant (4 clusters)")
 	fmt.Println("variant\tevents\tflows_completed")
-	cfg := core.Config{Clusters: 4, Duration: des.Time(durMS) * des.Millisecond, Load: load, Seed: seed}
-	full, err := core.RunFull(cfg, false)
+	sp := closSpec(4, durMS, load, seed)
+	full, err := scenario.Run(sp)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("full\t%d\t%d\n", full.Events, full.Summary.Completed)
-	hybrid, err := core.RunHybrid(cfg, models)
+	fmt.Printf("full\t%d\t%d\n", full.Perf.Events, full.Metrics.Completed)
+	sp.Mode = "hybrid"
+	hybrid, err := scenario.Run(sp, scenario.WithModels(models))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("hybrid\t%d\t%d\n", hybrid.Events, hybrid.Summary.Completed)
-	for i, fs := range hybrid.FabricStats {
+	fmt.Printf("hybrid\t%d\t%d\n", hybrid.Perf.Events, hybrid.Metrics.Completed)
+	for i, fs := range hybrid.Run.FabricStats {
 		fmt.Printf("# fabric %d: egress=%d ingress=%d drops=%d/%d conflicts=%d\n",
 			i, fs.EgressPackets, fs.IngressPackets, fs.EgressDrops, fs.IngressDrops, fs.Conflicts)
 	}
@@ -355,21 +353,22 @@ func figAlpha(durMS int, load float64, seed uint64) error {
 	if durMS == 0 {
 		durMS = 6
 	}
-	cfg := core.Config{Clusters: 2, Duration: des.Time(durMS) * des.Millisecond, Load: load, Seed: seed}
-	full, err := core.RunFull(cfg, true)
+	captureSp := closSpec(2, durMS, load, seed)
+	captureSp.Capture = "cluster"
+	capture, err := scenario.Run(captureSp)
 	if err != nil {
 		return err
 	}
-	evalCfg := cfg
-	evalCfg.Seed = seed + 1000
-	truth, err := core.RunFull(evalCfg, false)
+	evalSp := closSpec(2, durMS, load, seed+1000)
+	truth, err := scenario.Run(evalSp)
 	if err != nil {
 		return err
 	}
+	topoCfg := core.Config{Clusters: 2}.TopologyConfig()
 	fmt.Println("# Ablation: alpha (latency-loss weight) vs RTT accuracy")
 	fmt.Println("alpha\tks_distance")
 	for _, alpha := range []float64{0.1, 0.25, 0.5, 1.0} {
-		models, err := core.TrainModels(full.Records, cfg.TopologyConfig(), core.TrainOptions{
+		models, err := core.TrainModels(capture.Run.Records, topoCfg, core.TrainOptions{
 			Hidden: 24, Layers: 1,
 			NN:   nn.TrainConfig{LR: 0.02, Alpha: alpha, Batches: 300, Batch: 16, BPTT: 16, Seed: seed},
 			Seed: seed,
@@ -377,11 +376,13 @@ func figAlpha(durMS int, load float64, seed uint64) error {
 		if err != nil {
 			return err
 		}
-		hybrid, err := core.RunHybrid(evalCfg, models)
+		hySp := evalSp
+		hySp.Mode = "hybrid"
+		hybrid, err := scenario.Run(hySp, scenario.WithModels(models))
 		if err != nil {
 			return err
 		}
-		cmp, err := core.CompareRTT(truth, hybrid, 64)
+		cmp, err := core.CompareRTT(truth.Run, hybrid.Run, 64)
 		if err != nil {
 			return err
 		}
@@ -396,21 +397,22 @@ func figMacro(durMS int, load float64, seed uint64) error {
 	if durMS == 0 {
 		durMS = 6
 	}
-	cfg := core.Config{Clusters: 2, Duration: des.Time(durMS) * des.Millisecond, Load: load, Seed: seed}
-	full, err := core.RunFull(cfg, true)
+	captureSp := closSpec(2, durMS, load, seed)
+	captureSp.Capture = "cluster"
+	capture, err := scenario.Run(captureSp)
 	if err != nil {
 		return err
 	}
-	evalCfg := cfg
-	evalCfg.Seed = seed + 1000
-	truth, err := core.RunFull(evalCfg, false)
+	evalSp := closSpec(2, durMS, load, seed+1000)
+	truth, err := scenario.Run(evalSp)
 	if err != nil {
 		return err
 	}
+	topoCfg := core.Config{Clusters: 2}.TopologyConfig()
 	fmt.Println("# Ablation: macro-state feature on/off vs RTT accuracy")
 	fmt.Println("macro	ks_distance")
 	for _, noMacro := range []bool{false, true} {
-		models, err := core.TrainModels(full.Records, cfg.TopologyConfig(), core.TrainOptions{
+		models, err := core.TrainModels(capture.Run.Records, topoCfg, core.TrainOptions{
 			Hidden: 24, Layers: 1, NoMacro: noMacro,
 			NN:   nn.TrainConfig{LR: 0.02, Batches: 300, Batch: 16, BPTT: 16, Seed: seed},
 			Seed: seed,
@@ -418,11 +420,13 @@ func figMacro(durMS int, load float64, seed uint64) error {
 		if err != nil {
 			return err
 		}
-		hybrid, err := core.RunHybrid(evalCfg, models)
+		hySp := evalSp
+		hySp.Mode = "hybrid"
+		hybrid, err := scenario.Run(hySp, scenario.WithModels(models))
 		if err != nil {
 			return err
 		}
-		cmp, err := core.CompareRTT(truth, hybrid, 64)
+		cmp, err := core.CompareRTT(truth.Run, hybrid.Run, 64)
 		if err != nil {
 			return err
 		}
@@ -442,12 +446,14 @@ func figBlackBox(durMS int, load float64, seed uint64) error {
 	if durMS == 0 {
 		durMS = 5
 	}
-	cfg := core.Config{Clusters: 4, Duration: des.Time(durMS) * des.Millisecond, Load: load, Seed: seed}
-	fullC, err := core.RunFullWithCapture(cfg, core.CaptureCluster)
+	sp := closSpec(4, durMS, load, seed)
+	sp.Capture = "cluster"
+	fullC, err := scenario.Run(sp)
 	if err != nil {
 		return err
 	}
-	fullW, err := core.RunFullWithCapture(cfg, core.CaptureWholeNet)
+	sp.Capture = "wholenet"
+	fullW, err := scenario.Run(sp)
 	if err != nil {
 		return err
 	}
@@ -456,97 +462,73 @@ func figBlackBox(durMS int, load float64, seed uint64) error {
 		NN:   nn.TrainConfig{LR: 0.02, Batches: trainBatches, Batch: 16, BPTT: 16, Seed: seed},
 		Seed: seed,
 	}
-	mh, err := core.TrainModels(fullC.Records, cfg.TopologyConfig(), opts)
+	topoCfg := core.Config{Clusters: 4}.TopologyConfig()
+	mh, err := core.TrainModels(fullC.Run.Records, topoCfg, opts)
 	if err != nil {
 		return err
 	}
-	mb, err := core.TrainModels(fullW.Records, cfg.TopologyConfig(), opts)
+	mb, err := core.TrainModels(fullW.Run.Records, topoCfg, opts)
 	if err != nil {
 		return err
 	}
-	evalCfg := cfg
-	evalCfg.Seed = seed + 1000
-	truth, err := core.RunFull(evalCfg, false)
+	evalSp := closSpec(4, durMS, load, seed+1000)
+	truth, err := scenario.Run(evalSp)
 	if err != nil {
 		return err
 	}
-	hybrid, err := core.RunHybrid(evalCfg, mh)
+	hySp := evalSp
+	hySp.Mode = "hybrid"
+	hybrid, err := scenario.Run(hySp, scenario.WithModels(mh))
 	if err != nil {
 		return err
 	}
-	blackbox, err := core.RunBlackBox(evalCfg, mb)
+	bbSp := evalSp
+	bbSp.Mode = "blackbox"
+	blackbox, err := scenario.Run(bbSp, scenario.WithModels(mb))
 	if err != nil {
 		return err
 	}
-	ch, err := core.CompareRTT(truth, hybrid, 64)
+	ch, err := core.CompareRTT(truth.Run, hybrid.Run, 64)
 	if err != nil {
 		return err
 	}
-	cb, err := core.CompareRTT(truth, blackbox, 64)
+	cb, err := core.CompareRTT(truth.Run, blackbox.Run, 64)
 	if err != nil {
 		return err
 	}
 	fmt.Println("# Extension: per-cluster fabrics vs single black box (4 clusters)")
 	fmt.Println("variant\tevents\twall_s\tks_distance")
-	fmt.Printf("full\t%d\t%.4f\t0\n", truth.Events, truth.Wall.Seconds())
-	fmt.Printf("hybrid\t%d\t%.4f\t%.4f\n", hybrid.Events, hybrid.Wall.Seconds(), ch.KS)
-	fmt.Printf("blackbox\t%d\t%.4f\t%.4f\n", blackbox.Events, blackbox.Wall.Seconds(), cb.KS)
+	fmt.Printf("full\t%d\t%.4f\t0\n", truth.Perf.Events, truth.Perf.WallSeconds)
+	fmt.Printf("hybrid\t%d\t%.4f\t%.4f\n", hybrid.Perf.Events, hybrid.Perf.WallSeconds, ch.KS)
+	fmt.Printf("blackbox\t%d\t%.4f\t%.4f\n", blackbox.Perf.Events, blackbox.Perf.WallSeconds, cb.KS)
 	return nil
 }
 
 // figFlow contrasts the flow-level baseline with packet-level simulation:
-// events, wall time, and mean-FCT disagreement.
+// events, wall time, and mean-FCT disagreement. Same spec, two modes.
 func figFlow(durMS int, load float64, seed uint64) error {
 	if durMS == 0 {
 		durMS = 5
 	}
-	topoCfg := topology.DefaultClosConfig(2)
-	topo, err := topology.Build(des.NewKernel(), topoCfg)
+	sp := closSpec(2, durMS, load, seed)
+	sp.Mode = "fluid"
+	fluid, err := scenario.Run(sp)
 	if err != nil {
 		return err
 	}
-	hosts := make([]packet.HostID, len(topo.Hosts))
-	for i := range hosts {
-		hosts[i] = packet.HostID(i)
-	}
-	dur := des.Time(durMS) * des.Millisecond
-	specs, err := traffic.GenerateSpecs(traffic.Config{
-		Load: load, HostBandwidthBps: topoCfg.HostLink.BandwidthBps, Seed: seed,
-	}, hosts, dur)
+	// Packet-level run of the same workload; the long drain (3x horizon)
+	// mirrors the fluid engine's 4x-horizon completion window.
+	sp.Mode = "full"
+	sp.DrainMS = float64(3 * durMS)
+	pk, err := scenario.Run(sp)
 	if err != nil {
 		return err
 	}
-
-	// Fluid run.
-	fs := flowsim.New(topo)
-	for _, sp := range specs {
-		fs.Add(flowsim.Flow{ID: sp.ID, Src: sp.Src, Dst: sp.Dst, Size: sp.Size, Start: sp.At})
-	}
-	t0 := time.Now()
-	flows := fs.Run(dur * 4)
-	fluidWall := time.Since(t0)
-	var fluidFCT float64
-	var fluidDone int
-	for _, f := range flows {
-		if f.Completed() {
-			fluidFCT += f.FCT().Seconds()
-			fluidDone++
-		}
-	}
-	if fluidDone > 0 {
-		fluidFCT /= float64(fluidDone)
-	}
-
-	// Packet-level run of the same workload.
-	cfg := core.Config{Clusters: 2, Duration: dur, Drain: dur * 3, Load: load, Seed: seed}
-	pk, err := core.RunFull(cfg, false)
-	if err != nil {
-		return err
-	}
-
 	fmt.Println("# Ablation: flow-level (fluid) baseline vs packet-level simulation")
 	fmt.Println("engine\tevents\twall_s\tflows_done\tmean_fct_s")
-	fmt.Printf("fluid\t%d\t%.5f\t%d\t%.6g\n", fs.Events(), fluidWall.Seconds(), fluidDone, fluidFCT)
-	fmt.Printf("packet\t%d\t%.5f\t%d\t%.6g\n", pk.Events, pk.Wall.Seconds(), pk.Summary.Completed, pk.Summary.MeanFCT)
+	fmt.Printf("fluid\t%d\t%.5f\t%d\t%.6g\n",
+		fluid.Perf.Events, fluid.Perf.WallSeconds, fluid.Metrics.Completed, fluid.Metrics.MeanFCTSec)
+	fmt.Printf("packet\t%d\t%.5f\t%d\t%.6g\n",
+		pk.Perf.Events, pk.Perf.WallSeconds, pk.Metrics.Completed, pk.Metrics.MeanFCTSec)
 	return nil
 }

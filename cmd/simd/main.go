@@ -1,0 +1,84 @@
+// Command simd is the scenario server: simulation as a service. It accepts
+// serializable scenario specs over JSON/HTTP, schedules them on a bounded
+// worker pool, serves repeated specs bit-identically from a canonical-hash
+// result cache, and forks warmed baseline snapshots across the variants of a
+// sweep instead of cold-starting each one (see internal/server and
+// internal/scenario).
+//
+// Usage:
+//
+//	simd -addr :8080 -workers 4 -cache 256 -max-baselines 8
+//
+// Endpoints:
+//
+//	POST /v1/run    one scenario spec        -> {key, cached, fork_reused, metrics, perf}
+//	POST /v1/sweep  {"scenarios":[spec,...]} -> {results:[...], stats:{...}}
+//	GET  /v1/stats  service counters (requests, cache hits, pool builds/reuses)
+//	GET  /healthz   liveness probe
+//
+// Example — a three-variant fault sweep sharing one warmed baseline:
+//
+//	curl -s localhost:8080/v1/sweep -d '{"scenarios":[
+//	  {"mode":"pdes","topology":{"racks":8},"workload":{"load":0.5},"lps":2,"seed":7,"horizon_ms":4},
+//	  {"mode":"pdes","topology":{"racks":8},"workload":{"load":0.5},"lps":2,"seed":7,"horizon_ms":4,
+//	   "faults":"switch:spine0@1ms+500us,detect=50us"},
+//	  {"mode":"pdes","topology":{"racks":8},"workload":{"load":0.5},"lps":2,"seed":7,"horizon_ms":4,
+//	   "faults":"link:tor0-spine1@1ms+1ms,detect=400us"}]}'
+//
+// Re-POST any of those specs and the reply is served from cache with
+// byte-identical metrics ("cached":true).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"approxsim/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 2, "max concurrently executing simulations")
+		cacheSize    = flag.Int("cache", 256, "result cache capacity in entries (FIFO)")
+		maxBaselines = flag.Int("max-baselines", 8, "warmed pdes baselines retained for snapshot forking (FIFO)")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		CacheSize:    *cacheSize,
+		MaxBaselines: *maxBaselines,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "simd: listening on %s (workers=%d cache=%d baselines=%d)\n",
+		*addr, *workers, *cacheSize, *maxBaselines)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "simd:", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "simd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "simd: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

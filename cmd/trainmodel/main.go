@@ -16,8 +16,8 @@ import (
 	"os"
 
 	"approxsim/internal/core"
-	"approxsim/internal/des"
 	"approxsim/internal/nn"
+	"approxsim/internal/scenario"
 	"approxsim/internal/trace"
 )
 
@@ -45,17 +45,20 @@ func main() {
 func run(out, traceOut string, durMS int, load float64, seed uint64,
 	hidden, layers, batches, batch int, lr, alpha float64) error {
 
-	cfg := core.Config{
-		Clusters: 2,
-		Duration: des.Time(durMS) * des.Millisecond,
-		Load:     load,
-		Seed:     seed,
+	sp := scenario.Spec{
+		Mode:      "full",
+		Topology:  scenario.Topology{Kind: "clos", Clusters: 2},
+		Workload:  scenario.Workload{Load: load},
+		Seed:      seed,
+		HorizonMS: float64(durMS),
+		Capture:   "cluster",
 	}
 	fmt.Fprintf(os.Stderr, "capturing %dms of full-fidelity boundary traffic (2 clusters)...\n", durMS)
-	full, err := core.RunFull(cfg, true)
+	res, err := scenario.Run(sp)
 	if err != nil {
 		return err
 	}
+	full := res.Run
 	eg, ing := trace.Split(full.Records)
 	fmt.Fprintf(os.Stderr, "captured %d egress and %d ingress traversals (%d events, %.2fs wall)\n",
 		len(eg), len(ing), full.Events, full.Wall.Seconds())
@@ -77,7 +80,7 @@ func run(out, traceOut string, durMS int, load float64, seed uint64,
 
 	fmt.Fprintf(os.Stderr, "training %dx%d LSTMs (%d batches of %d windows)...\n",
 		layers, hidden, batches, batch)
-	models, err := core.TrainModels(full.Records, cfg.TopologyConfig(), core.TrainOptions{
+	models, err := core.TrainModels(full.Records, sp.EngineConfig().TopologyConfig(), core.TrainOptions{
 		Hidden: hidden, Layers: layers,
 		NN: nn.TrainConfig{
 			LR: lr, Alpha: alpha, Batches: batches, Batch: batch, BPTT: 16, Seed: seed,

@@ -6,14 +6,17 @@
 // switches) at full packet-level fidelity.
 //
 // The implementation is organized as one package per subsystem under
-// internal/ (see DESIGN.md for the inventory); internal/core exposes the
-// end-to-end workflow:
+// internal/ (see DESIGN.md for the inventory); internal/scenario exposes the
+// end-to-end workflow behind one serializable experiment description:
 //
-//	full, _ := core.RunFull(cfg, true)                    // capture training traces
-//	models, _ := core.TrainModels(full.Records, ...)      // fit macro + LSTM micro models
-//	hybrid, _ := core.RunHybrid(cfg, models)              // 1 real cluster + N-1 approximated
-//	cmp, _ := core.CompareRTT(full2, hybrid, 128)         // Fig. 4 accuracy
+//	sp := scenario.Spec{Mode: "full", Capture: "cluster", ...}
+//	full, _ := scenario.Run(sp)                           // capture training traces
+//	models, _ := core.TrainModels(full.Run.Records, ...)  // fit macro + LSTM micro models
+//	sp.Mode = "hybrid"                                    // 1 real cluster + N-1 approximated
+//	hybrid, _ := scenario.Run(sp, scenario.WithModels(models))
+//	cmp, _ := core.CompareRTT(truth.Run, hybrid.Run, 128) // Fig. 4 accuracy
 //
-// The benchmarks in bench_test.go regenerate every measured figure of the
+// The same Spec, as JSON, drives the cmd/simd scenario server. The
+// benchmarks in bench_test.go regenerate every measured figure of the
 // paper; cmd/figures prints the same series as data tables.
 package approxsim

@@ -15,31 +15,33 @@ import (
 	"log"
 
 	"approxsim/internal/core"
-	"approxsim/internal/des"
 	"approxsim/internal/nn"
+	"approxsim/internal/scenario"
 	"approxsim/internal/trace"
 )
 
 func main() {
 	// --- Step 1: full-fidelity training capture (2 clusters). ---
-	trainCfg := core.Config{
-		Clusters: 2,
-		Duration: 6 * des.Millisecond,
-		Load:     0.4,
-		Seed:     7,
+	trainSp := scenario.Spec{
+		Mode:      "full",
+		Topology:  scenario.Topology{Kind: "clos", Clusters: 2},
+		Workload:  scenario.Workload{Load: 0.4},
+		Seed:      7,
+		HorizonMS: 6,
+		Capture:   "cluster",
 	}
 	fmt.Println("step 1: capturing boundary traces from a 2-cluster full simulation...")
-	full, err := core.RunFull(trainCfg, true)
+	full, err := scenario.Run(trainSp)
 	if err != nil {
 		log.Fatal(err)
 	}
-	eg, ing := trace.Split(full.Records)
+	eg, ing := trace.Split(full.Run.Records)
 	fmt.Printf("  %d egress + %d ingress traversals captured (%.2fs wall)\n\n",
-		len(eg), len(ing), full.Wall.Seconds())
+		len(eg), len(ing), full.Perf.WallSeconds)
 
 	// --- Step 2: train the micro models. ---
 	fmt.Println("step 2: training ingress/egress LSTM micro models...")
-	models, err := core.TrainModels(full.Records, trainCfg.TopologyConfig(), core.TrainOptions{
+	models, err := core.TrainModels(full.Run.Records, trainSp.EngineConfig().TopologyConfig(), core.TrainOptions{
 		Hidden: 16, Layers: 1,
 		NN:   nn.TrainConfig{LR: 0.02, Batches: 300, Batch: 16, BPTT: 16, Seed: 7},
 		Seed: 7,
@@ -50,31 +52,34 @@ func main() {
 	fmt.Printf("  trained 2 models x %d parameters\n\n", models.Egress.NumParams())
 
 	// --- Step 3: at-scale comparison (8 clusters, held-out seed). ---
-	evalCfg := core.Config{
-		Clusters: 8,
-		Duration: 4 * des.Millisecond,
-		Load:     0.4,
-		Seed:     1007, // not the training workload
+	evalSp := scenario.Spec{
+		Mode:      "full",
+		Topology:  scenario.Topology{Kind: "clos", Clusters: 8},
+		Workload:  scenario.Workload{Load: 0.4},
+		Seed:      1007, // not the training workload
+		HorizonMS: 4,
 	}
 	fmt.Println("step 3: running 8 clusters fully vs hybrid (7 of 8 approximated)...")
-	truth, err := core.RunFull(evalCfg, false)
+	truth, err := scenario.Run(evalSp)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hybrid, err := core.RunHybrid(evalCfg, models)
+	hySp := evalSp
+	hySp.Mode = "hybrid"
+	hybrid, err := scenario.Run(hySp, scenario.WithModels(models))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("  full:   %8d events  %.3fs wall  %d flows completed\n",
-		truth.Events, truth.Wall.Seconds(), truth.Summary.Completed)
+		truth.Perf.Events, truth.Perf.WallSeconds, truth.Metrics.Completed)
 	fmt.Printf("  hybrid: %8d events  %.3fs wall  %d flows completed\n",
-		hybrid.Events, hybrid.Wall.Seconds(), hybrid.Summary.Completed)
+		hybrid.Perf.Events, hybrid.Perf.WallSeconds, hybrid.Metrics.Completed)
 	fmt.Printf("  event reduction: %.2fx   wall speedup: %.2fx\n",
-		float64(truth.Events)/float64(hybrid.Events),
-		truth.Wall.Seconds()/hybrid.Wall.Seconds())
+		float64(truth.Perf.Events)/float64(hybrid.Perf.Events),
+		truth.Perf.WallSeconds/hybrid.Perf.WallSeconds)
 
-	cmp, err := core.CompareRTT(truth, hybrid, 32)
+	cmp, err := core.CompareRTT(truth.Run, hybrid.Run, 32)
 	if err != nil {
 		log.Fatal(err)
 	}

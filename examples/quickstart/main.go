@@ -7,36 +7,38 @@ import (
 	"fmt"
 	"log"
 
-	"approxsim/internal/core"
-	"approxsim/internal/des"
+	"approxsim/internal/scenario"
 )
 
 func main() {
 	// Two clusters of the paper's shape (2 ToRs + 2 cluster switches,
 	// 8 servers each), 10 GbE links, web-search flow sizes, Poisson
-	// arrivals at 40% load for 5 virtual milliseconds.
-	cfg := core.Config{
-		Clusters: 2,
-		Duration: 5 * des.Millisecond,
-		Load:     0.4,
-		Seed:     42,
+	// arrivals at 40% load for 5 virtual milliseconds. The Spec is the
+	// library's universal experiment description — POST this same struct as
+	// JSON to the simd server and you get this same run.
+	sp := scenario.Spec{
+		Mode:      "full",
+		Topology:  scenario.Topology{Kind: "clos", Clusters: 2},
+		Workload:  scenario.Workload{Load: 0.4},
+		Seed:      42,
+		HorizonMS: 5,
 	}
 
-	res, err := core.RunFull(cfg, false)
+	res, err := scenario.Run(sp)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	s := res.Summary
-	fmt.Printf("simulated %v of datacenter time in %.3fs of wall time (%.1fx slower than real time)\n",
-		res.SimTime, res.Wall.Seconds(), 1/res.SimSecondsPerSecond())
-	fmt.Printf("scheduler events: %d\n", res.Events)
-	fmt.Printf("flows: %d started, %d completed\n", s.Flows, s.Completed)
-	fmt.Printf("mean FCT: %.3gms   p99 FCT: %.3gms\n", s.MeanFCT*1e3, s.P99FCT*1e3)
+	m, p := res.Metrics, res.Perf
+	fmt.Printf("simulated %.3gms of datacenter time in %.3fs of wall time (%.1fx slower than real time)\n",
+		p.SimSeconds*1e3, p.WallSeconds, 1/p.SimPerWall)
+	fmt.Printf("scheduler events: %d\n", p.Events)
+	fmt.Printf("flows: %d started, %d completed\n", m.Flows, m.Completed)
+	fmt.Printf("mean FCT: %.3gms   p99 FCT: %.3gms\n", m.MeanFCTSec*1e3, m.P99FCTSec*1e3)
 	fmt.Printf("goodput: %.2f Gb/s   retransmissions: %d   timeouts: %d\n",
-		s.GoodputBps/1e9, s.Retrans, s.Timeouts)
-	if res.RTTs.Len() > 0 {
+		m.GoodputBps/1e9, m.Retrans, m.Timeouts)
+	if m.RTTSamples > 0 {
 		fmt.Printf("RTTs observed by cluster-0 hosts: p50=%.1fus p99=%.1fus (n=%d)\n",
-			res.RTTs.Quantile(0.5)*1e6, res.RTTs.Quantile(0.99)*1e6, res.RTTs.Len())
+			m.RTTP50Sec*1e6, m.RTTP99Sec*1e6, m.RTTSamples)
 	}
 }

@@ -8,9 +8,16 @@
 // other seven clusters are model-approximated background. One training run
 // amortizes across the whole parameter sweep.
 //
-// Each sweep point also streams an interval metrics time series (tagged with
-// its buffer depth) to whatif_metrics.jsonl through core.Config — where the
-// summary table shows one aggregate per depth, the rows show how loss and
+// Each sweep point is a scenario.Spec run through scenario.Run — the same
+// serializable description a simd server request carries, so any row of
+// either sweep can be reproduced with a curl POST. The second study (failure
+// detection) runs its variants through a shared scenario.Pool: the healthy
+// baseline is simulated once, snapshotted, and every fault variant forks the
+// snapshot instead of cold-starting.
+//
+// Each buffer sweep point also streams an interval metrics time series
+// (tagged with its buffer depth) to whatif_metrics.jsonl — where the summary
+// table shows one aggregate per depth, the rows show how loss and
 // retransmission evolve within each run.
 package main
 
@@ -18,28 +25,33 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"time"
 
 	"approxsim/internal/core"
 	"approxsim/internal/des"
 	"approxsim/internal/metrics"
 	"approxsim/internal/nn"
-	"approxsim/internal/packet"
-	"approxsim/internal/pdes"
-	"approxsim/internal/topology"
+	"approxsim/internal/scenario"
 )
 
 const seriesPath = "whatif_metrics.jsonl"
 
 func main() {
 	// One training pass on the small configuration.
-	trainCfg := core.Config{Clusters: 2, Duration: 5 * des.Millisecond, Load: 0.5, Seed: 3}
+	trainSp := scenario.Spec{
+		Mode:      "full",
+		Topology:  scenario.Topology{Kind: "clos", Clusters: 2},
+		Workload:  scenario.Workload{Load: 0.5},
+		Seed:      3,
+		HorizonMS: 5,
+		Capture:   "cluster",
+	}
 	fmt.Println("training models once (2-cluster full-fidelity capture)...")
-	full, err := core.RunFull(trainCfg, true)
+	full, err := scenario.Run(trainSp)
 	if err != nil {
 		log.Fatal(err)
 	}
-	models, err := core.TrainModels(full.Records, trainCfg.TopologyConfig(), core.TrainOptions{
+	topoCfg := core.Config{Clusters: 2}.TopologyConfig()
+	models, err := core.TrainModels(full.Run.Records, topoCfg, core.TrainOptions{
 		Hidden: 16, Layers: 1,
 		NN:   nn.TrainConfig{LR: 0.02, Batches: 300, Batch: 16, BPTT: 16, Seed: 3},
 		Seed: 3,
@@ -58,31 +70,32 @@ func main() {
 	fmt.Printf("%14s %12s %14s %12s %10s\n",
 		"buffer", "mean FCT", "p99 FCT", "retransmits", "wall")
 	for _, frames := range []int64{4, 8, 16, 32, 64} {
-		topoCfg := topology.DefaultClosConfig(8)
-		topoCfg.FabricLink.QueueBytes = frames * packet.MaxFrameSize
-		topoCfg.CoreLink.QueueBytes = frames * packet.MaxFrameSize
-		cfg := core.Config{
-			Topology: &topoCfg,
-			Clusters: 8,
-			Duration: 4 * des.Millisecond,
-			Load:     0.5,
-			Seed:     1003, // evaluation workload, not the training one
+		sp := scenario.Spec{
+			Mode:      "hybrid",
+			Topology:  scenario.Topology{Kind: "clos", Clusters: 8, QueueFrames: frames},
+			Workload:  scenario.Workload{Load: 0.5},
+			Seed:      1003, // evaluation workload, not the training one
+			HorizonMS: 4,
+		}
+		reg := metrics.NewRegistry()
+		tag := fmt.Sprintf("buffer=%dpkt", frames)
+		res, err := scenario.Run(sp,
+			scenario.WithModels(models),
+			scenario.WithRegistry(reg),
 			// Interval telemetry: one tagged row per virtual millisecond of
 			// this sweep point, appended to the shared JSONL file.
-			Metrics:         metrics.NewRegistry(),
-			MetricsInterval: des.Millisecond,
-			MetricsWriter:   series,
-			MetricsTag:      fmt.Sprintf("buffer=%dpkt", frames),
-		}
-		start := time.Now()
-		res, err := core.RunHybrid(cfg, models)
+			scenario.WithCoreConfig(func(cfg *core.Config) {
+				cfg.MetricsInterval = des.Millisecond
+				cfg.MetricsWriter = series
+				cfg.MetricsTag = tag
+			}))
 		if err != nil {
 			log.Fatal(err)
 		}
-		snap := cfg.Metrics.Snapshot()
+		snap := reg.Snapshot()
 		fmt.Printf("%10d pkt %10.3fms %12.3fms %12d %9.2fs  (drops=%d)\n",
-			frames, res.Summary.MeanFCT*1e3, res.Summary.P99FCT*1e3,
-			res.Summary.Retrans, time.Since(start).Seconds(),
+			frames, res.Metrics.MeanFCTSec*1e3, res.Metrics.P99FCTSec*1e3,
+			res.Metrics.Retrans, res.Perf.WallSeconds,
 			snap.Counter("netsim", "drops"))
 	}
 	fmt.Println("\neach sweep point reuses the same trained background models;")
@@ -98,44 +111,47 @@ func main() {
 // every packet sent there blackholes. The sweep varies only the detection
 // delay — the outage itself, the workload, and the seed are fixed — so the
 // fault-drop and completed-flow columns isolate the cost of slow failure
-// detection. The schedule is declarative (parsed up front, like the
-// workload), so the same study reproduces bit-identically under any sync
-// algorithm or LP count.
+// detection.
+//
+// Because the specs differ only in their fault schedule they share a baseline
+// key, and the shared Pool simulates the fabric once: the first variant
+// builds and snapshots the baseline system, the rest fork the snapshot and
+// replay only their own outage (the "fork" column). The schedule is
+// declarative, so the same study reproduces bit-identically under any sync
+// algorithm or LP count — or cold, without the pool.
 func faultStudy() {
-	const (
-		tors = 8
-		lps  = 2
-		load = 0.5
-		seed = uint64(1003)
-		// Long horizon: flows whose early segments blackhole recover by
-		// retransmission timeout, so the damage only shows up if the run
-		// drains well past the outage.
-		dur = 40 * des.Millisecond
-	)
 	fmt.Println("\nsweep: failure-detection delay under a 3ms spine-switch outage @ 8 ToRs")
-	fmt.Printf("%12s %12s %12s %12s %12s\n",
-		"detect", "fault drops", "completed", "mean FCT", "p99 FCT")
+	fmt.Printf("%12s %12s %12s %12s %12s %6s\n",
+		"detect", "fault drops", "completed", "mean FCT", "p99 FCT", "fork")
+	pool := scenario.NewPool(1)
 	for _, detect := range []string{"", "50us", "400us", "1ms"} {
-		var opts []pdes.Option
+		sp := scenario.Spec{
+			Mode:     "pdes",
+			Topology: scenario.Topology{Kind: "leafspine", Racks: 8},
+			Workload: scenario.Workload{Load: 0.5},
+			LPs:      2,
+			Seed:     1003,
+			// Long horizon: flows whose early segments blackhole recover by
+			// retransmission timeout, so the damage only shows up if the run
+			// drains well past the outage.
+			HorizonMS: 40,
+		}
 		label := "(healthy)"
 		if detect != "" {
 			label = detect
-			spec := fmt.Sprintf("switch:spine0@2ms+3ms,detect=%s,jitter=20us", detect)
-			sched, err := topology.ParseFaults(topology.DefaultLeafSpineConfig(tors), spec)
-			if err != nil {
-				log.Fatal(err)
-			}
-			opts = append(opts, pdes.WithFaults(sched))
+			sp.Faults = fmt.Sprintf("switch:spine0@2ms+3ms,detect=%s,jitter=20us", detect)
 		}
-		res, err := pdes.RunLeafSpineSync(tors, lps, load, dur, seed, pdes.NullMessages, opts...)
+		res, err := scenario.Run(sp, scenario.WithPool(pool))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%12s %12d %8d/%-3d %10.3fms %10.3fms\n",
-			label, res.FaultDrops, res.FlowsCompleted, res.FlowsStarted,
-			res.MeanFCTSec*1e3, res.P99FCTSec*1e3)
+		fmt.Printf("%12s %12d %8d/%-3d %10.3fms %10.3fms %6v\n",
+			label, res.Metrics.FaultDrops, res.Metrics.Completed, res.Metrics.Flows,
+			res.Metrics.MeanFCTSec*1e3, res.Metrics.P99FCTSec*1e3, res.Perf.ForkReused)
 	}
+	st := pool.Stats()
 	fmt.Println("\nthe outage and the workload are identical down the column; only the")
 	fmt.Println("per-switch detection delay moves the blackhole window. FCT columns")
 	fmt.Println("cover completed flows only — the damage is in the completed count.")
+	fmt.Printf("snapshot pool: %d baseline build(s), %d fork reuse(s)\n", st.Builds, st.Reuses)
 }

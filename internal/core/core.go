@@ -251,6 +251,12 @@ func workloadConfig(cfg Config, topo *topology.Topology) traffic.Config {
 // RunFull executes the configured experiment in full packet-level fidelity.
 // When captureBoundary is true, the observed cluster's fabric traversals are
 // recorded for training.
+//
+// Deprecated: front-ends (cmd/, examples/, services) should describe the
+// experiment as a scenario.Spec and call scenario.Run, which validates the
+// configuration, hashes it for result caching, and dispatches here — direct
+// calls bypass all three. This function remains as the mode="full" engine
+// behind scenario.Run (scenario imports core, so the engine cannot call up).
 func RunFull(cfg Config, captureBoundary bool) (*RunResult, error) {
 	cfg = cfg.withDefaults()
 	k, topo, stacks, err := buildNetwork(cfg)
@@ -369,6 +375,10 @@ func TrainModels(records []trace.Record, topoCfg topology.Config, opts TrainOpti
 // RunHybrid executes the experiment with every cluster except the observed
 // one replaced by an approximated fabric (paper Fig. 3). Traffic wholly
 // between approximated clusters is elided from the flow schedule (§6.2).
+//
+// Deprecated: call scenario.Run with a mode="hybrid" Spec (plus
+// scenario.WithModels for in-process bundles) instead; see RunFull. This
+// function remains as the engine behind scenario.Run.
 func RunHybrid(cfg Config, models *Models) (*RunResult, error) {
 	cfg = cfg.withDefaults()
 	if models == nil || models.Egress == nil || models.Ingress == nil {

@@ -1,0 +1,136 @@
+package pdes
+
+import (
+	"fmt"
+
+	"approxsim/internal/des"
+)
+
+// Whole-system checkpoint/restore for scenario forking.
+//
+// A warmed (or merely built) System can be checkpointed once and restored
+// many times: each restore rewinds every LP's kernel (clock, heap, counters)
+// and every registered saver (switches, hosts, ports, TCP stacks) to the
+// checkpoint, after which Run produces bit-identical committed results to a
+// cold start of the same configuration. This is the snapshot layer Time Warp
+// uses for rollback (state.go), promoted to a system-wide primitive so a
+// scenario service can fork one baseline into many what-if variants instead
+// of rebuilding and replaying the common prefix per variant.
+//
+// The contract mirrors lpSnapshot's: state is written back IN PLACE into the
+// same kernel Event and device objects (handle identity is load-bearing — see
+// des.Kernel.Restore), and the checkpoint stays pristine across restores.
+
+// SystemState is a whole-system checkpoint taken at quiescence: before the
+// first Run, or after a Run has returned. It must never be taken mid-run.
+type SystemState struct {
+	lps []forkLPState
+}
+
+// forkLPState is one LP's share of a SystemState.
+type forkLPState struct {
+	kstate *des.KernelState
+	blobs  []any
+}
+
+// At returns the virtual time of the checkpoint (the minimum kernel clock
+// across LPs; at quiescence all clocks agree).
+func (st *SystemState) At() des.Time {
+	min := des.MaxTime
+	for _, l := range st.lps {
+		if t := l.kstate.Now(); t < min {
+			min = t
+		}
+	}
+	if min == des.MaxTime {
+		return 0
+	}
+	return min
+}
+
+// Checkpoint captures the entire system — every LP's kernel plus every
+// registered saver — at quiescence. Only the conservative engines support it:
+// Time Warp owns the snapshot machinery for its own rollback protocol, and a
+// restored optimistic run would also need its processed/output logs rewound.
+func (s *System) Checkpoint() (*SystemState, error) {
+	if s.cfg.algo == TimeWarp {
+		return nil, fmt.Errorf("pdes: Checkpoint supports the conservative engines only (got timewarp)")
+	}
+	st := &SystemState{lps: make([]forkLPState, 0, len(s.lps))}
+	for _, lp := range s.lps {
+		fs := forkLPState{kstate: lp.kernel.Snapshot(savePacketCtx)}
+		for _, sv := range lp.savers {
+			fs.blobs = append(fs.blobs, sv.SaveState())
+		}
+		st.lps = append(st.lps, fs)
+	}
+	return st, nil
+}
+
+// Restore rewinds the system to a checkpoint taken by Checkpoint on this same
+// system. After it returns, Run re-executes from the checkpoint's virtual
+// time and commits results bit-identical to a fresh build run to the same
+// horizon (the fork determinism tests prove this). The checkpoint stays
+// pristine and may be restored again.
+//
+// Restore must only be called at quiescence. Sync-protocol counters (nulls,
+// stalls, cross-LP packets) are NOT rewound — they account machinery, not
+// simulation state; diff Stats() around a forked run via Stats.Sub. Kernel
+// event counters and device/TCP counters ARE part of the checkpoint.
+func (s *System) Restore(st *SystemState) error {
+	if s.cfg.algo == TimeWarp {
+		return fmt.Errorf("pdes: Restore supports the conservative engines only (got timewarp)")
+	}
+	if len(st.lps) != len(s.lps) {
+		return fmt.Errorf("pdes: checkpoint has %d LPs, system has %d", len(st.lps), len(s.lps))
+	}
+	for i, lp := range s.lps {
+		fs := &st.lps[i]
+		if len(fs.blobs) != len(lp.savers) {
+			return fmt.Errorf("pdes: LP %d checkpoint has %d savers, live LP has %d",
+				i, len(fs.blobs), len(lp.savers))
+		}
+		lp.kernel.Restore(fs.kstate, restorePacketCtx)
+		for j, sv := range lp.savers {
+			sv.RestoreState(fs.blobs[j])
+		}
+		// Per-run channel state: promises made during a previous run exceed
+		// anything the restored run will re-announce, so they must be
+		// forgotten (runNull/runBarrier also reset them at run entry; doing it
+		// here keeps a restored system consistent even before Run).
+		for _, o := range lp.outs {
+			o.lastSent = 0
+		}
+		// At quiescence nothing is in flight; drain defensively so a stray
+		// message can never leak into the forked run.
+		for len(lp.inbox) > 0 {
+			<-lp.inbox
+		}
+	}
+	return nil
+}
+
+// Sub returns s - base, field by field: the counter deltas attributable to
+// one run when counters accumulate across forked runs on a shared system.
+// Kernel event counts are restored with the checkpoint, so the base must be
+// sampled AFTER Restore for the Events delta to be meaningful.
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{
+		Events:           s.Events - base.Events,
+		Nulls:            s.Nulls - base.Nulls,
+		Barriers:         s.Barriers - base.Barriers,
+		CrossPkts:        s.CrossPkts - base.CrossPkts,
+		Violations:       s.Violations - base.Violations,
+		EITStalls:        s.EITStalls - base.EITStalls,
+		PostHorizonDrops: s.PostHorizonDrops - base.PostHorizonDrops,
+		Rollbacks:        s.Rollbacks - base.Rollbacks,
+		AntiMessages:     s.AntiMessages - base.AntiMessages,
+		RolledBackEvents: s.RolledBackEvents - base.RolledBackEvents,
+		GVTAdvances:      s.GVTAdvances - base.GVTAdvances,
+		LazyCancelSaved:  s.LazyCancelSaved - base.LazyCancelSaved,
+		WindowShrinks:    s.WindowShrinks - base.WindowShrinks,
+		WindowGrows:      s.WindowGrows - base.WindowGrows,
+		Checkpoints:      s.Checkpoints - base.Checkpoints,
+		QuiescentSends:   s.QuiescentSends - base.QuiescentSends,
+	}
+}

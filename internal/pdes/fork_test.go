@@ -1,0 +1,234 @@
+package pdes
+
+import (
+	"sort"
+	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/packet"
+	"approxsim/internal/tcp"
+	"approxsim/internal/topology"
+	"approxsim/internal/traffic"
+)
+
+// forkSpecs generates the shared workload the fork tests run.
+func forkSpecs(t *testing.T, cfg topology.Config, dur des.Time, seed uint64) []traffic.FlowSpec {
+	t.Helper()
+	hosts := make([]packet.HostID, cfg.ToRsPerCluster*cfg.ServersPerToR)
+	for i := range hosts {
+		hosts[i] = packet.HostID(i)
+	}
+	specs, err := traffic.GenerateSpecs(traffic.Config{
+		Load:             0.3,
+		HostBandwidthBps: cfg.HostLink.BandwidthBps,
+		Seed:             seed,
+	}, hosts, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+// sortedFlows canonicalizes a result set for exact comparison.
+func sortedFlows(rs []tcp.FlowResult) []tcp.FlowResult {
+	out := append([]tcp.FlowResult(nil), rs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].FlowID < out[j].FlowID })
+	return out
+}
+
+// mustEqualFlows asserts two runs committed bit-identical flow outcomes.
+func mustEqualFlows(t *testing.T, label string, a, b []tcp.FlowResult) {
+	t.Helper()
+	a, b = sortedFlows(a), sortedFlows(b)
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d flows vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: flow %d differs:\n cold %+v\n fork %+v", label, a[i].FlowID, a[i], b[i])
+		}
+	}
+}
+
+// TestForkMatchesColdStart proves the tentpole property: restoring a t=0
+// checkpoint of a dynamically-faultable build and applying a variant's fault
+// schedule commits flow results bit-identical to a cold start built with that
+// schedule baked in — for the healthy variant and a faulted one, across
+// multiple restores of the same pristine checkpoint.
+func TestForkMatchesColdStart(t *testing.T) {
+	const (
+		tors = 4
+		lps  = 2
+		seed = 7
+		dur  = 2 * des.Millisecond
+	)
+	cfg := topology.DefaultLeafSpineConfig(tors)
+	specs := forkSpecs(t, cfg, dur, seed)
+	sched, err := topology.ParseFaults(cfg, "switch:spine0@500us+600us,detect=50us,jitter=10us")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := func(opts ...Option) *LeafSpine {
+		ls, err := BuildLeafSpineWorkload(cfg, lps, specs, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ls.Sys.Run(dur); err != nil {
+			t.Fatal(err)
+		}
+		return ls
+	}
+	healthy := cold()
+	faulted := cold(WithFaults(sched))
+	if healthy.FaultDrops() != 0 {
+		t.Fatalf("healthy cold run recorded %d fault drops", healthy.FaultDrops())
+	}
+
+	// One dynamically-faultable baseline, checkpointed at t=0.
+	base, err := BuildLeafSpineWorkload(cfg, lps, specs, WithDynamicFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := base.Sys.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.At() != 0 {
+		t.Fatalf("t=0 checkpoint stamped at %v", ckpt.At())
+	}
+
+	for round := 0; round < 2; round++ {
+		// Faulted variant.
+		if err := base.Sys.Restore(ckpt); err != nil {
+			t.Fatal(err)
+		}
+		if err := base.SetFaults(sched); err != nil {
+			t.Fatal(err)
+		}
+		pre := base.Sys.Stats()
+		if err := base.Sys.Run(dur); err != nil {
+			t.Fatal(err)
+		}
+		delta := base.Sys.Stats().Sub(pre)
+		if delta.Violations != 0 {
+			t.Fatalf("round %d: %d causality violations", round, delta.Violations)
+		}
+		mustEqualFlows(t, "faulted fork", faulted.Results(), base.Results())
+		if got, want := base.FaultDrops(), faulted.FaultDrops(); got != want {
+			t.Fatalf("round %d: fork fault drops %d, cold %d", round, got, want)
+		}
+
+		// Healthy variant from the same pristine checkpoint.
+		if err := base.Sys.Restore(ckpt); err != nil {
+			t.Fatal(err)
+		}
+		if err := base.SetFaults(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := base.Sys.Run(dur); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualFlows(t, "healthy fork", healthy.Results(), base.Results())
+		if base.FaultDrops() != 0 {
+			t.Fatalf("round %d: healthy fork recorded %d fault drops", round, base.FaultDrops())
+		}
+	}
+}
+
+// TestWarmCheckpointFork proves the named-warm-point path: a single-LP
+// baseline run healthy to a warm point, checkpointed, then continued under a
+// fault schedule whose first fault lies beyond the warm point, commits results
+// bit-identical to a cold faulted run over the whole horizon.
+func TestWarmCheckpointFork(t *testing.T) {
+	const (
+		tors = 4
+		seed = 11
+		warm = 1 * des.Millisecond
+		dur  = 3 * des.Millisecond
+	)
+	cfg := topology.DefaultLeafSpineConfig(tors)
+	specs := forkSpecs(t, cfg, dur, seed)
+	sched, err := topology.ParseFaults(cfg, "switch:spine1@1500us+500us,detect=40us")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldLS, err := BuildLeafSpineWorkload(cfg, 1, specs, WithFaults(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coldLS.Sys.Run(dur); err != nil {
+		t.Fatal(err)
+	}
+
+	warmLS, err := BuildLeafSpineWorkload(cfg, 1, specs, WithDynamicFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warmLS.Sys.Run(warm); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := warmLS.Sys.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.At() != warm {
+		t.Fatalf("warm checkpoint stamped at %v, want %v", ckpt.At(), warm)
+	}
+	for round := 0; round < 2; round++ {
+		if err := warmLS.Sys.Restore(ckpt); err != nil {
+			t.Fatal(err)
+		}
+		if err := warmLS.SetFaults(sched); err != nil {
+			t.Fatal(err)
+		}
+		if err := warmLS.Sys.Run(dur); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualFlows(t, "warm fork", coldLS.Results(), warmLS.Results())
+		if got, want := warmLS.FaultDrops(), coldLS.FaultDrops(); got != want {
+			t.Fatalf("round %d: warm-fork fault drops %d, cold %d", round, got, want)
+		}
+	}
+}
+
+// TestSetFaultsRequiresDynamicBuild locks in the configuration error.
+func TestSetFaultsRequiresDynamicBuild(t *testing.T) {
+	cfg := topology.DefaultLeafSpineConfig(4)
+	specs := forkSpecs(t, cfg, des.Millisecond, 3)
+	ls, err := BuildLeafSpineWorkload(cfg, 2, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := topology.ParseFaults(cfg, "switch:spine0@100us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.SetFaults(sched); err == nil {
+		t.Fatal("SetFaults on a static build should fail")
+	}
+	if err := ls.SetFaults(nil); err != nil {
+		t.Fatalf("clearing faults should always succeed: %v", err)
+	}
+}
+
+// TestCheckpointRejectsTimeWarp: the optimistic engine owns its own snapshot
+// machinery; the system-level fork is conservative-only.
+func TestCheckpointRejectsTimeWarp(t *testing.T) {
+	s := NewSystem(2, WithSyncAlgo(TimeWarp))
+	if _, err := s.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint under Time Warp should fail")
+	}
+	c := NewSystem(2)
+	st, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(st); err == nil {
+		t.Fatal("Restore under Time Warp should fail")
+	}
+	if err := c.Restore(&SystemState{}); err == nil {
+		t.Fatal("Restore with mismatched LP count should fail")
+	}
+}

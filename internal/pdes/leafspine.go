@@ -286,6 +286,8 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 		nicCfg.QueueBytes = min
 	}
 
+	dyn := ls.Sys.cfg.dynFaults
+
 	// Host <-> ToR: always same LP.
 	for h, host := range ls.Hosts {
 		t := h / perRack
@@ -295,7 +297,12 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 		if err := ls.Sys.Connect(lp, nic, lp, tp, host, ls.ToRs[t], 0); err != nil {
 			return nil, err
 		}
-		wireLinkFaults(sched, host.NodeID(), ls.ToRs[t].NodeID(), nic, tp)
+		if dyn {
+			down := ls.dynLinkDown(host.NodeID(), ls.ToRs[t].NodeID())
+			nic.Down, tp.Down = down, down
+		} else {
+			wireLinkFaults(sched, host.NodeID(), ls.ToRs[t].NodeID(), nic, tp)
+		}
 	}
 	// ToR <-> spine: cross-LP when partitions differ. Port layout matches
 	// the topology package: ToR uplink s at port perRack+s; spine port t
@@ -321,11 +328,29 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 			if err := ls.Sys.Connect(tLP, up, sLP, spine.Port(t), tor, spine, lookahead); err != nil {
 				return nil, err
 			}
-			wireLinkFaults(sched, tor.NodeID(), spine.NodeID(), up, spine.Port(t))
+			if dyn {
+				down := ls.dynLinkDown(tor.NodeID(), spine.NodeID())
+				up.Down, spine.Port(t).Down = down, down
+			} else {
+				wireLinkFaults(sched, tor.NodeID(), spine.NodeID(), up, spine.Port(t))
+			}
 		}
 	}
-	wireSwitchFaults(sched, func(id packet.NodeID) *netsim.Switch { return ls.switchByID(id) })
-	if !sched.Empty() {
+	if dyn {
+		// Every switch reads the CURRENT schedule; untouched elements pay one
+		// Empty() check per event. Fault trace instants are skipped — they are
+		// kernel events, and baking them into a checkpoint would pin one
+		// variant's schedule into every fork (see WithDynamicFaults).
+		for _, sw := range ls.ToRs {
+			sw.Down = ls.dynSwitchDown(sw.NodeID())
+		}
+		for _, sw := range ls.Spines {
+			sw.Down = ls.dynSwitchDown(sw.NodeID())
+		}
+	} else {
+		wireSwitchFaults(sched, func(id packet.NodeID) *netsim.Switch { return ls.switchByID(id) })
+	}
+	if !sched.Empty() && !dyn {
 		// Fail/detect/recover trace instants, as ordinary events on each
 		// involved switch's own LP (see topology.ScheduleFaultInstants).
 		for i := 0; i < lps; i++ {
@@ -352,7 +377,7 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 	// Skipped entirely under a fault schedule: failure rerouting moves flows
 	// onto spines the healthy analysis proved idle (LimitChannels would
 	// reject the call anyway — see its fault guard).
-	if len(specs) > 0 && lps > 1 && sched.Empty() {
+	if len(specs) > 0 && lps > 1 && sched.Empty() && !dyn {
 		active := make([]bool, lps*lps)
 		mark := func(a, b int) {
 			if a != b {
@@ -376,6 +401,42 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 		}
 	}
 	return ls, nil
+}
+
+// dynLinkDown returns a down-state closure that consults the topology's
+// CURRENT fault schedule (swappable via SetFaults) instead of capturing one.
+func (ls *LeafSpine) dynLinkDown(a, b packet.NodeID) func(des.Time) bool {
+	return func(at des.Time) bool {
+		s := ls.faults
+		return !s.Empty() && s.PathDown(a, b, at)
+	}
+}
+
+// dynSwitchDown is dynLinkDown's receive-side counterpart for whole-switch
+// failures.
+func (ls *LeafSpine) dynSwitchDown(id packet.NodeID) func(des.Time) bool {
+	return func(at des.Time) bool {
+		s := ls.faults
+		return !s.Empty() && s.SwitchDown(id, at)
+	}
+}
+
+// SetFaults swaps the topology's fault schedule. Only legal between runs (at
+// quiescence) on a topology built with WithDynamicFaults; the conservative
+// engines re-read the schedule through the dynamic down closures and the
+// failure-aware router on the next Run. nil clears the schedule (healthy).
+func (ls *LeafSpine) SetFaults(sched *faults.Schedule) error {
+	if sched == nil {
+		sched = &faults.Schedule{}
+	}
+	if err := sched.Validate(); err != nil {
+		return err
+	}
+	if !sched.Empty() && !ls.Sys.cfg.dynFaults {
+		return fmt.Errorf("pdes: SetFaults needs a topology built with WithDynamicFaults")
+	}
+	ls.faults = sched
+	return nil
 }
 
 // wireLinkFaults installs the down-state closure on both real ports of a
@@ -544,6 +605,10 @@ type ExperimentResult struct {
 	// flow completed.
 	MeanFCTSec float64
 	P99FCTSec  float64
+	// Transport summary over completed flows (see traffic.Summarize).
+	Retrans    uint64
+	Timeouts   uint64
+	GoodputBps float64
 	// Placement summary (see PartitionStats).
 	Partition     string
 	CutEdges      int
@@ -573,12 +638,6 @@ func RunLeafSpineObserved(n, lps int, load float64, dur des.Time, seed uint64,
 	algo SyncAlgo, reg *metrics.Registry, opts ...Option) (*ExperimentResult, error) {
 
 	cfg := topology.DefaultLeafSpineConfig(n)
-	// The workload is generated BEFORE the build and handed to it: the
-	// partitioning graph is weighted with the exact per-link packet counts
-	// ECMP will pin these flows to, and provably idle cross-LP channels are
-	// marked quiescent. Scheduling the same specs afterwards keeps the
-	// declared and actual workloads identical — the soundness condition of
-	// both analyses.
 	hosts := make([]packet.HostID, n*cfg.ServersPerToR)
 	for i := range hosts {
 		hosts[i] = packet.HostID(i)
@@ -591,24 +650,53 @@ func RunLeafSpineObserved(n, lps int, load float64, dur des.Time, seed uint64,
 	if err != nil {
 		return nil, err
 	}
-	ls, err := BuildLeafSpine(cfg, lps, append([]Option{WithSyncAlgo(algo), withWorkload(specs)}, opts...)...)
+	return RunLeafSpineSpecs(cfg, lps, specs, dur, algo, reg, opts...)
+}
+
+// RunLeafSpineSpecs is the explicit-workload variant of RunLeafSpineObserved:
+// the caller supplies the pre-generated flow schedule (any pattern or size
+// distribution) instead of the default uniform web-search workload. The
+// scenario layer routes every pdes cold start through here.
+func RunLeafSpineSpecs(cfg topology.Config, lps int, specs []traffic.FlowSpec, dur des.Time,
+	algo SyncAlgo, reg *metrics.Registry, opts ...Option) (*ExperimentResult, error) {
+
+	ls, err := BuildLeafSpineWorkload(cfg, lps, specs, append([]Option{WithSyncAlgo(algo)}, opts...)...)
 	if err != nil {
 		return nil, err
 	}
 	if reg != nil {
 		ls.RegisterMetrics(reg)
 	}
-	ls.Schedule(specs)
-
 	start := time.Now()
 	if err := ls.Sys.Run(dur); err != nil {
 		return nil, err
 	}
-	wall := time.Since(start)
+	return ls.AssembleResult(ls.Sys.Stats(), len(specs), dur, time.Since(start)), nil
+}
 
-	st := ls.Sys.Stats()
+// BuildLeafSpineWorkload builds the topology AND installs specs as both the
+// declared workload (partition-graph weighting, channel quiescence) and the
+// scheduled one. Using a single entry point for both keeps the declared and
+// actual workloads identical — the soundness condition of both analyses —
+// which is why the declaration option itself stays unexported.
+func BuildLeafSpineWorkload(cfg topology.Config, lps int, specs []traffic.FlowSpec, opts ...Option) (*LeafSpine, error) {
+	ls, err := BuildLeafSpine(cfg, lps, append([]Option{withWorkload(specs)}, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	ls.Schedule(specs)
+	return ls, nil
+}
+
+// AssembleResult reduces a finished run to an ExperimentResult. st carries
+// the sync-machinery counters to report: a fresh system passes Sys.Stats()
+// directly; a forked run (see System.Restore) passes the delta against the
+// post-restore baseline, Sys.Stats().Sub(base), since those counters
+// accumulate across runs while device and TCP counters rewind with the
+// checkpoint.
+func (ls *LeafSpine) AssembleResult(st Stats, flowsStarted int, dur des.Time, wall time.Duration) *ExperimentResult {
 	res := &ExperimentResult{
-		ToRs: n, LPs: lps,
+		ToRs: ls.Cfg.ToRsPerCluster, LPs: ls.Sys.NumLPs(),
 		SimSeconds:      dur.Seconds(),
 		WallSeconds:     wall.Seconds(),
 		Events:          st.Events,
@@ -625,7 +713,7 @@ func RunLeafSpineObserved(n, lps int, load float64, dur des.Time, seed uint64,
 		WindowShrinks:   st.WindowShrinks,
 		WindowGrows:     st.WindowGrows,
 		QuiescentSends:  st.QuiescentSends,
-		FlowsStarted:    len(specs),
+		FlowsStarted:    flowsStarted,
 		Partition:       ls.Partition.Name,
 		CutEdges:        ls.Partition.CutEdges,
 		CutWeight:       ls.Partition.CutWeight,
@@ -639,7 +727,10 @@ func RunLeafSpineObserved(n, lps int, load float64, dur des.Time, seed uint64,
 	res.FlowsCompleted = sum.Completed
 	res.MeanFCTSec = sum.MeanFCT
 	res.P99FCTSec = sum.P99FCT
+	res.Retrans = sum.Retrans
+	res.Timeouts = sum.Timeouts
+	res.GoodputBps = sum.GoodputBps
 	res.FaultDrops = ls.FaultDrops()
 	res.RouteDrops = ls.RouteDrops()
-	return res, nil
+	return res
 }

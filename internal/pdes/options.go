@@ -80,6 +80,7 @@ type config struct {
 	partitioner     Partitioner
 	workload        []traffic.FlowSpec
 	faults          *faults.Schedule
+	dynFaults       bool
 }
 
 func defaultConfig() config {
@@ -243,6 +244,17 @@ func withWorkload(specs []traffic.FlowSpec) Option {
 // and LP counts — the property TestDeterminismProperty checks with a nonempty
 // schedule. A nil or empty schedule is the healthy default.
 func WithFaults(s *faults.Schedule) Option { return func(c *config) { c.faults = s } }
+
+// WithDynamicFaults builds the topology so its fault schedule can be swapped
+// between runs (LeafSpine.SetFaults) instead of being baked in at
+// construction. Every link and switch gets a down-state closure that reads
+// the CURRENT schedule — an empty schedule costs one nil-check per transmit —
+// which is what lets a checkpointed baseline (System.Checkpoint) be restored
+// and re-run under a different fault schedule without rebuilding. The price:
+// channel quiescence is never applied (the active-channel set depends on the
+// schedule) and fault trace instants are not scheduled (they would be baked
+// into the checkpoint). Committed flow results are unaffected by either.
+func WithDynamicFaults() Option { return func(c *config) { c.dynFaults = true } }
 
 // WithStallTimeout arms the deadlock watchdog: if the committed-time
 // frontier makes no progress for d of wall-clock time while Run is active,

@@ -550,6 +550,14 @@ func (s *System) runNull(end des.Time) {
 		for _, in := range lp.inputs {
 			lp.lastRecv[in] = 0
 		}
+		// Promises are per-run state: a previous run to an earlier horizon (or
+		// a checkpoint restore — see fork.go) left lastSent at that run's final
+		// promises, which exceed anything this run announces early on. Stale
+		// marks would suppress the null messages the receivers' fresh lastRecv
+		// now waits for, deadlocking the protocol.
+		for _, o := range lp.outs {
+			o.lastSent = 0
+		}
 	}
 	if n == 1 {
 		s.lps[0].kernel.Run(end)
@@ -866,6 +874,9 @@ func (s *System) runBarrier(end des.Time) {
 	for _, lp := range s.lps {
 		lp.end = end
 		lp.lastRecv = make([]des.Time, n)
+		for _, o := range lp.outs {
+			o.lastSent = 0 // per-run state, as in runNull
+		}
 	}
 	if n == 1 {
 		s.lps[0].kernel.Run(end)

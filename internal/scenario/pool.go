@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"approxsim/internal/faults"
+	"approxsim/internal/pdes"
+	"approxsim/internal/topology"
+)
+
+// Pool holds warmed pdes baselines keyed by BaselineKey — the spec hash with
+// the fault schedule cleared. The first run of a family (same topology,
+// workload, sync, partition, seed, horizon, warm point) builds a
+// dynamically-faultable system, optionally runs it healthy to the named warm
+// point, and checkpoints it; every subsequent family member restores that
+// checkpoint and applies only its own fault delta, skipping the build and the
+// shared prefix entirely. The fork determinism tests in internal/pdes prove
+// the forked results are bit-identical to cold starts, which is what lets the
+// server's cache treat forked and cold runs interchangeably.
+type Pool struct {
+	mu        sync.Mutex
+	max       int
+	baselines map[string]*baseline
+	order     []string // FIFO eviction order
+	builds    uint64
+	reuses    uint64
+}
+
+// baseline is one warmed system and its pristine checkpoint. Its mutex
+// serializes variant runs — forks share the one underlying System — while
+// different baselines run concurrently.
+type baseline struct {
+	mu    sync.Mutex
+	cfg   topology.Config
+	ls    *pdes.LeafSpine
+	ckpt  *pdes.SystemState
+	flows int // flow specs scheduled (FlowsStarted for every variant)
+}
+
+// NewPool creates a pool retaining at most max baselines (FIFO eviction;
+// max < 1 means 1). Safe for concurrent use.
+func NewPool(max int) *Pool {
+	if max < 1 {
+		max = 1
+	}
+	return &Pool{max: max, baselines: make(map[string]*baseline)}
+}
+
+// PoolStats reports the pool's activity counters.
+type PoolStats struct {
+	// Baselines is the number of warmed systems currently retained.
+	Baselines int `json:"baselines"`
+	// Builds counts cold baseline constructions (cache misses).
+	Builds uint64 `json:"baseline_builds"`
+	// Reuses counts runs served by forking an existing baseline.
+	Reuses uint64 `json:"fork_reuses"`
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Baselines: len(p.baselines), Builds: p.builds, Reuses: p.reuses}
+}
+
+// acquire returns the baseline entry for key, creating (and FIFO-evicting)
+// under the pool lock. The entry's own lock is NOT held on return.
+func (p *Pool) acquire(key string) *baseline {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.baselines[key]; ok {
+		return b
+	}
+	b := &baseline{}
+	p.baselines[key] = b
+	p.order = append(p.order, key)
+	if len(p.order) > p.max {
+		// Evict the oldest. A goroutine mid-run on the evicted baseline keeps
+		// its pointer and finishes normally; the system just leaves the pool.
+		delete(p.baselines, p.order[0])
+		p.order = p.order[1:]
+	}
+	return b
+}
+
+// run executes a pdes-mode spec by forking the family baseline (building it
+// first if this is the family's first run). Called by Run for eligible specs;
+// sp is normalized and validated.
+func (p *Pool) run(sp Spec, res *Result) error {
+	key, err := sp.BaselineKey()
+	if err != nil {
+		return err
+	}
+	b := p.acquire(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	forked := b.ckpt != nil
+	if !forked {
+		if err := b.build(sp); err != nil {
+			// Leave the empty entry in place: the next family member simply
+			// retries the build.
+			return err
+		}
+	}
+	p.mu.Lock()
+	if forked {
+		p.reuses++
+	} else {
+		p.builds++
+	}
+	p.mu.Unlock()
+
+	if err := b.ls.Sys.Restore(b.ckpt); err != nil {
+		return err
+	}
+	var sched *faults.Schedule
+	if sp.Faults != "" {
+		if sched, err = topology.ParseFaults(b.cfg, sp.Faults); err != nil {
+			return err
+		}
+	}
+	if err := b.ls.SetFaults(sched); err != nil {
+		return err
+	}
+	// Counters accumulate across forks on the shared system; the base must be
+	// sampled after Restore (which rewinds kernel event counts with the
+	// checkpoint) for the deltas to belong to this run alone.
+	base := b.ls.Sys.Stats()
+	start := time.Now()
+	if err := b.ls.Sys.Run(sp.horizon()); err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	r := b.ls.AssembleResult(b.ls.Sys.Stats().Sub(base), b.flows, sp.horizon(), wall)
+	if err := checkExperiment(r); err != nil {
+		return err
+	}
+	res.Experiment, res.Metrics, res.Perf = r, metricsFromExperiment(r), perfFromExperiment(r, forked)
+	return nil
+}
+
+// build constructs and warms the family baseline from its first member's
+// spec. Baseline identity covers every fault-independent spec field, so any
+// member's spec yields the same baseline.
+func (b *baseline) build(sp Spec) error {
+	cfg := sp.topologyConfig()
+	specs, err := sp.flowSpecs(cfg)
+	if err != nil {
+		return err
+	}
+	algo, err := pdes.ParseSyncAlgo(sp.Sync)
+	if err != nil {
+		return err
+	}
+	if algo == pdes.TimeWarp {
+		return fmt.Errorf("scenario: the baseline pool supports the conservative engines only")
+	}
+	part, err := pdes.ParsePartitioner(sp.Partition)
+	if err != nil {
+		return err
+	}
+	ls, err := pdes.BuildLeafSpineWorkload(cfg, sp.LPs, specs,
+		pdes.WithDynamicFaults(), pdes.WithSyncAlgo(algo), pdes.WithPartitioner(part))
+	if err != nil {
+		return err
+	}
+	// Warm the baseline healthily to the named warm point (Validate pins
+	// warm runs to one LP and every fault strictly after the warm point).
+	if warm := sp.warm(); warm > 0 {
+		if err := ls.Sys.Run(warm); err != nil {
+			return err
+		}
+	}
+	ckpt, err := ls.Sys.Checkpoint()
+	if err != nil {
+		return err
+	}
+	b.cfg, b.ls, b.ckpt, b.flows = cfg, ls, ckpt, len(specs)
+	return nil
+}

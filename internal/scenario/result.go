@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"approxsim/internal/core"
+	"approxsim/internal/pdes"
+)
+
+// Metrics is the deterministic block of a result: identical specs produce
+// bit-identical Metrics regardless of engine placement, sync algorithm,
+// whether the run was cold-started or forked from a warmed baseline, or how
+// long it took on the wall clock. The scenario server caches exactly these
+// bytes, so nothing timing-dependent may ever live here — wall time, event
+// counts (forked runs skip fault trace instants), and sync-protocol counters
+// all go in Perf.
+type Metrics struct {
+	Flows      int     `json:"flows"`
+	Completed  int     `json:"completed"`
+	MeanFCTSec float64 `json:"mean_fct_sec"`
+	P99FCTSec  float64 `json:"p99_fct_sec"`
+	TotalBytes int64   `json:"total_bytes"`
+	Retrans    uint64  `json:"retransmissions"`
+	Timeouts   uint64  `json:"timeouts"`
+	GoodputBps float64 `json:"goodput_bps"`
+	// RTT quantiles over the observed cluster's hosts (clos modes only).
+	RTTSamples int     `json:"rtt_samples,omitempty"`
+	RTTP50Sec  float64 `json:"rtt_p50_sec,omitempty"`
+	RTTP99Sec  float64 `json:"rtt_p99_sec,omitempty"`
+	// Blackholed-traffic accounting (pdes mode under a fault schedule).
+	FaultDrops uint64 `json:"fault_drops,omitempty"`
+	RouteDrops uint64 `json:"route_drops,omitempty"`
+}
+
+// Perf is the non-deterministic block: how the run performed, not what it
+// computed. Never cached, never compared.
+type Perf struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	SimPerWall  float64 `json:"sim_per_wall"`
+	Events      uint64  `json:"events"`
+	// ForkReused reports that this run restored an already-warmed baseline
+	// from the Pool instead of building and replaying its own.
+	ForkReused bool `json:"fork_reused,omitempty"`
+	// Sync-protocol counters (pdes mode; deltas for forked runs).
+	Nulls     uint64 `json:"null_messages,omitempty"`
+	Barriers  uint64 `json:"barriers,omitempty"`
+	CrossPkts uint64 `json:"cross_lp_packets,omitempty"`
+}
+
+// Result is the outcome of Run.
+type Result struct {
+	// Spec is the normalized spec that ran.
+	Spec Spec `json:"spec"`
+	// Key is the spec's canonical hash.
+	Key     string  `json:"key"`
+	Metrics Metrics `json:"metrics"`
+	Perf    Perf    `json:"perf"`
+
+	// Engine-native results for callers that need more than the summary
+	// (RTT CDFs, boundary captures, fabric stats, partition layout). Exactly
+	// one is non-nil, per mode; neither serializes.
+	Run        *core.RunResult        `json:"-"`
+	Experiment *pdes.ExperimentResult `json:"-"`
+}
+
+// metricsFromRun reduces a clos-mode engine result to the deterministic block.
+func metricsFromRun(r *core.RunResult) Metrics {
+	s := r.Summary
+	m := Metrics{
+		Flows:      s.Flows,
+		Completed:  s.Completed,
+		MeanFCTSec: s.MeanFCT,
+		P99FCTSec:  s.P99FCT,
+		TotalBytes: s.TotalBytes,
+		Retrans:    s.Retrans,
+		Timeouts:   s.Timeouts,
+		GoodputBps: s.GoodputBps,
+	}
+	if r.RTTs != nil && r.RTTs.Len() > 0 {
+		m.RTTSamples = r.RTTs.Len()
+		m.RTTP50Sec = r.RTTs.Quantile(0.5)
+		m.RTTP99Sec = r.RTTs.Quantile(0.99)
+	}
+	return m
+}
+
+// metricsFromExperiment reduces a pdes-mode result to the deterministic block.
+func metricsFromExperiment(r *pdes.ExperimentResult) Metrics {
+	return Metrics{
+		Flows:      r.FlowsStarted,
+		Completed:  r.FlowsCompleted,
+		MeanFCTSec: r.MeanFCTSec,
+		P99FCTSec:  r.P99FCTSec,
+		Retrans:    r.Retrans,
+		Timeouts:   r.Timeouts,
+		GoodputBps: r.GoodputBps,
+		FaultDrops: r.FaultDrops,
+		RouteDrops: r.RouteDrops,
+	}
+}
+
+// perfFromRun reduces a clos-mode engine result to the performance block.
+func perfFromRun(r *core.RunResult) Perf {
+	return Perf{
+		WallSeconds: r.Wall.Seconds(),
+		SimSeconds:  r.SimTime.Seconds(),
+		SimPerWall:  r.SimSecondsPerSecond(),
+		Events:      r.Events,
+	}
+}
+
+// perfFromExperiment reduces a pdes-mode result to the performance block.
+func perfFromExperiment(r *pdes.ExperimentResult, forked bool) Perf {
+	return Perf{
+		WallSeconds: r.WallSeconds,
+		SimSeconds:  r.SimSeconds,
+		SimPerWall:  r.SimPerWall,
+		Events:      r.Events,
+		ForkReused:  forked,
+		Nulls:       r.Nulls,
+		Barriers:    r.Barriers,
+		CrossPkts:   r.CrossPkts,
+	}
+}

@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// mustMetricsJSON canonicalizes a Metrics block for bit-level comparison —
+// the same bytes the server would cache.
+func mustMetricsJSON(t *testing.T, m Metrics) string {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestPooledForkMatchesCold is the tentpole's end-to-end determinism check at
+// the scenario layer: variants of one fault-sweep family run through the Pool
+// (sharing a forked baseline) must produce Metrics bit-identical to cold
+// starts of the same specs, and the pool must report the reuse.
+func TestPooledForkMatchesCold(t *testing.T) {
+	family := Spec{
+		Mode:      "pdes",
+		Topology:  Topology{Racks: 4},
+		Workload:  Workload{Load: 0.3},
+		LPs:       2,
+		Seed:      7,
+		HorizonMS: 2,
+	}
+	variants := []string{
+		"",
+		"switch:spine0@500us+600us,detect=50us,jitter=10us",
+		"link:tor0-spine1@400us+800us,detect=40us",
+	}
+	pool := NewPool(4)
+	for i, faults := range variants {
+		sp := family
+		sp.Faults = faults
+		cold, err := Run(sp)
+		if err != nil {
+			t.Fatalf("variant %d cold: %v", i, err)
+		}
+		pooled, err := Run(sp, WithPool(pool))
+		if err != nil {
+			t.Fatalf("variant %d pooled: %v", i, err)
+		}
+		if got, want := mustMetricsJSON(t, pooled.Metrics), mustMetricsJSON(t, cold.Metrics); got != want {
+			t.Fatalf("variant %d: pooled metrics diverge from cold start:\n pooled %s\n cold   %s", i, got, want)
+		}
+		if wantFork := i > 0; pooled.Perf.ForkReused != wantFork {
+			t.Fatalf("variant %d: ForkReused = %v, want %v", i, pooled.Perf.ForkReused, wantFork)
+		}
+		if cold.Perf.ForkReused {
+			t.Fatalf("variant %d: cold run claims a fork", i)
+		}
+	}
+	st := pool.Stats()
+	if st.Builds != 1 || st.Reuses != uint64(len(variants)-1) || st.Baselines != 1 {
+		t.Fatalf("pool stats = %+v, want 1 build, %d reuses, 1 baseline", st, len(variants)-1)
+	}
+}
+
+// TestPooledWarmPointMatchesCold covers the warm-fork path end to end: the
+// baseline simulates healthily to warm_ms once; both variants fork it there.
+func TestPooledWarmPointMatchesCold(t *testing.T) {
+	family := Spec{
+		Mode:      "pdes",
+		Topology:  Topology{Racks: 4},
+		Workload:  Workload{Load: 0.3},
+		LPs:       1,
+		Seed:      11,
+		HorizonMS: 3,
+		WarmMS:    1,
+	}
+	pool := NewPool(4)
+	for i, faults := range []string{
+		"switch:spine1@1500us+500us,detect=40us",
+		"switch:spine0@1200us+300us,detect=60us",
+	} {
+		sp := family
+		sp.Faults = faults
+		cold, err := Run(sp)
+		if err != nil {
+			t.Fatalf("variant %d cold: %v", i, err)
+		}
+		pooled, err := Run(sp, WithPool(pool))
+		if err != nil {
+			t.Fatalf("variant %d pooled: %v", i, err)
+		}
+		if got, want := mustMetricsJSON(t, pooled.Metrics), mustMetricsJSON(t, cold.Metrics); got != want {
+			t.Fatalf("variant %d: warm fork diverges from cold start:\n pooled %s\n cold   %s", i, got, want)
+		}
+	}
+	if st := pool.Stats(); st.Reuses != 1 {
+		t.Fatalf("pool stats = %+v, want exactly 1 reuse", st)
+	}
+}
+
+// TestRunDeterminism: identical specs produce bit-identical Metrics on
+// repeated cold runs, for every engine mode that needs no trained models.
+func TestRunDeterminism(t *testing.T) {
+	specs := map[string]Spec{
+		"full":  {Mode: "full", HorizonMS: 1, Workload: Workload{Load: 0.3}, Seed: 5},
+		"fluid": {Mode: "fluid", HorizonMS: 1, Workload: Workload{Load: 0.3}, Seed: 5},
+		"pdes":  {Mode: "pdes", HorizonMS: 1, Workload: Workload{Load: 0.3}, Seed: 5, LPs: 2},
+	}
+	for name, sp := range specs {
+		t.Run(name, func(t *testing.T) {
+			a, err := Run(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ja, jb := mustMetricsJSON(t, a.Metrics), mustMetricsJSON(t, b.Metrics); ja != jb {
+				t.Fatalf("two runs of one spec diverge:\n %s\n %s", ja, jb)
+			}
+			if a.Key != b.Key || a.Key == "" {
+				t.Fatalf("keys: %q vs %q", a.Key, b.Key)
+			}
+			if a.Metrics.Flows == 0 || a.Metrics.Completed == 0 {
+				t.Fatalf("degenerate run: %+v", a.Metrics)
+			}
+		})
+	}
+}
+
+// TestRunRejectsInvalid: Run refuses a spec Validate refuses.
+func TestRunRejectsInvalid(t *testing.T) {
+	if _, err := Run(Spec{Mode: "pdes", Sync: "lockstep"}); err == nil {
+		t.Fatal("Run accepted an invalid spec")
+	}
+	if _, err := Run(Spec{Mode: "hybrid"}); err == nil {
+		t.Fatal("hybrid without models must fail")
+	}
+}
+
+// TestPoolEviction: the FIFO cap holds and evicted families rebuild.
+func TestPoolEviction(t *testing.T) {
+	pool := NewPool(1)
+	a := Spec{Mode: "pdes", Topology: Topology{Racks: 4}, Workload: Workload{Load: 0.3}, LPs: 1, Seed: 1, HorizonMS: 1}
+	b := a
+	b.Seed = 2
+	for _, sp := range []Spec{a, b, a} { // a evicted by b, then rebuilt
+		if _, err := Run(sp, WithPool(pool)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pool.Stats()
+	if st.Baselines != 1 {
+		t.Fatalf("retained %d baselines with max 1", st.Baselines)
+	}
+	if st.Builds != 3 || st.Reuses != 0 {
+		t.Fatalf("stats %+v, want 3 builds 0 reuses", st)
+	}
+}
+
+// TestPoolIneligibleFallsCold: timewarp and registry/option-carrying runs
+// bypass the pool rather than corrupting a shared baseline.
+func TestPoolIneligibleFallsCold(t *testing.T) {
+	pool := NewPool(2)
+	sp := Spec{Mode: "pdes", Topology: Topology{Racks: 4}, Workload: Workload{Load: 0.3},
+		LPs: 2, Seed: 3, HorizonMS: 1, Sync: "timewarp"}
+	res, err := Run(sp, WithPool(pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Perf.ForkReused {
+		t.Fatal("timewarp run claims a fork")
+	}
+	if st := pool.Stats(); st.Builds != 0 {
+		t.Fatalf("timewarp run touched the pool: %+v", st)
+	}
+}

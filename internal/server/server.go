@@ -1,0 +1,329 @@
+// Package server exposes the scenario library as a long-running simulation
+// service: POST a scenario.Spec as JSON, get its deterministic metrics back.
+//
+// The server exists for the sweep workflow the paper motivates — many what-if
+// variants of one baseline — and exploits determinism twice:
+//
+//   - Result cache: results are keyed by the spec's canonical hash and the
+//     cached value is the marshalled metrics bytes themselves, so a repeated
+//     spec is served bit-identically without re-simulating. In-flight
+//     deduplication (one runner per key, followers wait) extends the same
+//     guarantee to concurrent duplicates.
+//   - Snapshot-fork reuse: pdes-mode specs run through a scenario.Pool, so a
+//     fault sweep's variants fork one warmed baseline instead of each
+//     cold-starting (see internal/scenario).
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/run    one scenario.Spec        -> RunResponse
+//	POST /v1/sweep  {"scenarios":[Spec,...]} -> SweepResponse
+//	GET  /v1/stats  service counters (requests, cache, pool, workers)
+//	GET  /healthz   liveness probe
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"approxsim/internal/scenario"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers bounds concurrently executing simulations (default 2). Requests
+	// beyond it queue; duplicates of an in-flight spec never occupy a worker.
+	Workers int
+	// CacheSize bounds the result cache in entries (default 256, FIFO).
+	CacheSize int
+	// MaxBaselines bounds the warmed-baseline pool (default 8, FIFO).
+	MaxBaselines int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxBaselines <= 0 {
+		c.MaxBaselines = 8
+	}
+	return c
+}
+
+// Server is the scenario service. Create with New, serve via Handler.
+type Server struct {
+	cfg  Config
+	pool *scenario.Pool
+	sem  chan struct{} // worker slots
+
+	mu       sync.Mutex
+	cache    map[string]*entry // key -> completed result
+	order    []string          // FIFO eviction order
+	inflight map[string]*entry // key -> running computation
+
+	requests  atomic.Uint64
+	cacheHits atomic.Uint64
+	runs      atomic.Uint64
+	errors    atomic.Uint64
+}
+
+// entry is one spec's computed (or in-flight) result. Completed entries are
+// immutable: metrics holds the exact bytes every future hit is served.
+type entry struct {
+	done    chan struct{}
+	metrics json.RawMessage
+	perf    scenario.Perf
+	err     error
+}
+
+// New creates a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		pool:     scenario.NewPool(cfg.MaxBaselines),
+		sem:      make(chan struct{}, cfg.Workers),
+		cache:    make(map[string]*entry),
+		inflight: make(map[string]*entry),
+	}
+}
+
+// RunResponse is the per-scenario reply.
+type RunResponse struct {
+	// Key is the spec's canonical hash — the cache identity.
+	Key string `json:"key"`
+	// Cached reports the metrics were served from the result cache (or from
+	// an in-flight duplicate) rather than a fresh simulation.
+	Cached bool `json:"cached"`
+	// ForkReused reports the fresh simulation forked a warmed baseline
+	// (never set on cached replies; the perf block is the runner's).
+	ForkReused bool `json:"fork_reused,omitempty"`
+	// Metrics is the deterministic result block, byte-identical for every
+	// response with the same key.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+	// Perf describes the run that produced the metrics (fresh runs only).
+	Perf *scenario.Perf `json:"perf,omitempty"`
+	// Error is set instead of Metrics when the scenario failed.
+	Error string `json:"error,omitempty"`
+}
+
+// SweepResponse is the /v1/sweep reply: per-scenario results in request
+// order, plus a stats snapshot taken after the sweep.
+type SweepResponse struct {
+	Results []RunResponse `json:"results"`
+	Stats   Stats         `json:"stats"`
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Requests     uint64             `json:"requests"`
+	CacheHits    uint64             `json:"cache_hits"`
+	CacheEntries int                `json:"cache_entries"`
+	Runs         uint64             `json:"runs"`
+	Errors       uint64             `json:"errors"`
+	Workers      int                `json:"workers"`
+	Pool         scenario.PoolStats `json:"pool"`
+}
+
+// Handler returns the service's http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	entries := len(s.cache)
+	s.mu.Unlock()
+	return Stats{
+		Requests:     s.requests.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		CacheEntries: entries,
+		Runs:         s.runs.Load(),
+		Errors:       s.errors.Load(),
+		Workers:      s.cfg.Workers,
+		Pool:         s.pool.Stats(),
+	}
+}
+
+// decodeSpec parses and vets one spec from a request body decoder. Unknown
+// fields are rejected: a typo'd field would otherwise be silently dropped
+// from the canonical form and alias the request onto the wrong cache key.
+func decodeSpec(dec *json.Decoder) (scenario.Spec, error) {
+	var sp scenario.Spec
+	if err := dec.Decode(&sp); err != nil {
+		return sp, fmt.Errorf("bad scenario JSON: %w", err)
+	}
+	if err := sp.Validate(); err != nil {
+		return sp, err
+	}
+	if sp.Capture != "" {
+		// Boundary captures are in-memory training artifacts; they have no
+		// JSON representation and no business being cached.
+		return sp, fmt.Errorf("capture is not available over the scenario service")
+	}
+	return sp, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	sp, err := decodeSpec(dec)
+	if err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, RunResponse{Error: err.Error()})
+		return
+	}
+	resp := s.execute(sp)
+	status := http.StatusOK
+	if resp.Error != "" {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Scenarios []json.RawMessage `json:"scenarios"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, RunResponse{Error: fmt.Sprintf("bad sweep JSON: %v", err)})
+		return
+	}
+	if len(req.Scenarios) == 0 {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, RunResponse{Error: "sweep needs at least one scenario"})
+		return
+	}
+	// Scenarios run concurrently through the same worker-bounded path as
+	// /v1/run; results come back in request order. A sweep sharing a
+	// baseline family still serializes on the family's one system — the
+	// fork reuse is what it gains.
+	results := make([]RunResponse, len(req.Scenarios))
+	var wg sync.WaitGroup
+	for i, raw := range req.Scenarios {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		sp, err := decodeSpec(dec)
+		if err != nil {
+			s.errors.Add(1)
+			results[i] = RunResponse{Error: err.Error()}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sp scenario.Spec) {
+			defer wg.Done()
+			results[i] = s.execute(sp)
+		}(i, sp)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, SweepResponse{Results: results, Stats: s.Stats()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// execute runs one validated spec through cache, in-flight dedup, and the
+// worker pool, and shapes the response.
+func (s *Server) execute(sp scenario.Spec) RunResponse {
+	s.requests.Add(1)
+	key, err := sp.Key()
+	if err != nil {
+		s.errors.Add(1)
+		return RunResponse{Error: err.Error()}
+	}
+
+	s.mu.Lock()
+	if e, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		s.cacheHits.Add(1)
+		return RunResponse{Key: key, Cached: true, Metrics: e.metrics}
+	}
+	if e, ok := s.inflight[key]; ok {
+		// Duplicate of a running spec: wait for the runner, serve its bytes.
+		s.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			s.errors.Add(1)
+			return RunResponse{Key: key, Error: e.err.Error()}
+		}
+		s.cacheHits.Add(1)
+		return RunResponse{Key: key, Cached: true, Metrics: e.metrics}
+	}
+	e := &entry{done: make(chan struct{})}
+	s.inflight[key] = e
+	s.mu.Unlock()
+
+	s.sem <- struct{}{} // acquire a worker slot
+	res, err := scenario.Run(sp, scenario.WithPool(s.pool))
+	<-s.sem
+	s.runs.Add(1)
+
+	if err == nil {
+		// Marshal ONCE; these bytes are the cached value, so every hit —
+		// concurrent or future — is bit-identical to this response.
+		e.metrics, err = json.Marshal(res.Metrics)
+	}
+	e.err = err
+	if err == nil {
+		e.perf = res.Perf
+	}
+	close(e.done)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err == nil {
+		s.cache[key] = e
+		s.order = append(s.order, key)
+		if len(s.order) > s.cfg.CacheSize {
+			delete(s.cache, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.mu.Unlock()
+
+	if err != nil {
+		s.errors.Add(1)
+		return RunResponse{Key: key, Error: err.Error()}
+	}
+	return RunResponse{
+		Key:        key,
+		ForkReused: e.perf.ForkReused,
+		Metrics:    e.metrics,
+		Perf:       &e.perf,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Workers: 4, CacheSize: 32, MaxBaselines: 4})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends body to path and decodes the reply into out, returning the
+// status code.
+func post(t *testing.T, ts *httptest.Server, path, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s reply: %v", path, err)
+	}
+	return resp.StatusCode
+}
+
+const pdesSpec = `{"mode":"pdes","topology":{"racks":4},"workload":{"load":0.3},"lps":2,"seed":%d,"horizon_ms":1%s}`
+
+// TestCacheHitBitIdentical is the satellite e2e test: the same spec POSTed
+// twice — the second reply must be a cache hit carrying a byte-identical
+// metrics payload.
+func TestCacheHitBitIdentical(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := fmt.Sprintf(pdesSpec, 7, "")
+	var first, second RunResponse
+	if code := post(t, ts, "/v1/run", body, &first); code != http.StatusOK {
+		t.Fatalf("first POST: status %d (%s)", code, first.Error)
+	}
+	if first.Cached {
+		t.Fatal("first run of a spec cannot be a cache hit")
+	}
+	if code := post(t, ts, "/v1/run", body, &second); code != http.StatusOK {
+		t.Fatalf("second POST: status %d (%s)", code, second.Error)
+	}
+	if !second.Cached {
+		t.Fatal("identical resubmission was not served from cache")
+	}
+	if first.Key != second.Key || first.Key == "" {
+		t.Fatalf("keys differ: %q vs %q", first.Key, second.Key)
+	}
+	if !bytes.Equal(first.Metrics, second.Metrics) {
+		t.Fatalf("cache hit is not bit-identical:\n first  %s\n second %s", first.Metrics, second.Metrics)
+	}
+	// Field-order invariance end to end: a shuffled-JSON duplicate hits too.
+	shuffled := `{"horizon_ms":1,"seed":7,"lps":2,"workload":{"load":0.3},"topology":{"racks":4},"mode":"pdes"}`
+	var third RunResponse
+	post(t, ts, "/v1/run", shuffled, &third)
+	if !third.Cached || !bytes.Equal(first.Metrics, third.Metrics) {
+		t.Fatal("field-order-shuffled duplicate missed the cache")
+	}
+}
+
+// TestSeedsDistinct: two specs differing only in seed must key and result
+// differently.
+func TestSeedsDistinct(t *testing.T) {
+	_, ts := newTestServer(t)
+	var a, b RunResponse
+	post(t, ts, "/v1/run", fmt.Sprintf(pdesSpec, 1, ""), &a)
+	post(t, ts, "/v1/run", fmt.Sprintf(pdesSpec, 2, ""), &b)
+	if a.Error != "" || b.Error != "" {
+		t.Fatalf("run errors: %q / %q", a.Error, b.Error)
+	}
+	if a.Key == b.Key {
+		t.Fatal("different seeds share a cache key")
+	}
+	if b.Cached {
+		t.Fatal("different seed served from cache")
+	}
+	if bytes.Equal(a.Metrics, b.Metrics) {
+		t.Fatalf("different seeds produced identical metrics: %s", a.Metrics)
+	}
+}
+
+// TestSweepForkReuse: a 3-variant fault sweep shares one warmed baseline —
+// at least one result must report a snapshot fork, and the pool counter must
+// agree (the acceptance criterion's ≥1 reuse).
+func TestSweepForkReuse(t *testing.T) {
+	s, ts := newTestServer(t)
+	sweep := fmt.Sprintf(`{"scenarios":[%s,%s,%s]}`,
+		fmt.Sprintf(pdesSpec, 7, ``),
+		fmt.Sprintf(pdesSpec, 7, `,"faults":"switch:spine0@300us+200us,detect=50us"`),
+		fmt.Sprintf(pdesSpec, 7, `,"faults":"link:tor0-spine1@200us+400us,detect=40us"`))
+	var resp SweepResponse
+	if code := post(t, ts, "/v1/sweep", sweep, &resp); code != http.StatusOK {
+		t.Fatalf("sweep status %d", code)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(resp.Results))
+	}
+	forks := 0
+	for i, r := range resp.Results {
+		if r.Error != "" {
+			t.Fatalf("variant %d failed: %s", i, r.Error)
+		}
+		if r.ForkReused {
+			forks++
+		}
+	}
+	if forks < 1 {
+		t.Fatal("3-variant sweep reported no snapshot-fork reuse")
+	}
+	if st := s.Stats(); st.Pool.Reuses < 1 {
+		t.Fatalf("pool reports no reuse: %+v", st.Pool)
+	}
+	if resp.Stats.Runs != 3 {
+		t.Fatalf("sweep stats: %+v", resp.Stats)
+	}
+}
+
+// TestConcurrentPosts hammers the server with duplicate and distinct specs
+// concurrently (run under -race in CI): every reply for one key must carry
+// the same metrics bytes, and each distinct spec must simulate at most once.
+func TestConcurrentPosts(t *testing.T) {
+	s, ts := newTestServer(t)
+	const perSpec = 8
+	seeds := []int{1, 2, 3}
+	var wg sync.WaitGroup
+	results := make(chan RunResponse, perSpec*len(seeds))
+	for _, seed := range seeds {
+		body := fmt.Sprintf(pdesSpec, seed, "")
+		for i := 0; i < perSpec; i++ {
+			wg.Add(1)
+			go func(body string) {
+				defer wg.Done()
+				var r RunResponse
+				if code := post(t, ts, "/v1/run", body, &r); code != http.StatusOK {
+					t.Errorf("status %d: %s", code, r.Error)
+					return
+				}
+				results <- r
+			}(body)
+		}
+	}
+	wg.Wait()
+	close(results)
+	byKey := map[string][]byte{}
+	for r := range results {
+		if prev, ok := byKey[r.Key]; ok {
+			if !bytes.Equal(prev, r.Metrics) {
+				t.Fatalf("key %s served two different payloads", r.Key)
+			}
+		} else {
+			byKey[r.Key] = r.Metrics
+		}
+	}
+	if len(byKey) != len(seeds) {
+		t.Fatalf("%d distinct keys, want %d", len(byKey), len(seeds))
+	}
+	if st := s.Stats(); st.Runs != uint64(len(seeds)) {
+		t.Fatalf("%d simulations for %d distinct specs (in-flight dedup broken)", st.Runs, len(seeds))
+	}
+}
+
+// TestRejections: malformed, invalid, unknown-field, and capture-carrying
+// requests are 400s and never reach the engine.
+func TestRejections(t *testing.T) {
+	s, ts := newTestServer(t)
+	for name, body := range map[string]string{
+		"malformed":     `{"mode":`,
+		"unknown mode":  `{"mode":"quantum"}`,
+		"unknown field": `{"mode":"full","horzon_ms":5}`,
+		"capture":       `{"mode":"full","capture":"cluster"}`,
+		"bad faults":    `{"mode":"pdes","faults":"spine0 dies"}`,
+	} {
+		var r RunResponse
+		if code := post(t, ts, "/v1/run", body, &r); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+		if r.Error == "" {
+			t.Errorf("%s: no error in reply", name)
+		}
+	}
+	if st := s.Stats(); st.Runs != 0 {
+		t.Fatalf("rejected requests reached the engine: %+v", st)
+	}
+}
+
+// TestStatsAndHealth covers the two GET endpoints.
+func TestStatsAndHealth(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var st Stats
+	r2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if err := json.NewDecoder(r2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
