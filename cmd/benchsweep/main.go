@@ -1,0 +1,216 @@
+// Command benchsweep is the scenario-service throughput regression gate. It
+// starts an in-process simd server on a loopback listener, drives a mixed
+// sweep workload through the full HTTP path — cold baselines, fault variants
+// that fork warmed snapshots, and repeated specs served from cache — and
+// writes the figures as JSON (BENCH_server.json in CI). It exits nonzero when
+// sweep throughput falls below the pinned floor or when the caching layers
+// stop doing their jobs (no cache hit, no fork reuse), so a regression in the
+// server's fast paths fails the build the same way benchpool and
+// benchpartition gate the engine.
+//
+// A "sweep" here is one family round: a baseline spec plus its fault variants
+// POSTed concurrently to /v1/run. Later rounds repeat earlier specs, so the
+// steady-state mix exercises cold, forked, cached, and dedup dispositions —
+// the traffic shape the service exists for.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"approxsim/internal/server"
+)
+
+// spec builds one pdes scenario body. Seed separates families; faults
+// separates variants within a family (same baseline, different injection).
+func spec(seed int, horizonMS float64, faults string) string {
+	f := ""
+	if faults != "" {
+		f = fmt.Sprintf(`,"faults":%q`, faults)
+	}
+	return fmt.Sprintf(
+		`{"mode":"pdes","topology":{"racks":4},"workload":{"load":0.3},"lps":2,"seed":%d,"horizon_ms":%g%s}`,
+		seed, horizonMS, f)
+}
+
+// variants are the per-family fault injections; the empty string is the
+// healthy baseline the others fork.
+var variants = []string{
+	"",
+	"switch:spine0@500us+600us,detect=50us,jitter=10us",
+	"link:tor0-spine1@400us+800us,detect=40us",
+}
+
+type report struct {
+	Families       int     `json:"families"`
+	Rounds         int     `json:"rounds"`
+	Variants       int     `json:"variants"`
+	Requests       int     `json:"requests"`
+	ElapsedSec     float64 `json:"elapsed_sec"`
+	SweepsPerSec   float64 `json:"sweeps_per_sec"`
+	LatencyP50MS   float64 `json:"latency_p50_ms"`
+	LatencyP99MS   float64 `json:"latency_p99_ms"`
+	MinSweepsFloor float64 `json:"min_sweeps_floor"`
+
+	Stats server.Stats `json:"stats"`
+}
+
+func main() {
+	var (
+		families  = flag.Int("families", 2, "baseline families in the mix")
+		rounds    = flag.Int("rounds", 3, "rounds per family (first is cold, later ones repeat specs)")
+		horizonMS = flag.Float64("horizon-ms", 1, "virtual horizon per scenario, ms")
+		workers   = flag.Int("workers", 4, "server worker slots")
+		out       = flag.String("o", "BENCH_server.json", "output JSON path (- for stdout)")
+		minSweeps = flag.Float64("min-sweeps", 0, "fail if sweeps/sec falls below this floor (0 = report only)")
+		logPath   = flag.String("log", "", "also write the server's JSONL request log here")
+	)
+	flag.Parse()
+
+	var logW io.Writer
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		logW = f
+	}
+
+	srv := server.New(server.Config{Workers: *workers, RequestLog: logW})
+	srv.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(2)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	post := func(body string) error {
+		start := time.Now()
+		resp, err := http.Post(base+"/v1/run", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var rr server.RunResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			return err
+		}
+		if rr.Error != "" {
+			return fmt.Errorf("run failed: %s", rr.Error)
+		}
+		d := time.Since(start)
+		mu.Lock()
+		latencies = append(latencies, d)
+		mu.Unlock()
+		return nil
+	}
+
+	// Drive the mix: each round fires every family's variants concurrently
+	// (one sweep per family per round). Round 0 is all cold; later rounds
+	// repeat the same specs and must ride the cache.
+	sweeps := *families * *rounds
+	requests := sweeps * len(variants)
+	fmt.Fprintf(os.Stderr, "benchsweep: %d sweeps (%d requests) against in-process server, workers=%d\n",
+		sweeps, requests, *workers)
+	start := time.Now()
+	for round := 0; round < *rounds; round++ {
+		var wg sync.WaitGroup
+		errCh := make(chan error, requests)
+		for fam := 0; fam < *families; fam++ {
+			for _, faults := range variants {
+				wg.Add(1)
+				go func(body string) {
+					defer wg.Done()
+					if err := post(body); err != nil {
+						errCh <- err
+					}
+				}(spec(100+fam, *horizonMS, faults))
+			}
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			fmt.Fprintln(os.Stderr, "benchsweep:", err)
+			os.Exit(2)
+		}
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return float64(latencies[i].Nanoseconds()) / 1e6
+	}
+
+	st := srv.Stats()
+	rep := report{
+		Families:       *families,
+		Rounds:         *rounds,
+		Variants:       len(variants),
+		Requests:       requests,
+		ElapsedSec:     elapsed.Seconds(),
+		SweepsPerSec:   float64(sweeps) / elapsed.Seconds(),
+		LatencyP50MS:   pct(0.50),
+		LatencyP99MS:   pct(0.99),
+		MinSweepsFloor: *minSweeps,
+		Stats:          st,
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(2)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(2)
+	}
+
+	// Sanity-gate the fast paths before the throughput floor: a mix with
+	// repeats and fault variants that shows no cache hit or no fork reuse
+	// means a caching layer silently died, whatever the throughput says.
+	failed := false
+	if *rounds > 1 && st.CacheHits == 0 {
+		fmt.Fprintln(os.Stderr, "benchsweep: FAIL: repeated specs produced zero cache hits")
+		failed = true
+	}
+	if st.Pool.Reuses == 0 {
+		fmt.Fprintln(os.Stderr, "benchsweep: FAIL: fault variants produced zero fork reuses")
+		failed = true
+	}
+	if *minSweeps > 0 && rep.SweepsPerSec < *minSweeps {
+		fmt.Fprintf(os.Stderr, "benchsweep: FAIL: %.2f sweeps/sec below floor %.2f\n",
+			rep.SweepsPerSec, *minSweeps)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchsweep: ok (%.2f sweeps/sec, p50 %.1fms p99 %.1fms, hits=%d forks=%d)\n",
+		rep.SweepsPerSec, rep.LatencyP50MS, rep.LatencyP99MS, st.CacheHits, st.Pool.Reuses)
+}

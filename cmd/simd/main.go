@@ -1,20 +1,25 @@
 // Command simd is the scenario server: simulation as a service. It accepts
 // serializable scenario specs over JSON/HTTP, schedules them on a bounded
 // worker pool, serves repeated specs bit-identically from a canonical-hash
-// result cache, and forks warmed baseline snapshots across the variants of a
-// sweep instead of cold-starting each one (see internal/server and
-// internal/scenario).
+// result cache (LRU, entry- and byte-bounded), and forks warmed baseline
+// snapshots across the variants of a sweep instead of cold-starting each one
+// (see internal/server and internal/scenario).
 //
 // Usage:
 //
-//	simd -addr :8080 -workers 4 -cache 256 -max-baselines 8
+//	simd -addr :8080 -workers 4 -cache 256 -max-baselines 8 \
+//	     -log requests.jsonl -pprof localhost:6060
 //
 // Endpoints:
 //
-//	POST /v1/run    one scenario spec        -> {key, cached, fork_reused, metrics, perf}
-//	POST /v1/sweep  {"scenarios":[spec,...]} -> {results:[...], stats:{...}}
-//	GET  /v1/stats  service counters (requests, cache hits, pool builds/reuses)
-//	GET  /healthz   liveness probe
+//	POST /v1/run          one scenario spec        -> {key, run_id, cached, fork_reused, metrics, perf}
+//	POST /v1/sweep        {"scenarios":[spec,...]} -> {results:[...], stats:{...}}
+//	GET  /v1/stats        service counters (requests, cache hits, pool builds/reuses)
+//	GET  /v1/runs         run registry, newest first
+//	GET  /v1/runs/{id}    one run record; live committed time while in flight
+//	GET  /v1/runs/{id}?watch=1  SSE progress stream until the run ends
+//	GET  /metrics         Prometheus text exposition
+//	GET  /healthz         readiness probe (503 while starting or shutting down)
 //
 // Example — a three-variant fault sweep sharing one warmed baseline:
 //
@@ -34,7 +39,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,22 +54,46 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 2, "max concurrently executing simulations")
-		cacheSize    = flag.Int("cache", 256, "result cache capacity in entries (FIFO)")
-		maxBaselines = flag.Int("max-baselines", 8, "warmed pdes baselines retained for snapshot forking (FIFO)")
+		cacheSize    = flag.Int("cache", 256, "result cache capacity in entries (LRU)")
+		cacheMB      = flag.Int("cache-mb", 64, "result cache capacity in MiB of cached payloads")
+		maxBaselines = flag.Int("max-baselines", 8, "warmed pdes baselines retained for snapshot forking (LRU)")
+		runHistory   = flag.Int("run-history", 512, "terminal run records retained for GET /v1/runs")
+		logPath      = flag.String("log", "", "append structured JSONL request logs to this file (- for stderr)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	startPprof(*pprofAddr)
+
+	var logW io.Writer
+	switch *logPath {
+	case "":
+	case "-":
+		logW = os.Stderr
+	default:
+		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simd: request log:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		logW = f
+	}
 
 	srv := server.New(server.Config{
 		Workers:      *workers,
 		CacheSize:    *cacheSize,
+		CacheBytes:   int64(*cacheMB) << 20,
 		MaxBaselines: *maxBaselines,
+		RunHistory:   *runHistory,
+		RequestLog:   logW,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "simd: listening on %s (workers=%d cache=%d baselines=%d)\n",
-		*addr, *workers, *cacheSize, *maxBaselines)
+	srv.Start() // healthz turns 200 once the listener goroutine is launched
+	fmt.Fprintf(os.Stderr, "simd: listening on %s (workers=%d cache=%d/%dMiB baselines=%d)\n",
+		*addr, *workers, *cacheSize, *cacheMB, *maxBaselines)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -73,6 +104,9 @@ func main() {
 			os.Exit(1)
 		}
 	case <-sig:
+		// Flip healthz to 503 first so load balancers drain us, then let
+		// in-flight requests finish.
+		srv.BeginShutdown()
 		fmt.Fprintln(os.Stderr, "simd: shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -81,4 +115,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// startPprof serves net/http/pprof on its own listener so profiling traffic
+// never mixes with the service mux (same pattern as cmd/approxsim).
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "simd: pprof:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "simd: pprof on http://%s/debug/pprof/\n", addr)
 }

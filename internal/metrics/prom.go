@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// WriteProm renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4). Every metric becomes one family named
+// <prefix>_<group>_<name> (characters outside [a-zA-Z0-9_] become '_'):
+//
+//   - counters and gauges render as their kind; floats render as gauges
+//     (they are instantaneous readings, not monotone series);
+//   - histograms render as summaries — {quantile="0.5"} and {quantile="0.99"}
+//     samples estimated from the log2 buckets, plus _sum and _count — with the
+//     exact observed extremes as companion _min/_max gauges.
+//
+// Output order is snapshot order (groups in registration order, metrics in
+// first-emission order), so identical snapshots serialize byte-identically:
+// the same determinism contract as Snapshot.MarshalJSON, and what the golden
+// test pins. The scenario server's GET /metrics is this function over the
+// service registry; any registry (engine, obs, server) can be bridged the
+// same way.
+func WriteProm(w io.Writer, s *Snapshot, prefix string) error {
+	for i := range s.metrics {
+		m := &s.metrics[i]
+		name := promName(prefix, m.Group, m.Name)
+		var err error
+		switch m.Value.Kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, m.Value.Counter)
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, m.Value.Gauge)
+		case KindFloat:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(m.Value.Float))
+		case KindHistogram:
+			err = writePromSummary(w, name, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromSummary renders one histogram as a Prometheus summary family plus
+// min/max companion gauges.
+func writePromSummary(w io.Writer, name string, m *Metric) error {
+	h := m.Value.Hist
+	// The pooled histogram (present whenever the snapshot was built by an
+	// Emitter) carries the exact sample sum; reconstructing it from the
+	// rounded mean would wobble the low bits across runs.
+	var sum uint64
+	if m.hist != nil {
+		sum = atomic.LoadUint64(&m.hist.sum)
+	} else if h.Count > 0 {
+		sum = uint64(math.Round(h.Mean * float64(h.Count)))
+	}
+	_, err := fmt.Fprintf(w,
+		"# TYPE %s summary\n%s{quantile=\"0.5\"} %s\n%s{quantile=\"0.99\"} %s\n%s_sum %d\n%s_count %d\n"+
+			"# TYPE %s_min gauge\n%s_min %d\n# TYPE %s_max gauge\n%s_max %d\n",
+		name,
+		name, promFloat(h.P50),
+		name, promFloat(h.P99),
+		name, sum,
+		name, h.Count,
+		name, name, h.Min,
+		name, name, h.Max)
+	return err
+}
+
+// promFloat formats a float sample, mapping non-finite values to 0 the same
+// way the JSON snapshot does.
+func promFloat(f float64) string {
+	return strconv.FormatFloat(roundFinite(f), 'g', -1, 64)
+}
+
+// promName joins prefix, group, and metric name into one exposition-legal
+// metric family name.
+func promName(prefix, group, name string) string {
+	var b strings.Builder
+	b.Grow(len(prefix) + len(group) + len(name) + 2)
+	write := func(s string) {
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			switch {
+			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+				b.WriteByte(c)
+			default:
+				b.WriteByte('_')
+			}
+		}
+	}
+	if prefix != "" {
+		write(prefix)
+		b.WriteByte('_')
+	}
+	write(group)
+	b.WriteByte('_')
+	write(name)
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// buildPromFixture builds a snapshot covering every value kind,
+// cross-collector merging, and a name that needs sanitizing.
+func buildPromFixture() *Snapshot {
+	r := NewRegistry()
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	r.RegisterFunc("server", func(e *Emitter) {
+		e.Counter("requests_run", 7)
+		e.Counter("cache_hits", 3)
+		e.Gauge("cache_entries", 2)
+		e.Float("sim_per_wall", 1234.5)
+		e.Histogram("latency_ns", &h)
+	})
+	// A second collector in the same group: counters sum, histograms pool.
+	r.RegisterFunc("server", func(e *Emitter) {
+		e.Counter("requests_run", 1)
+		e.Histogram("latency_ns", &h)
+	})
+	r.RegisterFunc("pool", func(e *Emitter) {
+		e.Counter("fork.reuses", 4) // '.' must sanitize to '_'
+		e.Gauge("baselines", 1)
+	})
+	return r.Snapshot()
+}
+
+// TestWritePromGolden pins the exposition bytes: deterministic output is part
+// of the bridge's contract (GET /metrics diffs must mean the metrics moved,
+// not the encoder).
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, buildPromFixture(), "approxsim"); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePromDeterministic: two renders of the same live registry are
+// byte-identical.
+func TestWritePromDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteProm(&a, buildPromFixture(), "approxsim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProm(&b, buildPromFixture(), "approxsim"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of identical snapshots differ")
+	}
+}
+
+// TestWritePromShape spot-checks semantic facts the golden file alone would
+// hide behind a regeneration: merged counters sum, summaries carry exact
+// sums, names sanitize.
+func TestWritePromShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, buildPromFixture(), "approxsim"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"approxsim_server_requests_run 8\n",     // 7 + 1 merged
+		"approxsim_server_latency_ns_count 8\n", // two pools of 4
+		"approxsim_server_latency_ns_sum 212\n", // 2 * (1+2+3+100)
+		`approxsim_server_latency_ns{quantile="0.5"} 3`,
+		"approxsim_pool_fork_reuses 4\n", // '.' sanitized
+		"# TYPE approxsim_server_cache_entries gauge\n",
+		"# TYPE approxsim_server_sim_per_wall gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

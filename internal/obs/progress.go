@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"approxsim/internal/des"
+)
+
+// Progress is a per-run gauge set a live simulation publishes and any
+// goroutine may read: the committed virtual-time frontier (GVT under Time
+// Warp, the minimum kernel clock under the conservative engines), the
+// executed-event count, and the run's horizon. It is the run-granular
+// counterpart of the Sampler — where the sampler streams interval rows to a
+// writer, Progress holds only the latest reading, which is exactly what a
+// serving layer needs to answer "how far along is run X?" cheaply and often
+// (the scenario server's GET /v1/runs/{id} reads these gauges live).
+//
+// Committed time is clamped monotone: the underlying clocks only advance
+// within one run, but the clamp makes that a hard guarantee for readers even
+// against a racing final Publish. The zero Progress is ready to use; a nil
+// *Progress is a safe no-op receiver, mirroring Sampler.
+type Progress struct {
+	horizon   int64 // des.Time; written once by NewProgress
+	committed int64 // des.Time, atomic, monotone
+	events    uint64
+	done      uint32
+}
+
+// NewProgress returns a Progress for a run to the given horizon.
+func NewProgress(horizon des.Time) *Progress {
+	return &Progress{horizon: int64(horizon)}
+}
+
+// Publish records the latest committed time and executed-event count.
+// Committed time never regresses: stale publishes lose.
+func (p *Progress) Publish(committed des.Time, events uint64) {
+	if p == nil {
+		return
+	}
+	for {
+		cur := atomic.LoadInt64(&p.committed)
+		if int64(committed) <= cur {
+			break
+		}
+		if atomic.CompareAndSwapInt64(&p.committed, cur, int64(committed)) {
+			break
+		}
+	}
+	atomic.StoreUint64(&p.events, events)
+}
+
+// Finish publishes a final reading and marks the run complete.
+func (p *Progress) Finish(committed des.Time, events uint64) {
+	if p == nil {
+		return
+	}
+	p.Publish(committed, events)
+	atomic.StoreUint32(&p.done, 1)
+}
+
+// Committed returns the latest committed virtual time (0 on nil).
+func (p *Progress) Committed() des.Time {
+	if p == nil {
+		return 0
+	}
+	return des.Time(atomic.LoadInt64(&p.committed))
+}
+
+// Events returns the latest executed-event count (0 on nil).
+func (p *Progress) Events() uint64 {
+	if p == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&p.events)
+}
+
+// Horizon returns the run's virtual-time horizon (0 on nil).
+func (p *Progress) Horizon() des.Time {
+	if p == nil {
+		return 0
+	}
+	return des.Time(atomic.LoadInt64(&p.horizon))
+}
+
+// Done reports whether Finish has been called.
+func (p *Progress) Done() bool {
+	return p != nil && atomic.LoadUint32(&p.done) == 1
+}
+
+// Watch spawns a wall-clock poller publishing clock()/events() every period
+// until the returned stop function is called; stop takes one final reading
+// and marks the Progress done. Both functions must be safe from any goroutine
+// (System.CommittedTime and System.Stats are — the same contract as
+// Sampler.StartPolling). A non-positive period picks a default. On a nil
+// receiver Watch is a no-op and returns a callable stop.
+func (p *Progress) Watch(clock func() des.Time, events func() uint64, every time.Duration) (stop func()) {
+	if p == nil {
+		return func() {}
+	}
+	if every <= 0 {
+		every = time.Millisecond
+	}
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-ticker.C:
+				p.Publish(clock(), events())
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-finished
+		p.Finish(clock(), events())
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"approxsim/internal/des"
+)
+
+func TestProgressMonotoneCommitted(t *testing.T) {
+	p := NewProgress(10 * des.Millisecond)
+	p.Publish(5*des.Millisecond, 100)
+	p.Publish(3*des.Millisecond, 120) // stale clock reading must not regress
+	if got := p.Committed(); got != 5*des.Millisecond {
+		t.Errorf("committed regressed to %v", got)
+	}
+	if got := p.Events(); got != 120 {
+		t.Errorf("events = %d, want latest (120)", got)
+	}
+	if p.Done() {
+		t.Error("done before Finish")
+	}
+	p.Finish(10*des.Millisecond, 200)
+	if !p.Done() || p.Committed() != 10*des.Millisecond {
+		t.Errorf("after Finish: done=%v committed=%v", p.Done(), p.Committed())
+	}
+	if p.Horizon() != 10*des.Millisecond {
+		t.Errorf("horizon = %v", p.Horizon())
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Publish(1, 1)
+	p.Finish(1, 1)
+	if p.Committed() != 0 || p.Events() != 0 || p.Horizon() != 0 || p.Done() {
+		t.Error("nil Progress not a zero no-op")
+	}
+	p.Watch(func() des.Time { return 0 }, func() uint64 { return 0 }, 0)()
+}
+
+// TestProgressWatch drives the poller against an advancing fake clock and
+// checks it observes progress and finalizes on stop.
+func TestProgressWatch(t *testing.T) {
+	var tick int64
+	clock := func() des.Time { return des.Time(atomic.AddInt64(&tick, 10)) }
+	events := func() uint64 { return uint64(atomic.LoadInt64(&tick)) }
+	p := NewProgress(des.Time(1000))
+	stop := p.Watch(clock, events, 100*time.Microsecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Committed() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	mid := p.Committed()
+	if mid == 0 {
+		t.Fatal("poller never published")
+	}
+	stop()
+	if !p.Done() {
+		t.Error("stop did not mark done")
+	}
+	if p.Committed() < mid {
+		t.Errorf("final committed %v below mid-run %v", p.Committed(), mid)
+	}
+	if p.Events() == 0 {
+		t.Error("no events published")
+	}
+}

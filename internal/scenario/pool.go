@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"approxsim/internal/faults"
+	"approxsim/internal/obs"
 	"approxsim/internal/pdes"
 	"approxsim/internal/topology"
 )
@@ -23,9 +24,10 @@ type Pool struct {
 	mu        sync.Mutex
 	max       int
 	baselines map[string]*baseline
-	order     []string // FIFO eviction order
+	order     []string // LRU order: order[0] is the coldest family
 	builds    uint64
 	reuses    uint64
+	evictions uint64
 }
 
 // baseline is one warmed system and its pristine checkpoint. Its mutex
@@ -39,8 +41,8 @@ type baseline struct {
 	flows int // flow specs scheduled (FlowsStarted for every variant)
 }
 
-// NewPool creates a pool retaining at most max baselines (FIFO eviction;
-// max < 1 means 1). Safe for concurrent use.
+// NewPool creates a pool retaining at most max baselines (least-recently-used
+// families are evicted; max < 1 means 1). Safe for concurrent use.
 func NewPool(max int) *Pool {
 	if max < 1 {
 		max = 1
@@ -56,39 +58,58 @@ type PoolStats struct {
 	Builds uint64 `json:"baseline_builds"`
 	// Reuses counts runs served by forking an existing baseline.
 	Reuses uint64 `json:"fork_reuses"`
+	// Evictions counts families dropped to stay within the retention bound.
+	Evictions uint64 `json:"evictions"`
 }
 
 // Stats returns a snapshot of the pool's counters.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return PoolStats{Baselines: len(p.baselines), Builds: p.builds, Reuses: p.reuses}
+	return PoolStats{Baselines: len(p.baselines), Builds: p.builds, Reuses: p.reuses, Evictions: p.evictions}
 }
 
-// acquire returns the baseline entry for key, creating (and FIFO-evicting)
-// under the pool lock. The entry's own lock is NOT held on return.
+// acquire returns the baseline entry for key, creating (and LRU-evicting)
+// under the pool lock. A hit promotes the family to most-recent: a steady
+// sweep mix keeps its hot baselines resident while one-off families age out.
+// The entry's own lock is NOT held on return.
 func (p *Pool) acquire(key string) *baseline {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if b, ok := p.baselines[key]; ok {
+		p.touch(key)
 		return b
 	}
 	b := &baseline{}
 	p.baselines[key] = b
 	p.order = append(p.order, key)
 	if len(p.order) > p.max {
-		// Evict the oldest. A goroutine mid-run on the evicted baseline keeps
-		// its pointer and finishes normally; the system just leaves the pool.
+		// Evict the least-recently-used family. A goroutine mid-run on the
+		// evicted baseline keeps its pointer and finishes normally; the
+		// system just leaves the pool.
 		delete(p.baselines, p.order[0])
 		p.order = p.order[1:]
+		p.evictions++
 	}
 	return b
 }
 
+// touch moves key to the most-recent end of the LRU order. Caller holds p.mu.
+func (p *Pool) touch(key string) {
+	for i, k := range p.order {
+		if k == key {
+			copy(p.order[i:], p.order[i+1:])
+			p.order[len(p.order)-1] = key
+			return
+		}
+	}
+}
+
 // run executes a pdes-mode spec by forking the family baseline (building it
-// first if this is the family's first run). Called by Run for eligible specs;
-// sp is normalized and validated.
-func (p *Pool) run(sp Spec, res *Result) error {
+// first if this is the family's first run), publishing live progress into
+// prog (may be nil). Called by Run for eligible specs; sp is normalized and
+// validated.
+func (p *Pool) run(sp Spec, res *Result, prog *obs.Progress) error {
 	key, err := sp.BaselineKey()
 	if err != nil {
 		return err
@@ -129,11 +150,18 @@ func (p *Pool) run(sp Spec, res *Result) error {
 	// sampled after Restore (which rewinds kernel event counts with the
 	// checkpoint) for the deltas to belong to this run alone.
 	base := b.ls.Sys.Stats()
+	// The events clock reports this fork's delta, matching the assembled
+	// result; committed time is absolute (forks resume at the warm point,
+	// never before it, so the reading is monotone within the run).
+	stopWatch := prog.Watch(b.ls.Sys.CommittedTime,
+		func() uint64 { return b.ls.Sys.Stats().Events - base.Events }, 0)
 	start := time.Now()
 	if err := b.ls.Sys.Run(sp.horizon()); err != nil {
+		stopWatch()
 		return err
 	}
 	wall := time.Since(start)
+	stopWatch()
 	r := b.ls.AssembleResult(b.ls.Sys.Stats().Sub(base), b.flows, sp.horizon(), wall)
 	if err := checkExperiment(r); err != nil {
 		return err

@@ -9,6 +9,7 @@ import (
 	"approxsim/internal/des"
 	"approxsim/internal/flowsim"
 	"approxsim/internal/metrics"
+	"approxsim/internal/obs"
 	"approxsim/internal/packet"
 	"approxsim/internal/pdes"
 	"approxsim/internal/topology"
@@ -26,6 +27,7 @@ type runOptions struct {
 	pdesOpts []pdes.Option
 	pool     *Pool
 	coreMut  []func(*core.Config)
+	progress *obs.Progress
 }
 
 // WithModels supplies trained models in-process for hybrid/blackbox modes,
@@ -55,6 +57,17 @@ func WithPool(p *Pool) RunOption { return func(o *runOptions) { o.pool = p } }
 // metrics writers) that is per-invocation, not part of the scenario.
 func WithCoreConfig(f func(*core.Config)) RunOption {
 	return func(o *runOptions) { o.coreMut = append(o.coreMut, f) }
+}
+
+// WithProgress publishes live run progress into p. Pdes-mode runs (cold or
+// pooled — unlike a registry, progress does not pin the run to a cold start)
+// stream committed virtual time and executed events from a wall-clock poller
+// over System.CommittedTime while the run is in flight; the other engines run
+// on the caller's goroutine with no mid-run committed clock, so they publish
+// only the final reading. Either way p is marked done when the run returns —
+// the scenario server serves GET /v1/runs/{id} straight from these gauges.
+func WithProgress(p *obs.Progress) RunOption {
+	return func(o *runOptions) { o.progress = p }
 }
 
 // Run executes one scenario and returns its result. This is the library's
@@ -112,6 +125,10 @@ func Run(sp Spec, opts ...RunOption) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Publish the authoritative final reading whatever the engine: single-
+	// kernel modes get their only (and exact) data point, pdes modes overwrite
+	// the poller's last sample with the assembled result's counts.
+	ro.progress.Finish(des.Time(res.Perf.SimSeconds*float64(des.Second)), res.Perf.Events)
 	return res, nil
 }
 
@@ -125,8 +142,8 @@ func (s Spec) EngineConfig() core.Config {
 
 // coreConfig assembles the clos-mode engine config (normalized specs only).
 func (s Spec) coreConfig(ro *runOptions) core.Config {
-	pat, _ := s.pattern()  // grammar checked by Validate
-	cdf, _ := s.sizeCDF()  // grammar checked by Validate
+	pat, _ := s.pattern() // grammar checked by Validate
+	cdf, _ := s.sizeCDF() // grammar checked by Validate
 	topo := s.topologyConfig()
 	cfg := core.Config{
 		Clusters: s.Topology.Clusters,
@@ -213,16 +230,16 @@ func (s Spec) runPDES(res *Result, ro *runOptions) error {
 	// caller's registry or construction-time engine options cannot ride
 	// along, and the optimistic engine owns its snapshots (no system fork).
 	if ro.pool != nil && ro.registry == nil && len(ro.pdesOpts) == 0 && s.Sync != "timewarp" {
-		return ro.pool.run(s, res)
+		return ro.pool.run(s, res, ro.progress)
 	}
 	cfg := s.topologyConfig()
 	specs, err := s.flowSpecs(cfg)
 	if err != nil {
 		return err
 	}
-	algo, _ := pdes.ParseSyncAlgo(s.Sync)     // grammar checked by Validate
+	algo, _ := pdes.ParseSyncAlgo(s.Sync) // grammar checked by Validate
 	part, _ := pdes.ParsePartitioner(s.Partition)
-	popts := append([]pdes.Option{pdes.WithPartitioner(part)}, ro.pdesOpts...)
+	popts := append([]pdes.Option{pdes.WithSyncAlgo(algo), pdes.WithPartitioner(part)}, ro.pdesOpts...)
 	if s.Faults != "" {
 		sched, err := topology.ParseFaults(cfg, s.Faults)
 		if err != nil {
@@ -230,10 +247,23 @@ func (s Spec) runPDES(res *Result, ro *runOptions) error {
 		}
 		popts = append(popts, pdes.WithFaults(sched))
 	}
-	r, err := pdes.RunLeafSpineSpecs(cfg, s.LPs, specs, s.horizon(), algo, ro.registry, popts...)
+	// Build-then-run (the body of pdes.RunLeafSpineSpecs) rather than the
+	// one-shot helper, so the live System is in hand to watch mid-run.
+	ls, err := pdes.BuildLeafSpineWorkload(cfg, s.LPs, specs, popts...)
 	if err != nil {
 		return err
 	}
+	if ro.registry != nil {
+		ls.RegisterMetrics(ro.registry)
+	}
+	stop := ro.progress.Watch(ls.Sys.CommittedTime, func() uint64 { return ls.Sys.Stats().Events }, 0)
+	start := time.Now()
+	runErr := ls.Sys.Run(s.horizon())
+	stop()
+	if runErr != nil {
+		return runErr
+	}
+	r := ls.AssembleResult(ls.Sys.Stats(), len(specs), s.horizon(), time.Since(start))
 	if err := checkExperiment(r); err != nil {
 		return err
 	}

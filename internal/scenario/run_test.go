@@ -3,6 +3,9 @@ package scenario
 import (
 	"encoding/json"
 	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/obs"
 )
 
 // mustMetricsJSON canonicalizes a Metrics block for bit-level comparison —
@@ -139,7 +142,7 @@ func TestRunRejectsInvalid(t *testing.T) {
 	}
 }
 
-// TestPoolEviction: the FIFO cap holds and evicted families rebuild.
+// TestPoolEviction: the retention cap holds and evicted families rebuild.
 func TestPoolEviction(t *testing.T) {
 	pool := NewPool(1)
 	a := Spec{Mode: "pdes", Topology: Topology{Racks: 4}, Workload: Workload{Load: 0.3}, LPs: 1, Seed: 1, HorizonMS: 1}
@@ -156,6 +159,61 @@ func TestPoolEviction(t *testing.T) {
 	}
 	if st.Builds != 3 || st.Reuses != 0 {
 		t.Fatalf("stats %+v, want 3 builds 0 reuses", st)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+}
+
+// TestPoolLRUPromotion: re-touching a family protects it from eviction — the
+// least-recently-USED baseline goes, not the oldest-built.
+func TestPoolLRUPromotion(t *testing.T) {
+	pool := NewPool(2)
+	mk := func(seed uint64) Spec {
+		return Spec{Mode: "pdes", Topology: Topology{Racks: 4}, Workload: Workload{Load: 0.3},
+			LPs: 1, Seed: seed, HorizonMS: 1}
+	}
+	// Build A, build B, touch A (fork reuse), then build C: under LRU the
+	// victim is B, so re-running A must still fork-reuse its baseline.
+	for _, sp := range []Spec{mk(1), mk(2), mk(1), mk(3), mk(1)} {
+		if _, err := Run(sp, WithPool(pool)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pool.Stats()
+	if st.Builds != 3 || st.Reuses != 2 || st.Evictions != 1 {
+		t.Fatalf("stats %+v, want 3 builds / 2 reuses of A / 1 eviction (of B)", st)
+	}
+}
+
+// TestRunPublishesProgress: a run handed a Progress must finish it with the
+// final committed time and event count, for every engine mode.
+func TestRunPublishesProgress(t *testing.T) {
+	for name, sp := range map[string]Spec{
+		"pdes":   {Mode: "pdes", Topology: Topology{Racks: 4}, Workload: Workload{Load: 0.3}, LPs: 2, Seed: 5, HorizonMS: 1},
+		"full":   {Mode: "full", Workload: Workload{Load: 0.3}, Seed: 5, HorizonMS: 1},
+		"pooled": {Mode: "pdes", Topology: Topology{Racks: 4}, Workload: Workload{Load: 0.3}, LPs: 1, Seed: 6, HorizonMS: 1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			prog := obs.NewProgress(des.Time(sp.HorizonMS * float64(des.Millisecond)))
+			opts := []RunOption{WithProgress(prog)}
+			if name == "pooled" {
+				opts = append(opts, WithPool(NewPool(2)))
+			}
+			res, err := Run(sp, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prog.Done() {
+				t.Fatal("progress not marked done")
+			}
+			if prog.Events() != res.Perf.Events || prog.Events() == 0 {
+				t.Fatalf("progress events %d, perf events %d", prog.Events(), res.Perf.Events)
+			}
+			if prog.Committed() < des.Time(sp.HorizonMS*float64(des.Millisecond)) {
+				t.Fatalf("final committed %v below horizon", prog.Committed())
+			}
+		})
 	}
 }
 

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// requestLog writes request-scoped structured logs as JSONL: one "http" line
+// per HTTP request (method, path, endpoint, status, duration) and one "run"
+// line per scenario execution (run ID, spec hash, outcome, cache/fork
+// disposition, queue-wait and exec durations). Lines are self-describing via
+// the "kind" field so one stream can carry both. A nil *requestLog is a
+// no-op, which is how logging stays free when not configured.
+type requestLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newRequestLog(w io.Writer) *requestLog {
+	if w == nil {
+		return nil
+	}
+	return &requestLog{w: w}
+}
+
+// httpLogLine is one HTTP request.
+type httpLogLine struct {
+	TS       string  `json:"ts"`
+	Kind     string  `json:"kind"` // "http"
+	Method   string  `json:"method"`
+	Path     string  `json:"path"`
+	Endpoint string  `json:"endpoint"`
+	Status   int     `json:"status"`
+	DurMS    float64 `json:"dur_ms"`
+}
+
+// runLogLine is one scenario execution.
+type runLogLine struct {
+	TS          string  `json:"ts"`
+	Kind        string  `json:"kind"` // "run"
+	Method      string  `json:"method"`
+	Endpoint    string  `json:"endpoint"` // "run" or "sweep"
+	RunID       string  `json:"run_id"`
+	Key         string  `json:"key"`
+	Mode        string  `json:"mode"`
+	State       string  `json:"state"`       // done | failed
+	Disposition string  `json:"disposition"` // cold | fork | cached | dedup
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	ExecMS      float64 `json:"exec_ms"`
+	CommittedMS float64 `json:"committed_ms"`
+	Events      uint64  `json:"events"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// write marshals v and appends it as one line. Serialized by the mutex so
+// concurrent requests never interleave bytes.
+func (l *requestLog) write(v any) {
+	if l == nil {
+		return
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	blob = append(blob, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(blob)
+	l.mu.Unlock()
+}
+
+func logTS() string { return time.Now().UTC().Format(time.RFC3339Nano) }
+
+// httpLine logs one completed HTTP request.
+func (l *requestLog) httpLine(r *http.Request, endpoint string, status int, d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.write(httpLogLine{
+		TS:       logTS(),
+		Kind:     "http",
+		Method:   r.Method,
+		Path:     r.URL.Path,
+		Endpoint: endpoint,
+		Status:   status,
+		DurMS:    ms(d),
+	})
+}
+
+// runLine logs one scenario execution from its terminal record.
+func (l *requestLog) runLine(endpoint string, rec RunRecord) {
+	if l == nil {
+		return
+	}
+	l.write(runLogLine{
+		TS:          logTS(),
+		Kind:        "run",
+		Method:      http.MethodPost,
+		Endpoint:    endpoint,
+		RunID:       rec.ID,
+		Key:         rec.Key,
+		Mode:        rec.Mode,
+		State:       string(rec.State),
+		Disposition: rec.Disposition,
+		QueueWaitMS: rec.QueueWaitMS,
+		ExecMS:      rec.ExecMS,
+		CommittedMS: rec.CommittedMS,
+		Events:      rec.Events,
+		Error:       rec.Error,
+	})
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"approxsim/internal/metrics"
+)
+
+// endpointNames is the fixed instrumented-endpoint set, in exposition order.
+// Fixing the set at construction keeps the /metrics schema identical from the
+// first request to the last — scrapers never see series appear mid-flight.
+var endpointNames = []string{"run", "sweep", "stats", "runs", "metrics", "healthz"}
+
+// endpointMetrics is one endpoint's request counter and latency histogram.
+type endpointMetrics struct {
+	name      string
+	requests  metrics.Counter
+	latencyNS metrics.Histogram
+}
+
+// serverMetrics is the service's own instrument block, registered under the
+// "server" group of the service registry and rendered by GET /metrics via
+// metrics.WriteProm. Instruments are updated from request goroutines; every
+// operation is atomic, so mid-scrape reads are torn-free (the same weak
+// consistency contract as the engine's instruments).
+type serverMetrics struct {
+	endpoints []*endpointMetrics
+
+	requests       metrics.Counter // scenario executions requested (run + sweep fan-out)
+	runs           metrics.Counter // fresh simulations executed
+	errors         metrics.Counter // failed requests (bad specs + failed runs)
+	cacheHits      metrics.Counter // served from cache or an in-flight duplicate
+	cacheMisses    metrics.Counter // forced a fresh simulation
+	cacheEvictions metrics.Counter // results dropped by the LRU bounds
+	dedupJoins     metrics.Counter // requests that joined an in-flight runner
+
+	cacheEntries metrics.Gauge // resident cached results
+	cacheBytes   metrics.Gauge // resident cached payload bytes
+
+	queueWaitNS metrics.Histogram // fresh runs: wait for a worker slot
+	execNS      metrics.Histogram // fresh runs: scenario.Run wall time
+}
+
+func newServerMetrics() *serverMetrics {
+	sm := &serverMetrics{}
+	for _, name := range endpointNames {
+		sm.endpoints = append(sm.endpoints, &endpointMetrics{name: name})
+	}
+	return sm
+}
+
+func (sm *serverMetrics) endpoint(name string) *endpointMetrics {
+	for _, e := range sm.endpoints {
+		if e.name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// CollectMetrics implements metrics.Collector.
+func (sm *serverMetrics) CollectMetrics(e *metrics.Emitter) {
+	e.Counter("requests", sm.requests.Value())
+	e.Counter("runs", sm.runs.Value())
+	e.Counter("errors", sm.errors.Value())
+	e.Counter("cache_hits", sm.cacheHits.Value())
+	e.Counter("cache_misses", sm.cacheMisses.Value())
+	e.Counter("cache_evictions", sm.cacheEvictions.Value())
+	e.Counter("dedup_joins", sm.dedupJoins.Value())
+	e.Gauge("cache_entries", sm.cacheEntries.Value())
+	e.Gauge("cache_bytes", sm.cacheBytes.Value())
+	e.Histogram("queue_wait_ns", &sm.queueWaitNS)
+	e.Histogram("exec_ns", &sm.execNS)
+	for _, ep := range sm.endpoints {
+		e.Counter("http_requests_"+ep.name, ep.requests.Value())
+		e.Histogram("http_latency_ns_"+ep.name, &ep.latencyNS)
+	}
+}
+
+// instrument wraps an endpoint handler with its request counter, latency
+// histogram, and (when configured) one structured log line per HTTP request.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.sm.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		d := time.Since(start)
+		ep.requests.Inc()
+		ep.latencyNS.Observe(uint64(d.Nanoseconds()))
+		s.log.httpLine(r, name, sw.status, d)
+	}
+}
+
+// statusWriter captures the response status for instrumentation and logging.
+// It forwards Flush so SSE streaming keeps working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleMetrics serves the service registry in Prometheus text exposition
+// format: the server group above, the baseline pool bridge, and the run
+// registry occupancy gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = metrics.WriteProm(w, s.reg.Snapshot(), "approxsim")
+}

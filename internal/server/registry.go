@@ -1,0 +1,296 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"approxsim/internal/des"
+	"approxsim/internal/metrics"
+	"approxsim/internal/obs"
+)
+
+// RunState is one run's lifecycle position. Runs move strictly
+// queued → running → done|failed; cache hits and dedup joins jump straight
+// to their terminal state (they never occupy a worker).
+type RunState string
+
+// Run lifecycle states.
+const (
+	RunQueued  RunState = "queued"
+	RunRunning RunState = "running"
+	RunDone    RunState = "done"
+	RunFailed  RunState = "failed"
+)
+
+// Run dispositions: how the response was produced.
+const (
+	// DispositionCold is a fresh simulation built from scratch.
+	DispositionCold = "cold"
+	// DispositionFork is a fresh simulation that forked a warmed baseline.
+	DispositionFork = "fork"
+	// DispositionCached was served from the result cache.
+	DispositionCached = "cached"
+	// DispositionDedup joined an in-flight duplicate and was served its bytes.
+	DispositionDedup = "dedup"
+)
+
+// RunRecord is the JSON view of one run — the GET /v1/runs payload element.
+// For in-flight runs CommittedMS and Events are live gauge readings
+// (monotonically advancing committed virtual time, bridged from the engine's
+// committed-time clock); for terminal runs they are the final figures.
+type RunRecord struct {
+	ID    string   `json:"id"`
+	Key   string   `json:"key"`
+	Mode  string   `json:"mode"`
+	State RunState `json:"state"`
+	// Disposition is set at the terminal transition: cold | fork | cached |
+	// dedup.
+	Disposition string `json:"disposition,omitempty"`
+	// HorizonMS is the run's virtual-time target; CommittedMS advances toward
+	// it while the run executes.
+	HorizonMS   float64 `json:"horizon_ms"`
+	CommittedMS float64 `json:"committed_ms"`
+	Events      uint64  `json:"events"`
+	// QueueWaitMS is time spent waiting for a worker slot (0 for cache hits).
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// ExecMS is scenario.Run wall time (terminal fresh runs only).
+	ExecMS float64 `json:"exec_ms,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// run is one registry entry: the published record plus the live machinery
+// (progress gauges, completion channel) the record is derived from.
+type run struct {
+	mu   sync.Mutex
+	rec  RunRecord
+	prog *obs.Progress
+
+	enqueuedAt time.Time
+	done       chan struct{} // closed at the terminal transition
+}
+
+// snapshot returns the record, overlaying live progress while running.
+func (r *run) snapshot() RunRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.rec
+	if rec.State == RunRunning && r.prog != nil {
+		rec.CommittedMS = float64(r.prog.Committed()) / float64(des.Millisecond)
+		rec.Events = r.prog.Events()
+	}
+	return rec
+}
+
+// markRunning transitions queued → running and attaches the progress gauges.
+func (r *run) markRunning(queueWait time.Duration, prog *obs.Progress) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rec.State = RunRunning
+	r.rec.QueueWaitMS = ms(queueWait)
+	r.prog = prog
+}
+
+// finish records the terminal transition and wakes watchers.
+func (r *run) finish(state RunState, disposition string, exec time.Duration, committedMS float64, events uint64, errMsg string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rec.State == RunDone || r.rec.State == RunFailed {
+		return
+	}
+	r.rec.State = state
+	r.rec.Disposition = disposition
+	r.rec.ExecMS = ms(exec)
+	r.rec.CommittedMS = committedMS
+	r.rec.Events = events
+	r.rec.Error = errMsg
+	r.prog = nil
+	close(r.done)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// runRegistry tracks every accepted run, live and recent. Terminal records
+// are retained up to the configured bound (in-flight runs are never evicted),
+// so /v1/runs doubles as a short service history.
+type runRegistry struct {
+	mu    sync.Mutex
+	seq   uint64
+	keep  int
+	runs  map[string]*run
+	order []string // insertion order; order[0] is the oldest
+}
+
+func newRunRegistry(keep int) *runRegistry {
+	if keep < 1 {
+		keep = 1
+	}
+	return &runRegistry{keep: keep, runs: make(map[string]*run)}
+}
+
+// begin registers a new queued run and returns its entry.
+func (g *runRegistry) begin(key, mode string, horizonMS float64) *run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seq++
+	r := &run{
+		rec: RunRecord{
+			ID:        fmt.Sprintf("run-%06d", g.seq),
+			Key:       key,
+			Mode:      mode,
+			State:     RunQueued,
+			HorizonMS: horizonMS,
+		},
+		enqueuedAt: time.Now(),
+		done:       make(chan struct{}),
+	}
+	g.runs[r.rec.ID] = r
+	g.order = append(g.order, r.rec.ID)
+	// Evict the oldest terminal records beyond the bound.
+	for len(g.order) > g.keep {
+		evicted := false
+		for i, id := range g.order {
+			old := g.runs[id]
+			old.mu.Lock()
+			terminal := old.rec.State == RunDone || old.rec.State == RunFailed
+			old.mu.Unlock()
+			if terminal {
+				delete(g.runs, id)
+				g.order = append(g.order[:i], g.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything is live; keep them all
+		}
+	}
+	return r
+}
+
+// get returns the run with the given ID, if present.
+func (g *runRegistry) get(id string) (*run, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.runs[id]
+	return r, ok
+}
+
+// list snapshots every retained record, newest first.
+func (g *runRegistry) list() []RunRecord {
+	g.mu.Lock()
+	ordered := make([]*run, 0, len(g.order))
+	for i := len(g.order) - 1; i >= 0; i-- {
+		ordered = append(ordered, g.runs[g.order[i]])
+	}
+	g.mu.Unlock()
+	out := make([]RunRecord, 0, len(ordered))
+	for _, r := range ordered {
+		out = append(out, r.snapshot())
+	}
+	return out
+}
+
+// CollectMetrics implements metrics.Collector: registry occupancy by state.
+func (g *runRegistry) CollectMetrics(e *metrics.Emitter) {
+	g.mu.Lock()
+	entries := make([]*run, 0, len(g.runs))
+	for _, r := range g.runs {
+		entries = append(entries, r)
+	}
+	total := g.seq
+	g.mu.Unlock()
+	var queued, running int64
+	for _, r := range entries {
+		switch r.snapshot().State {
+		case RunQueued:
+			queued++
+		case RunRunning:
+			running++
+		}
+	}
+	e.Counter("started", total)
+	e.Gauge("queued", queued)
+	e.Gauge("running", running)
+	e.Gauge("retained", int64(len(entries)))
+}
+
+// RunsResponse is the GET /v1/runs payload.
+type RunsResponse struct {
+	Runs []RunRecord `json:"runs"`
+}
+
+// handleRuns serves GET /v1/runs: every retained record, newest first.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunsResponse{Runs: s.runs.list()})
+}
+
+// handleRunByID serves GET /v1/runs/{id} (one record, live progress for
+// in-flight runs) and GET /v1/runs/{id}?watch=1 (SSE stream of records until
+// the run reaches a terminal state).
+func (s *Server) handleRunByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/runs/")
+	ru, ok := s.runs.get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown run %q", id)})
+		return
+	}
+	if r.URL.Query().Get("watch") != "1" {
+		writeJSON(w, http.StatusOK, ru.snapshot())
+		return
+	}
+	s.watchRun(w, r, ru)
+}
+
+// watchPeriod is the SSE progress cadence. A var so tests can tighten it.
+var watchPeriod = 50 * time.Millisecond
+
+// watchRun streams one run's records as Server-Sent Events: one "progress"
+// event per tick while the run executes, then a final "result" event at the
+// terminal state. The stream ends when the run does (or the client leaves).
+func (s *Server) watchRun(w http.ResponseWriter, r *http.Request, ru *run) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusOK, ru.snapshot())
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string) {
+		blob, err := json.Marshal(ru.snapshot())
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, blob)
+		fl.Flush()
+	}
+	emit("progress")
+	ticker := time.NewTicker(watchPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ru.done:
+			emit("result")
+			return
+		case <-ticker.C:
+			emit("progress")
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
 	s := New(Config{Workers: 4, CacheSize: 32, MaxBaselines: 4})
+	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
