@@ -218,11 +218,12 @@ func startPprof(addr string) {
 // that do not exercise a subsystem (e.g. pdes in a hybrid run) still emit
 // its headline counters as zeros so the JSON schema is stable across modes.
 var snapshotGroups = map[string][]string{
-	"des":    {"events_executed", "events_scheduled", "events_canceled"},
-	"pdes":   {"null_messages", "barriers", "cross_lp_packets", "causality_violations", "rollbacks", "anti_messages", "gvt_advances"},
-	"netsim": {"tx_packets", "drops", "ecn_marks"},
-	"tcp":    {"flows_started", "flows_completed", "retransmissions", "timeouts"},
-	"approx": {"egress_packets", "ingress_packets", "model_invocations"},
+	"des":        {"events_executed", "events_scheduled", "events_canceled"},
+	"pdes":       {"null_messages", "barriers", "cross_lp_packets", "causality_violations", "rollbacks", "anti_messages", "gvt_advances"},
+	"netsim":     {"tx_packets", "drops", "ecn_marks"},
+	"tcp":        {"flows_started", "flows_completed", "retransmissions", "timeouts"},
+	"approx":     {"egress_packets", "ingress_packets", "model_invocations"},
+	"collective": {"flows_launched", "steps_done", "iterations_done"},
 }
 
 // dumpMetrics writes the snapshot JSON to stdout, stubbing zero counters for
@@ -235,7 +236,7 @@ func dumpMetrics(reg *metrics.Registry) error {
 	for _, g := range reg.Groups() {
 		present[g] = true
 	}
-	for _, g := range []string{"des", "pdes", "netsim", "tcp", "approx"} {
+	for _, g := range []string{"des", "pdes", "netsim", "tcp", "approx", "collective"} {
 		if present[g] {
 			continue
 		}
@@ -411,6 +412,11 @@ func report(res *scenario.Result) {
 		}
 		if res.Spec.Faults != "" {
 			fmt.Printf("fault_drops=%d route_drops=%d\n", m.FaultDrops, m.RouteDrops)
+		}
+		if res.Spec.Workload.Collective != "" {
+			fmt.Printf("collective=%s iters=%d mean_iter=%.1fus max_iter=%.1fus\n",
+				res.Spec.Workload.Collective, m.CollectiveIters,
+				m.CollectiveMeanIterSec*1e6, m.CollectiveMaxIterSec*1e6)
 		}
 	}
 }

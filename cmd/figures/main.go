@@ -113,6 +113,10 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sweep *scenario.Flag
 		fmt.Printf("# faults: %s\n", sweep.Faults)
 		header += "\tfault_drops\troute_drops\tp99_fct"
 	}
+	if sweep.Collective != "" {
+		fmt.Printf("# collective: %s\n", sweep.Collective)
+		header += "\tcoll_iters\tcoll_mean_iter"
+	}
 	fmt.Println(header)
 	curves := map[int]*textplot.Series{}
 	var order []int
@@ -159,6 +163,9 @@ func fig1(durMS int, load float64, seed uint64, quick bool, sweep *scenario.Flag
 			e.WindowShrinks, e.WindowGrows, res.Metrics.Completed)
 		if sweep.Faults != "" {
 			fmt.Printf("\t%d\t%d\t%.6g", res.Metrics.FaultDrops, res.Metrics.RouteDrops, res.Metrics.P99FCTSec)
+		}
+		if sweep.Collective != "" {
+			fmt.Printf("\t%d\t%.6g", res.Metrics.CollectiveIters, res.Metrics.CollectiveMeanIterSec)
 		}
 		fmt.Println()
 		c, ok := curves[lps]

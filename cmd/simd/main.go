@@ -30,6 +30,14 @@
 //	  {"mode":"pdes","topology":{"racks":8},"workload":{"load":0.5},"lps":2,"seed":7,"horizon_ms":4,
 //	   "faults":"link:tor0-spine1@1ms+1ms,detect=400us"}]}'
 //
+// Closed-loop collective workloads ride the same spec — set
+// workload.collective (load 0 = collective only) and the reply carries
+// collective_iters and per-iteration durations:
+//
+//	curl -s localhost:8080/v1/run -d '{"mode":"pdes","topology":{"racks":4},
+//	  "workload":{"load":0,"collective":"ring:size=256KB,iters=2,hosts=8"},
+//	  "lps":2,"seed":7,"horizon_ms":10}'
+//
 // Re-POST any of those specs and the reply is served from cache with
 // byte-identical metrics ("cached":true).
 package main

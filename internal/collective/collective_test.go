@@ -1,0 +1,241 @@
+package collective
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/packet"
+)
+
+func TestParseGrammar(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []Params
+	}{
+		{"ring", []Params{{Kind: Ring, SizeBytes: 1 << 20, Iters: 1}}},
+		{"tree:size=256KB,iters=4,hosts=8,gap=50us",
+			[]Params{{Kind: Tree, SizeBytes: 256 << 10, Iters: 4, Hosts: 8, Gap: 50 * des.Microsecond}}},
+		{"alltoall:size=4MB", []Params{{Kind: AllToAll, SizeBytes: 4 << 20, Iters: 1}}},
+		{"ring:size=1GB", []Params{{Kind: Ring, SizeBytes: 1 << 30, Iters: 1}}},
+		{"ring:size=4096B,iters=2", []Params{{Kind: Ring, SizeBytes: 4096, Iters: 2}}},
+		{"ring:size=512", []Params{{Kind: Ring, SizeBytes: 512, Iters: 1}}},
+		{" ring ; tree:hosts=4 ", []Params{
+			{Kind: Ring, SizeBytes: 1 << 20, Iters: 1},
+			{Kind: Tree, SizeBytes: 1 << 20, Iters: 1, Hosts: 4}}},
+	}
+	for _, tc := range cases {
+		got, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Parse(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseRejections(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"  ;  ",
+		"butterfly",         // unknown kind
+		"ring:size=0",       // non-positive size
+		"ring:iters=0",      // non-positive iters
+		"ring:hosts=1",      // a 1-rank collective is no collective
+		"ring:hosts=-2",     // negative rank count
+		"ring:gap=-5us",     // negative compute gap
+		"ring:size",         // option without value
+		"ring:width=3",      // unknown option
+		"ring:size=banana",  // unparseable size
+		"ring:gap=fast",     // unparseable duration
+		"ring;tree:hosts=1", // second instance invalid
+	} {
+		if got, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", in, got)
+		}
+	}
+}
+
+// TestParseStringRoundTrip: rendering Params back into the grammar and
+// reparsing must reproduce them (the scenario layer round-trips specs this
+// way).
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, p := range []Params{
+		{Kind: Ring, SizeBytes: 1 << 20, Iters: 1},
+		{Kind: Tree, SizeBytes: 256 << 10, Iters: 4, Hosts: 8, Gap: 50 * des.Microsecond},
+		{Kind: AllToAll, SizeBytes: 777, Iters: 2, Hosts: 16},
+	} {
+		got, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", p.String(), err)
+		}
+		if len(got) != 1 || got[0] != p {
+			t.Errorf("round trip %q = %+v, want %+v", p.String(), got, p)
+		}
+	}
+}
+
+func ranks(n int) []packet.HostID {
+	out := make([]packet.HostID, n)
+	for i := range out {
+		out[i] = packet.HostID(i)
+	}
+	return out
+}
+
+// TestDecodeFlowIDInverse: decode must invert flowID over the instance's
+// entire ID range, and every decoded edge must be a sane DAG edge.
+func TestDecodeFlowIDInverse(t *testing.T) {
+	for _, kind := range []Kind{Ring, Tree, AllToAll} {
+		for _, n := range []int{2, 3, 5, 8} {
+			in, err := NewInstance(Params{Kind: kind, SizeBytes: 1 << 16, Iters: 3}, ranks(n), FirstFlowID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := in.First; id < in.First+in.NumFlows(); id++ {
+				if !in.OwnsFlow(id) {
+					t.Fatalf("%v n=%d: OwnsFlow(%d) = false inside the range", kind, n, id)
+				}
+				e := in.decode(id)
+				if back := in.flowID(e.iter, e.idx); back != id {
+					t.Fatalf("%v n=%d: flowID(decode(%d)) = %d", kind, n, id, back)
+				}
+				if e.src == e.dst || e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n {
+					t.Fatalf("%v n=%d id=%d: bad edge %+v", kind, n, id, e)
+				}
+				if kind == Tree && !e.bcast && e.dst != parent(e.src) {
+					t.Fatalf("tree n=%d id=%d: reduce edge %+v does not go to the parent", n, id, e)
+				}
+				if kind == Tree && e.bcast && e.src != parent(e.dst) {
+					t.Fatalf("tree n=%d id=%d: bcast edge %+v does not come from the parent", n, id, e)
+				}
+			}
+			if in.OwnsFlow(in.First-1) || in.OwnsFlow(in.First+in.NumFlows()) {
+				t.Errorf("%v n=%d: OwnsFlow accepts IDs outside [First, First+NumFlows)", kind, n)
+			}
+		}
+	}
+}
+
+// TestFlowSpecsCatalog checks the declared-workload catalog: exact flow
+// count, disjoint in-range IDs, per-kind chunk sizes, and monotone
+// non-negative arrival estimates.
+func TestFlowSpecsCatalog(t *testing.T) {
+	const n, size = 6, int64(120_000)
+	for _, tc := range []struct {
+		kind      Kind
+		wantChunk int64
+	}{
+		{Ring, 20_000},
+		{Tree, 120_000},
+		{AllToAll, 24_000},
+	} {
+		in, err := NewInstance(Params{Kind: tc.kind, SizeBytes: size, Iters: 2}, ranks(n), FirstFlowID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := in.FlowSpecs(10e9)
+		if uint64(len(specs)) != in.NumFlows() {
+			t.Fatalf("%v: %d specs, want %d", tc.kind, len(specs), in.NumFlows())
+		}
+		seen := map[uint64]bool{}
+		for _, sp := range specs {
+			if sp.Size != tc.wantChunk {
+				t.Fatalf("%v: chunk %d, want %d", tc.kind, sp.Size, tc.wantChunk)
+			}
+			if seen[sp.ID] {
+				t.Fatalf("%v: duplicate flow ID %d", tc.kind, sp.ID)
+			}
+			seen[sp.ID] = true
+			if !in.OwnsFlow(sp.ID) {
+				t.Fatalf("%v: catalog flow %d outside the owned range", tc.kind, sp.ID)
+			}
+			if sp.At < 0 {
+				t.Fatalf("%v: negative arrival estimate %v", tc.kind, sp.At)
+			}
+			if sp.Src == sp.Dst {
+				t.Fatalf("%v: self-flow %d", tc.kind, sp.ID)
+			}
+		}
+	}
+}
+
+// TestInstanceFlowMath pins the per-iteration flow counts and serial step
+// counts the analytic model quotes.
+func TestInstanceFlowMath(t *testing.T) {
+	for _, tc := range []struct {
+		kind           Kind
+		n              int
+		perIter, steps int
+	}{
+		{Ring, 4, 2 * 3 * 4, 6},
+		{Ring, 8, 2 * 7 * 8, 14},
+		{Tree, 8, 2 * 7, 6}, // depth(7) = 3
+		{Tree, 2, 2, 2},     // a single parent-child pair
+		{AllToAll, 8, 8 * 7, 7},
+	} {
+		in, err := NewInstance(Params{Kind: tc.kind, SizeBytes: 1 << 20, Iters: 1}, ranks(tc.n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(in.perIter) != tc.perIter {
+			t.Errorf("%v n=%d: perIter = %d, want %d", tc.kind, tc.n, in.perIter, tc.perIter)
+		}
+		if got := in.Steps(); got != tc.steps {
+			t.Errorf("%v n=%d: Steps() = %d, want %d", tc.kind, tc.n, got, tc.steps)
+		}
+	}
+}
+
+func TestNewInstanceRejections(t *testing.T) {
+	if _, err := NewInstance(Params{Kind: Ring, SizeBytes: 1, Iters: 1}, ranks(1), 0); err == nil {
+		t.Error("1-rank instance accepted")
+	}
+	if _, err := NewInstance(Params{Kind: Ring, SizeBytes: 1, Iters: 1, Hosts: 4}, ranks(3), 0); err == nil {
+		t.Error("rank-count mismatch accepted")
+	}
+	if _, err := NewInstance(Params{Kind: Ring, SizeBytes: 0, Iters: 1}, ranks(4), 0); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	for _, tc := range []struct{ a, b, want int64 }{
+		{10, 5, 2}, {11, 5, 3}, {1, 5, 1}, {0, 5, 1}, {1 << 20, 7, 149797},
+	} {
+		if got := ceilDiv(tc.a, tc.b); got != tc.want {
+			t.Errorf("ceilDiv(%d, %d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestTreeHelpers(t *testing.T) {
+	if parent(1) != 0 || parent(2) != 0 || parent(5) != 2 || parent(6) != 2 {
+		t.Error("parent() disagrees with the 2i+1/2i+2 layout")
+	}
+	for i, want := range []int{0, 1, 1, 2, 2, 2, 2, 3} {
+		if got := depth(i); got != want {
+			t.Errorf("depth(%d) = %d, want %d", i, got, want)
+		}
+	}
+	in, _ := NewInstance(Params{Kind: Tree, SizeBytes: 1, Iters: 1}, ranks(6), 0)
+	for i, want := range []int{2, 2, 1, 0, 0, 0} {
+		if got := in.nChildren(i); got != want {
+			t.Errorf("nChildren(%d) = %d over 6 ranks, want %d", i, got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Ring: "ring", Tree: "tree", AllToAll: "alltoall"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should render its numeric value")
+	}
+}

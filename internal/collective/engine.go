@@ -1,0 +1,499 @@
+package collective
+
+import (
+	"fmt"
+
+	"approxsim/internal/des"
+	"approxsim/internal/metrics"
+	"approxsim/internal/obs"
+	"approxsim/internal/packet"
+	"approxsim/internal/tcp"
+	"approxsim/internal/traffic"
+)
+
+// Instance is one collective over concrete ranks, ready to install on a
+// topology. Flow IDs are a pure function of (instance base, iteration, edge),
+// so the full flow catalog is known before the run starts — which is what
+// lets the PDES partitioning graph and the channel-quiescence analysis treat
+// closed-loop traffic exactly like a pre-scheduled workload.
+type Instance struct {
+	P     Params
+	Ranks []packet.HostID // rank r runs on host Ranks[r]
+	First uint64          // first flow ID; the instance owns [First, First+NumFlows())
+
+	n       int    // len(Ranks)
+	perIter uint64 // flow IDs consumed per iteration
+	chunk   int64  // payload bytes per flow
+	states  []*Rank
+}
+
+// NewInstance binds params to concrete ranks and a flow-ID base. The rank
+// order is load-bearing: rank r is Ranks[r] in every iteration, so the DAG —
+// and therefore the committed packet schedule — is a deterministic function
+// of (params, ranks, first).
+func NewInstance(p Params, ranks []packet.HostID, first uint64) (*Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(ranks)
+	if n < 2 {
+		return nil, fmt.Errorf("collective: need at least 2 ranks, got %d", n)
+	}
+	if p.Hosts > 0 && p.Hosts != n {
+		return nil, fmt.Errorf("collective: params want %d hosts, got %d ranks", p.Hosts, n)
+	}
+	in := &Instance{P: p, Ranks: append([]packet.HostID(nil), ranks...), First: first, n: n}
+	switch p.Kind {
+	case Ring:
+		in.perIter = uint64(2 * (n - 1) * n)
+		in.chunk = ceilDiv(p.SizeBytes, int64(n))
+	case Tree:
+		in.perIter = uint64(2 * (n - 1))
+		in.chunk = p.SizeBytes
+	case AllToAll:
+		in.perIter = uint64(n * (n - 1))
+		in.chunk = ceilDiv(p.SizeBytes, int64(n-1))
+	}
+	in.states = make([]*Rank, n)
+	return in, nil
+}
+
+func ceilDiv(a, b int64) int64 {
+	v := (a + b - 1) / b
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// NumFlows returns how many flow IDs the instance owns across all iterations.
+func (in *Instance) NumFlows() uint64 { return uint64(in.P.Iters) * in.perIter }
+
+// OwnsFlow reports whether id belongs to this instance.
+func (in *Instance) OwnsFlow(id uint64) bool {
+	return id >= in.First && id < in.First+in.NumFlows()
+}
+
+// Steps returns the serial step count of one iteration (the DAG's critical
+// path in flow hops): 2(N−1) for ring, 2·maxdepth for tree, N−1 for
+// all-to-all.
+func (in *Instance) Steps() int {
+	switch in.P.Kind {
+	case Tree:
+		return 2 * depth(in.n-1)
+	case AllToAll:
+		return in.n - 1
+	default:
+		return 2 * (in.n - 1)
+	}
+}
+
+// tree helpers: rank 0 is the root, children of i are 2i+1 and 2i+2.
+func parent(i int) int { return (i - 1) / 2 }
+func depth(i int) int {
+	d := 0
+	for i > 0 {
+		i = parent(i)
+		d++
+	}
+	return d
+}
+func (in *Instance) nChildren(i int) int {
+	c := 0
+	if 2*i+1 < in.n {
+		c++
+	}
+	if 2*i+2 < in.n {
+		c++
+	}
+	return c
+}
+
+// edge describes one flow of the DAG, decoded from its ID.
+type edge struct {
+	iter     int
+	idx      int // edge index within the iteration
+	src, dst int // rank indices
+	bcast    bool
+	round    int // alltoall round (1-based); ring step (0-based)
+}
+
+// decode maps a flow ID the instance owns back to its DAG edge.
+func (in *Instance) decode(id uint64) edge {
+	off := id - in.First
+	e := edge{iter: int(off / in.perIter), idx: int(off % in.perIter)}
+	switch in.P.Kind {
+	case Ring:
+		e.round = e.idx / in.n
+		e.src = e.idx % in.n
+		e.dst = (e.src + 1) % in.n
+	case Tree:
+		if e.idx < in.n-1 { // reduce: child -> parent
+			e.src = e.idx + 1
+			e.dst = parent(e.src)
+		} else { // broadcast: parent -> child
+			e.bcast = true
+			e.dst = e.idx - (in.n - 1) + 1
+			e.src = parent(e.dst)
+		}
+	case AllToAll:
+		e.round = e.idx/in.n + 1
+		e.src = e.idx % in.n
+		e.dst = (e.src + e.round) % in.n
+	}
+	return e
+}
+
+// flowID is decode's inverse for a (iteration, edge index) pair.
+func (in *Instance) flowID(iter, idx int) uint64 {
+	return in.First + uint64(iter)*in.perIter + uint64(idx)
+}
+
+// FlowSpecs returns the full flow catalog as a declared workload, with
+// analytic arrival estimates derived from the serial step structure at the
+// given host line rate. The At values only weight the partitioning graph —
+// the actual launches are event-driven — but Src/Dst/Size/ID are exact, which
+// is what makes the ECMP pin analysis (and channel quiescence) sound for
+// closed-loop traffic.
+func (in *Instance) FlowSpecs(hostBandwidthBps int64) []traffic.FlowSpec {
+	step := des.Time(5 * des.Microsecond) // handshake + propagation fudge
+	if hostBandwidthBps > 0 {
+		step += des.Time(float64(in.chunk) * 8e9 / float64(hostBandwidthBps))
+	}
+	span := des.Time(in.Steps())*step + in.P.Gap
+	specs := make([]traffic.FlowSpec, 0, in.NumFlows())
+	for k := 0; k < in.P.Iters; k++ {
+		base := des.Time(k) * span
+		for idx := 0; idx < int(in.perIter); idx++ {
+			e := in.decode(in.flowID(k, idx))
+			var at des.Time
+			switch in.P.Kind {
+			case Ring:
+				at = des.Time(e.round) * step
+			case Tree:
+				maxD := depth(in.n - 1)
+				if e.bcast {
+					at = des.Time(maxD+depth(e.dst)-1) * step
+				} else {
+					at = des.Time(maxD-depth(e.src)) * step
+				}
+			case AllToAll:
+				at = des.Time(e.round-1) * step
+			}
+			specs = append(specs, traffic.FlowSpec{
+				At:   base + at,
+				Src:  in.Ranks[e.src],
+				Dst:  in.Ranks[e.dst],
+				Size: in.chunk,
+				ID:   in.flowID(k, idx),
+			})
+		}
+	}
+	return specs
+}
+
+// Bind attaches rank r to its TCP stack and kernel and returns the per-rank
+// progress engine. The returned Rank implements the pdes StateSaver contract
+// and metrics.Collector; the builder registers it on the rank's owning LP.
+func (in *Instance) Bind(r int, stack *tcp.Stack, k *des.Kernel, trace *obs.Buf) *Rank {
+	rk := &Rank{in: in, rank: r, stack: stack, kernel: k, trace: trace}
+	rk.st = rankMut{
+		startAt: make([]des.Time, in.P.Iters),
+		doneAt:  make([]des.Time, in.P.Iters),
+		recv:    make([]int32, in.P.Iters),
+		sends:   make([]int32, in.P.Iters),
+		done:    make([]bool, in.P.Iters),
+	}
+	in.states[r] = rk
+	return rk
+}
+
+// Kickoff schedules each rank's iteration-0 start as an ordinary kernel event
+// at time zero on that rank's own LP. Call once after every rank is bound.
+func (in *Instance) Kickoff() {
+	for _, rk := range in.states {
+		rk := rk
+		rk.kernel.At(0, func() { rk.startIter(0) })
+	}
+}
+
+// HandleRecv drives the DAG on the receiving rank: the TCP stack's
+// receiver-side completion hook for a flow this instance owns. Runs on the
+// destination rank's LP by construction.
+func (in *Instance) HandleRecv(id uint64) {
+	e := in.decode(id)
+	in.states[e.dst].onRecv(e)
+}
+
+// CompletedIters returns how many whole iterations the collective finished:
+// iteration k counts once every rank has locally completed it.
+func (in *Instance) CompletedIters() int {
+	done := 0
+	for k := 0; k < in.P.Iters; k++ {
+		all := true
+		for _, rk := range in.states {
+			if !rk.st.done[k] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			break
+		}
+		done++
+	}
+	return done
+}
+
+// IterDurations returns the collective-level duration of each completed
+// iteration: last rank's local completion minus first rank's local start.
+// Pure virtual time, so the values are part of the deterministic result.
+func (in *Instance) IterDurations() []des.Time {
+	var out []des.Time
+	for k := 0; k < in.CompletedIters(); k++ {
+		var start, end des.Time
+		for i, rk := range in.states {
+			if s := rk.st.startAt[k]; i == 0 || s < start {
+				start = s
+			}
+			if d := rk.st.doneAt[k]; d > end {
+				end = d
+			}
+		}
+		out = append(out, end-start)
+	}
+	return out
+}
+
+// Rank returns rank r's progress engine (valid after Bind).
+func (in *Instance) Rank(r int) *Rank { return in.states[r] }
+
+// FlowsLaunched totals the flows every rank has started so far.
+func (in *Instance) FlowsLaunched() uint64 {
+	var n uint64
+	for _, rk := range in.states {
+		n += rk.launched.Value()
+	}
+	return n
+}
+
+// Rank is one rank's progress engine: the per-LP state machine that turns
+// completion callbacks into successor launches. All mutable state lives in
+// rankMut so a Time Warp checkpoint is one struct copy.
+type Rank struct {
+	in     *Instance
+	rank   int
+	stack  *tcp.Stack
+	kernel *des.Kernel
+	trace  *obs.Buf
+
+	st rankMut
+
+	// Instruments, registered under the "collective" registry group.
+	launched  metrics.Counter // flows this rank has started
+	stepsDone metrics.Counter // dependency edges resolved at this rank
+	itersDone metrics.Counter // local iteration completions
+	iterNS    metrics.Histogram
+}
+
+// rankMut is the rollback-checkpointed portion of a Rank. recv counts
+// incoming DAG edges per iteration (ring chunks, tree reduce messages,
+// all-to-all slices); sends counts this rank's completed sends (all-to-all
+// round gating). Indexing by iteration keeps the machine correct when
+// neighbors run up to an iteration ahead — the ring's circular dependency
+// bounds the skew, but arrivals for iteration k+1 can precede the local end
+// of k.
+type rankMut struct {
+	startAt []des.Time
+	doneAt  []des.Time
+	recv    []int32
+	sends   []int32
+	done    []bool
+}
+
+// startIter begins iteration k on this rank: ring and all-to-all ranks launch
+// their first send; tree leaves send their reduce contribution (interior
+// nodes wait for children).
+func (r *Rank) startIter(k int) {
+	if k >= r.in.P.Iters {
+		return
+	}
+	now := r.kernel.Now()
+	r.st.startAt[k] = now
+	r.trace.Emit(obs.Event{TS: now, Ph: obs.PhInstant,
+		Name: "coll_iter_start", Cat: "collective", Tid: int32(r.stack.Host().NodeID()),
+		K1: "iter", V1: int64(k), K2: "rank", V2: int64(r.rank)})
+	in := r.in
+	switch in.P.Kind {
+	case Ring:
+		r.send(k, 0*in.n+r.rank) // step-0 chunk to the successor
+	case Tree:
+		if in.nChildren(r.rank) == 0 {
+			r.send(k, r.rank-1) // reduce edge: leaf -> parent
+		}
+	case AllToAll:
+		r.send(k, 0*in.n+r.rank) // round 1
+	}
+}
+
+// send launches the flow (iteration k, edge idx) from this rank.
+func (r *Rank) send(k, idx int) {
+	e := r.in.decode(r.in.flowID(k, idx))
+	r.launched.Inc()
+	var onDone func(tcp.FlowResult)
+	if r.in.P.Kind == AllToAll {
+		onDone = func(tcp.FlowResult) { r.onSendDone(e) }
+	}
+	r.stack.StartFlow(r.in.Ranks[e.dst], r.in.chunk, r.in.flowID(k, idx), onDone)
+}
+
+// onRecv resolves an incoming dependency edge: the flow's final byte reached
+// this rank. Fires on this rank's own LP (the TCP receiver-side hook).
+func (r *Rank) onRecv(e edge) {
+	r.stepsDone.Inc()
+	r.trace.Emit(obs.Event{TS: r.kernel.Now(), Ph: obs.PhInstant,
+		Name: "coll_step", Cat: "collective", Tid: int32(r.stack.Host().NodeID()),
+		K1: "iter", V1: int64(e.iter), K2: "edge", V2: int64(e.idx)})
+	in := r.in
+	k := e.iter
+	switch in.P.Kind {
+	case Ring:
+		// Receiving the step-s chunk from the predecessor is exactly what
+		// enables this rank's step-s+1 send (reduce-scatter forwards the
+		// chunk it just combined; all-gather relays it verbatim). Each
+		// arrival enables one send, independent of arrival order.
+		r.st.recv[k]++
+		if next := e.round + 1; next < 2*(in.n-1) {
+			r.send(k, next*in.n+r.rank)
+		}
+		if int(r.st.recv[k]) == 2*(in.n-1) {
+			r.finishIter(k)
+		}
+	case Tree:
+		if e.bcast {
+			// Result from the parent: forward down, locally done.
+			for _, c := range []int{2*r.rank + 1, 2*r.rank + 2} {
+				if c < in.n {
+					r.send(k, (in.n-1)+c-1)
+				}
+			}
+			r.finishIter(k)
+			return
+		}
+		// Reduce contribution from a child.
+		r.st.recv[k]++
+		if int(r.st.recv[k]) != in.nChildren(r.rank) {
+			return
+		}
+		if r.rank == 0 {
+			// Root: reduction complete — start the broadcast, locally done.
+			for _, c := range []int{1, 2} {
+				if c < in.n {
+					r.send(k, (in.n-1)+c-1)
+				}
+			}
+			r.finishIter(k)
+		} else {
+			r.send(k, r.rank-1) // forward the partial reduction upward
+		}
+	case AllToAll:
+		r.st.recv[k]++
+		r.maybeFinishA2A(k)
+	}
+}
+
+// onSendDone gates the next all-to-all round on this rank's own completion
+// callback. Fires on this rank's own LP (the TCP sender side).
+func (r *Rank) onSendDone(e edge) {
+	r.stepsDone.Inc()
+	k := e.iter
+	r.st.sends[k]++
+	if next := e.round + 1; next < r.in.n {
+		r.send(k, (next-1)*r.in.n+r.rank)
+	}
+	r.maybeFinishA2A(k)
+}
+
+// maybeFinishA2A completes iteration k once this rank has both sent and
+// received all N−1 slices. The final increment — whichever side it lands on —
+// trips the condition exactly once.
+func (r *Rank) maybeFinishA2A(k int) {
+	n1 := int32(r.in.n - 1)
+	if r.st.recv[k] == n1 && r.st.sends[k] == n1 && !r.st.done[k] {
+		r.finishIter(k)
+	}
+}
+
+// finishIter records local completion of iteration k and chains the next
+// iteration after the configured compute gap.
+func (r *Rank) finishIter(k int) {
+	now := r.kernel.Now()
+	r.st.done[k] = true
+	r.st.doneAt[k] = now
+	r.itersDone.Inc()
+	r.iterNS.Observe(uint64(now - r.st.startAt[k]))
+	r.trace.Emit(obs.Event{TS: r.st.startAt[k], Dur: now - r.st.startAt[k], Ph: obs.PhSpan,
+		Name: "coll_iter", Cat: "collective", Tid: int32(r.stack.Host().NodeID()),
+		K1: "iter", V1: int64(k), K2: "rank", V2: int64(r.rank)})
+	if next := k + 1; next < r.in.P.Iters {
+		if r.in.P.Gap > 0 {
+			r.kernel.At(now+r.in.P.Gap, func() { r.startIter(next) })
+		} else {
+			r.startIter(next)
+		}
+	}
+}
+
+// CollectMetrics implements metrics.Collector: register every rank under one
+// "collective" group so counters sum and iteration-time histograms pool
+// network-wide.
+func (r *Rank) CollectMetrics(e *metrics.Emitter) {
+	e.Counter("flows_launched", r.launched.Value())
+	e.Counter("steps_done", r.stepsDone.Value())
+	e.Counter("iterations_done", r.itersDone.Value())
+	e.Histogram("iter_time_ns", &r.iterNS)
+}
+
+// rankState is a Time Warp checkpoint of a Rank.
+type rankState struct {
+	st rankMut
+
+	launched  metrics.Counter
+	stepsDone metrics.Counter
+	itersDone metrics.Counter
+	iterNS    metrics.Histogram
+}
+
+// SaveState implements the pdes StateSaver contract.
+func (r *Rank) SaveState() any {
+	return rankState{
+		st: rankMut{
+			startAt: append([]des.Time(nil), r.st.startAt...),
+			doneAt:  append([]des.Time(nil), r.st.doneAt...),
+			recv:    append([]int32(nil), r.st.recv...),
+			sends:   append([]int32(nil), r.st.sends...),
+			done:    append([]bool(nil), r.st.done...),
+		},
+		launched:  r.launched,
+		stepsDone: r.stepsDone,
+		itersDone: r.itersDone,
+		iterNS:    r.iterNS,
+	}
+}
+
+// RestoreState implements the pdes StateSaver contract. The checkpoint stays
+// pristine and may be restored again.
+func (r *Rank) RestoreState(v any) {
+	s := v.(rankState)
+	copy(r.st.startAt, s.st.startAt)
+	copy(r.st.doneAt, s.st.doneAt)
+	copy(r.st.recv, s.st.recv)
+	copy(r.st.sends, s.st.sends)
+	copy(r.st.done, s.st.done)
+	// Store/CopyFrom write atomically: a rollback may race with a concurrent
+	// metrics snapshot, which must see torn-free values.
+	r.launched.Store(s.launched.Value())
+	r.stepsDone.Store(s.stepsDone.Value())
+	r.itersDone.Store(s.itersDone.Value())
+	r.iterNS.CopyFrom(&s.iterNS)
+}

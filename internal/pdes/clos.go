@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"approxsim/internal/collective"
 	"approxsim/internal/des"
 	"approxsim/internal/faults"
 	"approxsim/internal/metrics"
@@ -31,6 +32,9 @@ type Clos struct {
 	// Partition describes the placement the build committed to. Never nil
 	// after BuildClos.
 	Partition *PartitionStats
+	// Collectives holds the closed-loop workload instances installed by
+	// WithCollectives, in option order. Empty without the option.
+	Collectives []*collective.Instance
 
 	lpOfHost []int
 	torBase  packet.NodeID
@@ -215,8 +219,13 @@ func BuildClos(cfg topology.Config, lps int, opts ...Option) (*Clos, error) {
 	if part == nil {
 		part = ContiguousPartitioner{}
 	}
-	specs := cl.Sys.cfg.workload
-	g := closGraph(cfg, specs, sched)
+	insts, declared, err := buildCollectives(cl.Sys.cfg.collectives, cl.Sys.cfg.workload,
+		nH, cfg.HostLink.BandwidthBps)
+	if err != nil {
+		return nil, err
+	}
+	cl.Collectives = insts
+	g := closGraph(cfg, declared, sched)
 	blockLP := make([]int, nB)
 	for c := range blockLP {
 		blockLP[c] = c * lps / nB
@@ -274,6 +283,7 @@ func BuildClos(cfg topology.Config, lps int, opts ...Option) (*Clos, error) {
 		cl.Stacks = append(cl.Stacks, stack)
 		cl.lpOfHost = append(cl.lpOfHost, lpOfCluster(h/perCluster))
 	}
+	installCollectives(insts, cl.Stacks, cl.lpOfHost, cl.Sys)
 
 	nicCfg := cfg.HostLink
 	if min := int64(200 * packet.MaxFrameSize); nicCfg.QueueBytes < min {
@@ -349,14 +359,14 @@ func BuildClos(cfg topology.Config, lps int, opts ...Option) (*Clos, error) {
 	// BuildLeafSpine: every packet of an inter-cluster flow travels one of the
 	// flow's two core-pinned paths. Skipped under a fault schedule — rerouting
 	// makes the static path analysis unsound (see System.LimitChannels).
-	if len(specs) > 0 && lps > 1 && sched.Empty() {
+	if len(declared) > 0 && lps > 1 && sched.Empty() {
 		active := make([]bool, lps*lps)
 		mark := func(a, b int) {
 			if a != b {
 				active[a*lps+b] = true
 			}
 		}
-		for _, sp := range specs {
+		for _, sp := range declared {
 			srcCl, dstCl := int(sp.Src)/perCluster, int(sp.Dst)/perCluster
 			if srcCl == dstCl {
 				continue
@@ -438,6 +448,11 @@ func (cl *Clos) RegisterMetrics(reg *metrics.Registry) {
 	}
 	for _, st := range cl.Stacks {
 		reg.Register("tcp", st)
+	}
+	for _, in := range cl.Collectives {
+		for r := range in.Ranks {
+			reg.Register("collective", in.Rank(r))
+		}
 	}
 }
 
@@ -556,5 +571,6 @@ func RunClosObserved(clusters, lps int, load float64, dur des.Time, seed uint64,
 	res.P99FCTSec = sum.P99FCT
 	res.FaultDrops = cl.FaultDrops()
 	res.RouteDrops = cl.RouteDrops()
+	fillCollective(res, cl.Collectives)
 	return res, nil
 }

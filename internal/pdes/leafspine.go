@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"approxsim/internal/collective"
 	"approxsim/internal/des"
 	"approxsim/internal/faults"
 	"approxsim/internal/metrics"
@@ -30,6 +31,9 @@ type LeafSpine struct {
 	// Partition describes the placement the build committed to (cut size,
 	// active channels, load spread). Never nil after BuildLeafSpine.
 	Partition *PartitionStats
+	// Collectives are the closed-loop workload instances installed by
+	// WithCollectives, in option order (empty otherwise).
+	Collectives []*collective.Instance
 
 	lpOfHost  []int
 	torBase   packet.NodeID
@@ -223,8 +227,16 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 	if part == nil {
 		part = ContiguousPartitioner{}
 	}
-	specs := ls.Sys.cfg.workload
-	g := leafSpineGraph(cfg, specs, sched)
+	// Collective instances are resolved before placement so the declared
+	// workload — open-loop schedule plus the full closed-loop flow catalog —
+	// weights the partition graph and feeds channel quiescence with exactly
+	// the flows that will run.
+	insts, declared, err := buildCollectives(ls.Sys.cfg.collectives, ls.Sys.cfg.workload, nH, cfg.HostLink.BandwidthBps)
+	if err != nil {
+		return nil, err
+	}
+	ls.Collectives = insts
+	g := leafSpineGraph(cfg, declared, sched)
 	blockLP := make([]int, nT)
 	for t := range blockLP {
 		blockLP[t] = t * lps / nT
@@ -279,6 +291,7 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 		ls.Stacks = append(ls.Stacks, stack)
 		ls.lpOfHost = append(ls.lpOfHost, lpOfToR(h/perRack))
 	}
+	installCollectives(insts, ls.Stacks, ls.lpOfHost, ls.Sys)
 
 	// Host egress queues model the NIC transmit qdisc (see topology.wire).
 	nicCfg := cfg.HostLink
@@ -377,14 +390,14 @@ func BuildLeafSpine(cfg topology.Config, lps int, opts ...Option) (*LeafSpine, e
 	// Skipped entirely under a fault schedule: failure rerouting moves flows
 	// onto spines the healthy analysis proved idle (LimitChannels would
 	// reject the call anyway — see its fault guard).
-	if len(specs) > 0 && lps > 1 && sched.Empty() && !dyn {
+	if len(declared) > 0 && lps > 1 && sched.Empty() && !dyn {
 		active := make([]bool, lps*lps)
 		mark := func(a, b int) {
 			if a != b {
 				active[a*lps+b] = true
 			}
 		}
-		for _, sp := range specs {
+		for _, sp := range declared {
 			srcRack, dstRack := int(sp.Src)/perRack, int(sp.Dst)/perRack
 			if srcRack == dstRack {
 				continue
@@ -562,6 +575,11 @@ func (ls *LeafSpine) RegisterMetrics(reg *metrics.Registry) {
 	for _, st := range ls.Stacks {
 		reg.Register("tcp", st)
 	}
+	for _, in := range ls.Collectives {
+		for r := range in.Ranks {
+			reg.Register("collective", in.Rank(r))
+		}
+	}
 }
 
 // Results gathers every flow result across all stacks.
@@ -615,6 +633,13 @@ type ExperimentResult struct {
 	CutWeight     float64
 	Channels      int
 	LoadImbalance float64
+	// Collective workload summary (see internal/collective). Iteration
+	// durations are pure virtual time — part of the deterministic result,
+	// bit-identical across engines like the flow metrics above.
+	CollectiveIters       int     // whole iterations completed by every rank
+	CollectiveIterNS      []int64 // per-iteration collective durations, instance order
+	CollectiveMeanIterSec float64
+	CollectiveMaxIterSec  float64
 }
 
 // RunLeafSpine executes the Fig. 1 measurement: an n-ToR, n-spine leaf-spine
@@ -732,5 +757,6 @@ func (ls *LeafSpine) AssembleResult(st Stats, flowsStarted int, dur des.Time, wa
 	res.GoodputBps = sum.GoodputBps
 	res.FaultDrops = ls.FaultDrops()
 	res.RouteDrops = ls.RouteDrops()
+	fillCollective(res, ls.Collectives)
 	return res
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"approxsim/internal/collective"
 	"approxsim/internal/des"
 	"approxsim/internal/faults"
 	"approxsim/internal/obs"
@@ -79,6 +80,7 @@ type config struct {
 	windowMax       des.Time
 	partitioner     Partitioner
 	workload        []traffic.FlowSpec
+	collectives     []collective.Params
 	faults          *faults.Schedule
 	dynFaults       bool
 }
@@ -232,6 +234,20 @@ func WithPartitioner(p Partitioner) Option { return func(c *config) { c.partitio
 // analysis unsound.
 func withWorkload(specs []traffic.FlowSpec) Option {
 	return func(c *config) { c.workload = specs }
+}
+
+// WithCollectives installs closed-loop collective-communication workloads
+// (ring/tree all-reduce, all-to-all; see internal/collective) on the built
+// topology. Unlike withWorkload's open-loop schedule, collective flows launch
+// from TCP completion callbacks — but their complete flow catalog (src, dst,
+// size, ID) is still known at build time, so the builders fold it into the
+// declared workload: partition-graph weighting and channel quiescence see
+// exactly the flows that will run, keeping both analyses sound. Safe to
+// export because the catalog comes from the same Params that drive the
+// launches — declared and actual workloads cannot diverge. Ranks are the
+// first Hosts host IDs of the topology (all hosts when Hosts is 0).
+func WithCollectives(ps ...collective.Params) Option {
+	return func(c *config) { c.collectives = append(c.collectives, ps...) }
 }
 
 // WithFaults installs a fault schedule on the built topology: link and switch

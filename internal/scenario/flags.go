@@ -7,20 +7,21 @@ import "flag"
 // through it — so the -faults / -partition / -sync grammars (and every
 // default) exist exactly once, here, instead of once per command.
 type Flags struct {
-	Mode      string
-	Clusters  int
-	DurMS     int
-	Load      float64
-	Seed      uint64
-	Pattern   string
-	Models    string
-	DCTCP     bool
-	Workload  string
-	Racks     int
-	LPs       int
-	Sync      string
-	Partition string
-	Faults    string
+	Mode       string
+	Clusters   int
+	DurMS      int
+	Load       float64
+	Seed       uint64
+	Pattern    string
+	Models     string
+	DCTCP      bool
+	Workload   string
+	Racks      int
+	LPs        int
+	Sync       string
+	Partition  string
+	Faults     string
+	Collective string
 }
 
 // Bind registers the full scenario flag surface on fs and returns the
@@ -50,12 +51,13 @@ func BindSweep(fs *flag.FlagSet) *Flags {
 	return f
 }
 
-// bindPDESGrammar registers the three PDES mini-language flags — the grammars
+// bindPDESGrammar registers the PDES mini-language flags — the grammars
 // the satellite refactor exists to centralize.
 func (f *Flags) bindPDESGrammar(fs *flag.FlagSet) {
 	fs.StringVar(&f.Sync, "sync", "nullmsg", "pdes synchronization: nullmsg | barrier | timewarp")
 	fs.StringVar(&f.Partition, "partition", "contiguous", "pdes fabric placement: contiguous | spine | mincut")
 	fs.StringVar(&f.Faults, "faults", "", "pdes fault schedule, e.g. 'link:tor0-spine1@1ms+500us,detect=50us,jitter=10us;switch:spine0@2ms+1ms' ('+dur' omitted = permanent)")
+	fs.StringVar(&f.Collective, "collective", "", "pdes collective workload, e.g. 'ring:size=256KB,iters=4,hosts=8' (kinds: ring | tree | alltoall; -load 0 = collective only)")
 }
 
 // Spec assembles the scenario the parsed flags describe. Mode-specific fields
@@ -78,6 +80,7 @@ func (f *Flags) Spec() Spec {
 		sp.Partition = f.Partition
 		sp.LPs = f.LPs
 		sp.Faults = f.Faults
+		sp.Workload.Collective = f.Collective
 	} else {
 		sp.Topology = Topology{Kind: "clos", Clusters: f.Clusters}
 	}
@@ -93,7 +96,7 @@ func (f *Flags) PDESSpec(racks, lps int, load float64, seed uint64, durMS float6
 	return Spec{
 		Mode:      "pdes",
 		Topology:  Topology{Kind: "leafspine", Racks: racks},
-		Workload:  Workload{Load: load},
+		Workload:  Workload{Load: load, Collective: f.Collective},
 		Sync:      f.Sync,
 		Partition: f.Partition,
 		Faults:    f.Faults,

@@ -190,8 +190,17 @@ func (b *baseline) build(sp Spec) error {
 	if err != nil {
 		return err
 	}
-	ls, err := pdes.BuildLeafSpineWorkload(cfg, sp.LPs, specs,
-		pdes.WithDynamicFaults(), pdes.WithSyncAlgo(algo), pdes.WithPartitioner(part))
+	popts := []pdes.Option{pdes.WithDynamicFaults(), pdes.WithSyncAlgo(algo), pdes.WithPartitioner(part)}
+	// The collective spec is part of the baseline identity (BaselineKey only
+	// clears faults), so every fork of this family re-runs the same
+	// closed-loop workload from the warm checkpoint — rank progress state is
+	// a registered saver and rewinds with everything else.
+	if ps, err := sp.collectives(); err != nil {
+		return err
+	} else if len(ps) > 0 {
+		popts = append(popts, pdes.WithCollectives(ps...))
+	}
+	ls, err := pdes.BuildLeafSpineWorkload(cfg, sp.LPs, specs, popts...)
 	if err != nil {
 		return err
 	}

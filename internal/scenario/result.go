@@ -28,6 +28,13 @@ type Metrics struct {
 	// Blackholed-traffic accounting (pdes mode under a fault schedule).
 	FaultDrops uint64 `json:"fault_drops,omitempty"`
 	RouteDrops uint64 `json:"route_drops,omitempty"`
+	// Collective-workload progress (pdes mode with workload.collective):
+	// completed whole iterations, per-iteration virtual durations, and their
+	// mean/max. Virtual-time quantities — part of the deterministic block.
+	CollectiveIters       int     `json:"collective_iters,omitempty"`
+	CollectiveIterNS      []int64 `json:"collective_iter_ns,omitempty"`
+	CollectiveMeanIterSec float64 `json:"collective_mean_iter_sec,omitempty"`
+	CollectiveMaxIterSec  float64 `json:"collective_max_iter_sec,omitempty"`
 }
 
 // Perf is the non-deterministic block: how the run performed, not what it
@@ -95,6 +102,11 @@ func metricsFromExperiment(r *pdes.ExperimentResult) Metrics {
 		GoodputBps: r.GoodputBps,
 		FaultDrops: r.FaultDrops,
 		RouteDrops: r.RouteDrops,
+
+		CollectiveIters:       r.CollectiveIters,
+		CollectiveIterNS:      r.CollectiveIterNS,
+		CollectiveMeanIterSec: r.CollectiveMeanIterSec,
+		CollectiveMaxIterSec:  r.CollectiveMaxIterSec,
 	}
 }
 

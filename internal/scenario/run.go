@@ -240,6 +240,11 @@ func (s Spec) runPDES(res *Result, ro *runOptions) error {
 	algo, _ := pdes.ParseSyncAlgo(s.Sync) // grammar checked by Validate
 	part, _ := pdes.ParsePartitioner(s.Partition)
 	popts := append([]pdes.Option{pdes.WithSyncAlgo(algo), pdes.WithPartitioner(part)}, ro.pdesOpts...)
+	if ps, err := s.collectives(); err != nil {
+		return err
+	} else if len(ps) > 0 {
+		popts = append(popts, pdes.WithCollectives(ps...))
+	}
 	if s.Faults != "" {
 		sched, err := topology.ParseFaults(cfg, s.Faults)
 		if err != nil {

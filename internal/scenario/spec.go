@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"approxsim/internal/collective"
 	"approxsim/internal/des"
 	"approxsim/internal/packet"
 	"approxsim/internal/pdes"
@@ -53,6 +54,15 @@ type Workload struct {
 	// SizeDist is the flow-size distribution: websearch | datamining
 	// (default websearch).
 	SizeDist string `json:"size_dist"`
+	// Collective layers closed-loop collective-communication workloads over
+	// the Poisson background (pdes mode only), in the internal/collective
+	// grammar: semicolon-separated "kind:opt=val,..." instances with kind
+	// ring | tree | alltoall and options size/iters/hosts/gap, e.g.
+	// "ring:size=256KB,iters=4,hosts=8". With a collective set, load 0 is
+	// legal and means no background traffic at all. Empty (the default)
+	// keeps the field out of the canonical JSON, so legacy specs hash
+	// unchanged.
+	Collective string `json:"collective,omitempty"`
 }
 
 // Spec is one complete, serializable scenario. The zero value of any field
@@ -108,7 +118,9 @@ func (s Spec) Normalized() Spec {
 	if s.Workload.Pattern == "" {
 		s.Workload.Pattern = "uniform"
 	}
-	if s.Workload.Load == 0 {
+	if s.Workload.Load == 0 && s.Workload.Collective == "" {
+		// With a collective, load 0 is meaningful: collective-only, no
+		// Poisson background.
 		s.Workload.Load = 0.4
 	}
 	if s.Workload.SizeDist == "" {
@@ -179,11 +191,12 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario: topology.racks only applies to pdes mode (use clusters)")
 		}
 		for name, set := range map[string]bool{
-			"sync":      s.Sync != "",
-			"partition": s.Partition != "",
-			"lps":       s.LPs != 0,
-			"faults":    s.Faults != "",
-			"warm_ms":   s.WarmMS != 0,
+			"sync":                s.Sync != "",
+			"partition":           s.Partition != "",
+			"lps":                 s.LPs != 0,
+			"faults":              s.Faults != "",
+			"warm_ms":             s.WarmMS != 0,
+			"workload.collective": s.Workload.Collective != "",
 		} {
 			if set {
 				return fmt.Errorf("scenario: %s only applies to pdes mode", name)
@@ -208,7 +221,11 @@ func (s Spec) Validate() error {
 	}
 
 	// Ranges and grammars (on the normalized copy, so defaults are in play).
-	if n.Workload.Load <= 0 || n.Workload.Load > 1 {
+	if n.Workload.Collective != "" {
+		if n.Workload.Load < 0 || n.Workload.Load > 1 {
+			return fmt.Errorf("scenario: load %g out of [0, 1] (0 = collective only)", n.Workload.Load)
+		}
+	} else if n.Workload.Load <= 0 || n.Workload.Load > 1 {
 		return fmt.Errorf("scenario: load %g out of (0, 1]", n.Workload.Load)
 	}
 	if _, err := n.pattern(); err != nil {
@@ -254,6 +271,18 @@ func (s Spec) Validate() error {
 		// stamped beyond it (PostHorizonDrops), so the checkpoint would be
 		// lossy; only a single kernel quiesces completely at an interior time.
 		return fmt.Errorf("scenario: warm_ms needs lps = 1 (a multi-LP warm checkpoint would lose in-flight packets)")
+	}
+	if n.Workload.Collective != "" {
+		ps, err := collective.Parse(n.Workload.Collective)
+		if err != nil {
+			return err
+		}
+		for _, p := range ps {
+			if hosts := n.topologyConfig().NumHosts(); p.Hosts > hosts {
+				return fmt.Errorf("scenario: collective %q wants %d hosts, topology has %d",
+					p, p.Hosts, hosts)
+			}
+		}
 	}
 	if n.Faults != "" {
 		sched, err := topology.ParseFaults(n.topologyConfig(), n.Faults)
@@ -356,7 +385,20 @@ func (s Spec) topologyConfig() topology.Config {
 }
 
 // flowSpecs pre-generates the pdes workload schedule (normalized specs only);
-// in a leaf-spine the rack is the locality unit.
+// in a leaf-spine the rack is the locality unit. Load 0 (collective-only)
+// yields an empty schedule.
 func (s Spec) flowSpecs(cfg topology.Config) ([]traffic.FlowSpec, error) {
+	if s.Workload.Load == 0 {
+		return nil, nil
+	}
 	return s.flowSpecsOn(cfg, cfg.ServersPerToR)
+}
+
+// collectives parses the collective grammar (normalized, validated specs
+// only); empty spec means none.
+func (s Spec) collectives() ([]collective.Params, error) {
+	if s.Workload.Collective == "" {
+		return nil, nil
+	}
+	return collective.Parse(s.Workload.Collective)
 }

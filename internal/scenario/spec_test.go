@@ -43,6 +43,28 @@ var goldenSpecs = []struct {
 		HorizonMS: 6,
 		WarmMS:    1.5,
 	}},
+	// Collective workload fields: the grammar string is part of the hash
+	// preimage, and load 0 (collective-only) must survive normalization
+	// instead of defaulting to 0.4.
+	{"pdes_collective", Spec{
+		Mode:      "pdes",
+		Topology:  Topology{Racks: 4},
+		Workload:  Workload{Collective: "ring:size=256KB,iters=2,hosts=8"},
+		Sync:      "barrier",
+		LPs:       2,
+		Seed:      11,
+		HorizonMS: 10,
+	}},
+	{"pdes_collective_background", Spec{
+		Mode:      "pdes",
+		Topology:  Topology{Racks: 8},
+		Workload:  Workload{Load: 0.3, Collective: "tree:size=64KB,hosts=8;alltoall:size=1MB,iters=2,hosts=4,gap=50us"},
+		Sync:      "timewarp",
+		Partition: "mincut",
+		LPs:       4,
+		Seed:      12,
+		HorizonMS: 8,
+	}},
 }
 
 func TestCanonicalGolden(t *testing.T) {
@@ -97,6 +119,67 @@ func TestKeyFieldOrderInvariance(t *testing.T) {
 		if keys[i] != keys[0] {
 			t.Fatalf("doc %d keyed %s, doc 0 keyed %s — field order or defaults leaked into the hash", i, keys[i], keys[0])
 		}
+	}
+}
+
+// TestKeyCollectiveInvariance extends the field-order property to the
+// collective workload field, and pins the two separation requirements: a
+// legacy spec (no collective) hashes identically whether the field is absent
+// or explicitly empty, and adding a collective changes the key.
+func TestKeyCollectiveInvariance(t *testing.T) {
+	docs := []string{
+		`{"mode":"pdes","topology":{"racks":4},"workload":{"load":0,"collective":"ring:size=256KB,iters=2,hosts=8"},"lps":2,"seed":7,"horizon_ms":6}`,
+		`{"seed":7,"lps":2,"workload":{"collective":"ring:size=256KB,iters=2,hosts=8","load":0},"horizon_ms":6,"topology":{"racks":4},"mode":"pdes"}`,
+		`{"mode":"pdes","topology":{"racks":4},"workload":{"collective":"ring:size=256KB,iters=2,hosts=8"},"lps":2,"seed":7,"horizon_ms":6}`,
+	}
+	var keys []string
+	for i, doc := range docs {
+		var sp Spec
+		if err := json.Unmarshal([]byte(doc), &sp); err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		k, err := sp.Key()
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[0] {
+			t.Fatalf("doc %d keyed %s, doc 0 keyed %s", i, keys[i], keys[0])
+		}
+	}
+
+	legacy := Spec{Mode: "pdes", Topology: Topology{Racks: 4}, Seed: 7, HorizonMS: 6, LPs: 2}
+	explicitEmpty := legacy
+	explicitEmpty.Workload.Collective = ""
+	k1, err := legacy.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := explicitEmpty.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("an explicitly empty collective must hash like a legacy spec (omitempty)")
+	}
+	withColl := legacy
+	withColl.Workload.Collective = "ring:hosts=4"
+	k3, err := withColl.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Fatal("adding a collective must change the cache key")
+	}
+
+	// The collective stays in the BASELINE identity (unlike faults): a
+	// collective variant cannot fork a collective-free warmed baseline.
+	b1, _ := legacy.BaselineKey()
+	b2, _ := withColl.BaselineKey()
+	if b1 == b2 {
+		t.Fatal("specs differing in collective must not share a baseline")
 	}
 }
 
@@ -186,6 +269,18 @@ func TestValidateRejections(t *testing.T) {
 		{"bad fault grammar", Spec{Mode: "pdes", Faults: "spine0 dies at noon"}},
 		{"unknown fault name", Spec{Mode: "pdes", Topology: Topology{Racks: 4},
 			Faults: "switch:spine99@1ms"}},
+		{"collective outside pdes", Spec{Mode: "full",
+			Workload: Workload{Collective: "ring:hosts=4"}}},
+		{"bad collective grammar", Spec{Mode: "pdes",
+			Workload: Workload{Collective: "butterfly:hosts=4"}}},
+		{"collective single host", Spec{Mode: "pdes",
+			Workload: Workload{Collective: "ring:hosts=1"}}},
+		{"collective too many hosts", Spec{Mode: "pdes", Topology: Topology{Racks: 4},
+			Workload: Workload{Collective: "ring:hosts=64"}}}, // 4 racks = 16 hosts
+		{"collective negative load", Spec{Mode: "pdes",
+			Workload: Workload{Load: -0.1, Collective: "ring:hosts=4"}}},
+		{"load zero without collective", Spec{Mode: "pdes",
+			Workload: Workload{Load: -1}}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -212,6 +307,16 @@ func TestNormalizedDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Collective-only: load 0 means "no background traffic" and must not
+	// default to 0.4 (that would silently add Poisson flows to — and rotate
+	// the cache key of — every collective-only spec).
+	c := Spec{Mode: "pdes", Workload: Workload{Collective: "ring:hosts=4"}}.Normalized()
+	if c.Workload.Load != 0 {
+		t.Fatalf("collective-only load defaulted to %g, want 0", c.Workload.Load)
+	}
+	if err := c.Validate(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -40,6 +40,12 @@ type serverMetrics struct {
 
 	queueWaitNS metrics.Histogram // fresh runs: wait for a worker slot
 	execNS      metrics.Histogram // fresh runs: scenario.Run wall time
+
+	// collectiveIterNS pools collective iteration times (virtual ns) across
+	// every fresh run with a workload.collective — the service-level view of
+	// closed-loop workload latency, exported as
+	// approxsim_server_collective_iter_ns on /metrics.
+	collectiveIterNS metrics.Histogram
 }
 
 func newServerMetrics() *serverMetrics {
@@ -72,6 +78,7 @@ func (sm *serverMetrics) CollectMetrics(e *metrics.Emitter) {
 	e.Gauge("cache_bytes", sm.cacheBytes.Value())
 	e.Histogram("queue_wait_ns", &sm.queueWaitNS)
 	e.Histogram("exec_ns", &sm.execNS)
+	e.Histogram("collective_iter_ns", &sm.collectiveIterNS)
 	for _, ep := range sm.endpoints {
 		e.Counter("http_requests_"+ep.name, ep.requests.Value())
 		e.Histogram("http_latency_ns_"+ep.name, &ep.latencyNS)

@@ -422,6 +422,11 @@ func (s *Server) execute(sp scenario.Spec, endpoint string) RunResponse {
 	<-s.sem
 	s.sm.runs.Inc()
 	s.sm.execNS.Observe(uint64(exec.Nanoseconds()))
+	if err == nil {
+		for _, ns := range res.Metrics.CollectiveIterNS {
+			s.sm.collectiveIterNS.Observe(uint64(ns))
+		}
+	}
 
 	if err == nil {
 		// Marshal ONCE; these bytes are the cached value, so every hit —

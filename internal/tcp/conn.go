@@ -443,8 +443,16 @@ func (c *conn) receiverHandle(p *packet.Packet) {
 		// (Re)acknowledge connection setup; idempotent for duplicate SYNs.
 		c.sendAck(p, packet.FlagSYN)
 	case p.Flags&packet.FlagFIN != 0:
+		first := !c.gotFIN
 		c.gotFIN = true
 		c.sendAck(p, packet.FlagFIN)
+		if first && c.stack.OnFlowRecv != nil {
+			// The sender FINs only after full cumulative acknowledgment, so
+			// rcvNxt == the flow size here. gotFIN gates the hook to exactly
+			// one firing per flow (and rides the conn checkpoint, so a
+			// rolled-back firing replays identically).
+			c.stack.OnFlowRecv(c.flow, c.peer, c.rcvNxt)
+		}
 	case p.PayloadLen > 0:
 		c.ingest(int64(p.Seq), int64(p.PayloadLen))
 		c.sendAck(p, 0)

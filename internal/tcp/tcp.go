@@ -122,6 +122,18 @@ type Stack struct {
 	// OnFlowDone, if non-nil, observes each completed flow.
 	OnFlowDone func(FlowResult)
 
+	// OnFlowRecv, if non-nil, fires on the RECEIVING host the first time a
+	// flow's FIN arrives. The sender only emits its FIN once every payload
+	// byte is cumulatively acknowledged (see transmitWindow), so at that
+	// moment the receiver holds the complete transfer: size is the received
+	// byte count. Closed-loop workloads (internal/collective) hang successor
+	// launches off this hook — it runs inside the receiving host's own
+	// kernel event, so anything it starts lands on the correct logical
+	// process by construction. Duplicate FINs (retransmitted teardowns) do
+	// not re-fire, and the once-flag is part of the connection's rollback
+	// checkpoint, so Time Warp re-execution re-fires deterministically.
+	OnFlowRecv func(flowID uint64, src packet.HostID, size int64)
+
 	// Live aggregate instruments, updated by connections as they run (the
 	// per-flow counters in FlowResult only become visible at flow end).
 	flowsStarted   metrics.Counter

@@ -1,0 +1,93 @@
+package traffic
+
+import (
+	"sort"
+	"testing"
+
+	"approxsim/internal/des"
+	"approxsim/internal/packet"
+	"approxsim/internal/tcp"
+)
+
+// Seed-parity regression: GenerateSpecs (the static pre-computed schedule the
+// PDES paths run) and the live Generator (the event-driven arrival process
+// the clos engines run) must produce the IDENTICAL flow list for the same
+// Config and seed — same arrival times, endpoints, sizes, and flow IDs, in
+// the same order. The two share one labeled RNG stream and one draw order
+// (gap, pair, size per flow); any divergence means the "same workload" two
+// engine modes claim to run is a lie and cross-mode comparisons are apples
+// to oranges. The MustTouch case is the one that historically diverged: the
+// live path thinned elided flows without consuming an ID, the static path
+// did not thin at all.
+func TestGenerateSpecsMatchesLiveGenerator(t *testing.T) {
+	const horizon = 3 * des.Millisecond
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"uniform", Config{Load: 0.3, HostBandwidthBps: 10e9, Seed: 42}},
+		{"incast", Config{Load: 0.2, HostBandwidthBps: 10e9, Seed: 7,
+			Pattern: Incast, IncastFanIn: 4}},
+		{"musttouch", Config{Load: 0.3, HostBandwidthBps: 10e9, Seed: 42,
+			MustTouch: []packet.HostID{0, 1, 2, 3}}},
+		{"musttouch-datamining", Config{Load: 0.8, HostBandwidthBps: 10e9, Seed: 9,
+			SizeCDF: DataMiningCDF(), MustTouch: []packet.HostID{0, 1, 5, 11}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Live side: run the event-driven generator to the horizon and
+			// let every launched flow finish (RunAll drains the kernel), so
+			// Results holds the complete launch record.
+			k, _, stacks := testbed(t)
+			g, err := NewGenerator(k, stacks, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.Start(horizon)
+			k.RunAll()
+			live := append([]tcp.FlowResult(nil), g.Results...)
+			sort.Slice(live, func(i, j int) bool { return live[i].FlowID < live[j].FlowID })
+			if uint64(len(live)) != g.Started() {
+				t.Fatalf("live run: %d results for %d launches (incomplete flows?)",
+					len(live), g.Started())
+			}
+
+			// Static side: the same config over the same host set.
+			hosts := make([]packet.HostID, len(stacks))
+			for i := range hosts {
+				hosts[i] = packet.HostID(i)
+			}
+			specs, err := GenerateSpecs(tc.cfg, hosts, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(specs) != len(live) {
+				t.Fatalf("GenerateSpecs produced %d flows, live generator launched %d",
+					len(specs), len(live))
+			}
+			if len(specs) == 0 {
+				t.Fatal("degenerate case: zero flows generated")
+			}
+			for i, sp := range specs {
+				r := live[i]
+				if sp.ID != r.FlowID || sp.Src != r.Src || sp.Dst != r.Dst ||
+					sp.Size != r.Size || sp.At != r.Start {
+					t.Fatalf("flow %d diverged:\nstatic: %+v\nlive:   id=%d src=%d dst=%d size=%d start=%v",
+						i, sp, r.FlowID, r.Src, r.Dst, r.Size, r.Start)
+				}
+			}
+			if tc.cfg.MustTouch != nil {
+				touch := map[packet.HostID]bool{}
+				for _, h := range tc.cfg.MustTouch {
+					touch[h] = true
+				}
+				for _, sp := range specs {
+					if !touch[sp.Src] && !touch[sp.Dst] {
+						t.Fatalf("flow %d (%d->%d) touches no MustTouch host", sp.ID, sp.Src, sp.Dst)
+					}
+				}
+			}
+		})
+	}
+}

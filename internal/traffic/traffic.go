@@ -393,6 +393,12 @@ func GenerateSpecs(cfg Config, hosts []packet.HostID, until des.Time) ([]FlowSpe
 		nextFlowID: cfg.FirstFlowID,
 		eligible:   append([]packet.HostID(nil), hosts...),
 	}
+	if len(cfg.MustTouch) > 0 {
+		g.touch = make(map[packet.HostID]bool, len(cfg.MustTouch))
+		for _, h := range cfg.MustTouch {
+			g.touch[h] = true
+		}
+	}
 	rate := g.ArrivalRate()
 	var specs []FlowSpec
 	t := des.Time(0)
@@ -409,6 +415,12 @@ func GenerateSpecs(cfg Config, hosts []packet.HostID, until des.Time) ([]FlowSpe
 		size := int64(g.cfg.SizeCDF.Sample(g.src))
 		if size < 1 {
 			size = 1
+		}
+		// Seed parity with the live Generator (launchOne): thin MustTouch
+		// misses AFTER the pair and size draws and WITHOUT consuming a flow
+		// ID, so the same seed yields the same flow list either way.
+		if g.touch != nil && !g.touch[src] && !g.touch[dst] {
+			continue
 		}
 		specs = append(specs, FlowSpec{At: t, Src: src, Dst: dst, Size: size, ID: g.nextFlowID})
 		g.nextFlowID++
