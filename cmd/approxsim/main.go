@@ -401,8 +401,9 @@ func report(res *scenario.Result) {
 		}
 	}
 	if e := res.Experiment; e != nil {
-		fmt.Printf("sync=%s lps=%d nulls=%d barriers=%d cross_lp_packets=%d violations=%d eit_stalls=%d\n",
-			res.Spec.Sync, e.LPs, e.Nulls, e.Barriers, e.CrossPkts, e.Violations, e.EITStalls)
+		fmt.Printf("sync=%s lps=%d nulls=%d barriers=%d cross_lp_packets=%d parked_arrivals=%d post_horizon_drops=%d violations=%d eit_stalls=%d\n",
+			res.Spec.Sync, e.LPs, e.Nulls, e.Barriers, e.CrossPkts,
+			e.ParkedArrivals, e.PostHorizonDrops, e.Violations, e.EITStalls)
 		fmt.Printf("partition=%s cut_edges=%d cut_weight=%.1f active_channels=%d lp_load_imbalance=%.3f\n",
 			e.Partition, e.CutEdges, e.CutWeight, e.Channels, e.LoadImbalance)
 		if res.Spec.Sync == "timewarp" {

@@ -539,28 +539,30 @@ func RunClosObserved(clusters, lps int, load float64, dur des.Time, seed uint64,
 	st := cl.Sys.Stats()
 	res := &ExperimentResult{
 		ToRs: clusters * cfg.ToRsPerCluster, LPs: lps,
-		SimSeconds:      dur.Seconds(),
-		WallSeconds:     wall.Seconds(),
-		Events:          st.Events,
-		Nulls:           st.Nulls,
-		Barriers:        st.Barriers,
-		CrossPkts:       st.CrossPkts,
-		Violations:      st.Violations,
-		EITStalls:       st.EITStalls,
-		Rollbacks:       st.Rollbacks,
-		AntiMessages:    st.AntiMessages,
-		LazyCancelSaved: st.LazyCancelSaved,
-		GVTAdvances:     st.GVTAdvances,
-		Checkpoints:     st.Checkpoints,
-		WindowShrinks:   st.WindowShrinks,
-		WindowGrows:     st.WindowGrows,
-		QuiescentSends:  st.QuiescentSends,
-		FlowsStarted:    len(specs),
-		Partition:       cl.Partition.Name,
-		CutEdges:        cl.Partition.CutEdges,
-		CutWeight:       cl.Partition.CutWeight,
-		Channels:        cl.Partition.Channels,
-		LoadImbalance:   cl.Partition.LoadImbalance,
+		SimSeconds:       dur.Seconds(),
+		WallSeconds:      wall.Seconds(),
+		Events:           st.Events,
+		Nulls:            st.Nulls,
+		Barriers:         st.Barriers,
+		CrossPkts:        st.CrossPkts,
+		Violations:       st.Violations,
+		EITStalls:        st.EITStalls,
+		ParkedArrivals:   st.ParkedArrivals,
+		PostHorizonDrops: st.PostHorizonDrops,
+		Rollbacks:        st.Rollbacks,
+		AntiMessages:     st.AntiMessages,
+		LazyCancelSaved:  st.LazyCancelSaved,
+		GVTAdvances:      st.GVTAdvances,
+		Checkpoints:      st.Checkpoints,
+		WindowShrinks:    st.WindowShrinks,
+		WindowGrows:      st.WindowGrows,
+		QuiescentSends:   st.QuiescentSends,
+		FlowsStarted:     len(specs),
+		Partition:        cl.Partition.Name,
+		CutEdges:         cl.Partition.CutEdges,
+		CutWeight:        cl.Partition.CutWeight,
+		Channels:         cl.Partition.Channels,
+		LoadImbalance:    cl.Partition.LoadImbalance,
 	}
 	if wall > 0 {
 		res.SimPerWall = res.SimSeconds / res.WallSeconds

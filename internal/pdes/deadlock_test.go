@@ -105,8 +105,8 @@ func TestTinyInboxBarrierNoDeadlock(t *testing.T) {
 // first LP's catch-up blocked sending into the second's full inbox while the
 // second was not yet draining, and the send fallback spun on the sender's own
 // empty inbox forever. The concurrent two-phase catch-up must complete under
-// both conservative engines, and every beyond-horizon packet must be
-// accounted as a PostHorizonDrop rather than silently lost.
+// both conservative engines, and every beyond-horizon packet must be parked
+// and accounted as a ParkedArrival rather than silently lost.
 func TestFinalDrainTinyInbox(t *testing.T) {
 	const (
 		end   = 100 * des.Microsecond
@@ -128,9 +128,11 @@ func TestFinalDrainTinyInbox(t *testing.T) {
 			if err := s.Connect(s.LP(0), na, s.LP(1), nb, a, b, 10*des.Microsecond); err != nil {
 				t.Fatal(err)
 			}
-			got := 0
-			a.Handler = func(*packet.Packet) { got++ }
-			b.Handler = func(*packet.Packet) { got++ }
+			// Per-LP counters: the resumed segment delivers on both LP
+			// goroutines concurrently, so a shared counter would race.
+			gotA, gotB := 0, 0
+			a.Handler = func(*packet.Packet) { gotA++ }
+			b.Handler = func(*packet.Packet) { gotB++ }
 			s.LP(0).Kernel().Schedule(end, func() {
 				for i := 0; i < burst; i++ {
 					a.Send(&packet.Packet{Src: 0, Dst: 1, PayloadLen: 100})
@@ -148,13 +150,17 @@ func TestFinalDrainTinyInbox(t *testing.T) {
 					s.Run(end)
 				}
 			})
-			if got != 0 {
-				t.Errorf("%d beyond-horizon packets were delivered, want 0", got)
+			if gotA+gotB != 0 {
+				t.Errorf("%d beyond-horizon packets were delivered, want 0", gotA+gotB)
 			}
 			st := s.Stats()
-			if st.PostHorizonDrops != 2*burst {
-				t.Errorf("post-horizon drops = %d, want %d (one per horizon-stamped send)",
-					st.PostHorizonDrops, 2*burst)
+			if st.ParkedArrivals != 2*burst {
+				t.Errorf("parked arrivals = %d, want %d (one per horizon-stamped send)",
+					st.ParkedArrivals, 2*burst)
+			}
+			if st.PostHorizonDrops != 0 {
+				t.Errorf("post-horizon drops = %d, want 0 (conservative engines park, never drop)",
+					st.PostHorizonDrops)
 			}
 			if st.Violations != 0 {
 				t.Errorf("%d causality violations", st.Violations)
@@ -163,6 +169,23 @@ func TestFinalDrainTinyInbox(t *testing.T) {
 				if n := s.LP(i).Kernel().Pending(); n != 0 {
 					t.Errorf("LP %d kernel has %d pending events after the run, want 0", i, n)
 				}
+			}
+			// The parked burst is in-flight traffic, not loss: the next run
+			// segment must deliver every packet exactly once, with no recount.
+			runWithWatchdog(t, 30*time.Second, func() {
+				if mode == "barrier" {
+					s.RunBarrier(end + 100*des.Microsecond)
+				} else {
+					s.Run(end + 100*des.Microsecond)
+				}
+			})
+			if gotA != burst || gotB != burst {
+				t.Errorf("next segment delivered %d/%d parked packets, want %d each way",
+					gotA, gotB, burst)
+			}
+			if st := s.Stats(); st.ParkedArrivals != 2*burst {
+				t.Errorf("parked arrivals after resume = %d, want %d (first park counts once)",
+					st.ParkedArrivals, 2*burst)
 			}
 		})
 	}
@@ -183,10 +206,11 @@ func postHorizonScenario(t *testing.T) (*System, *int) {
 	return s, &got
 }
 
-// checkPostHorizonClean asserts the post-run kernel state is clean: the
-// beyond-horizon packet must be dropped and accounted, never left as a
-// phantom pending event that skews Pending() after the run.
-func checkPostHorizonClean(t *testing.T, s *System, got int) {
+// checkPostHorizonParked asserts the post-run state is clean: the
+// beyond-horizon packet must be parked and accounted (never delivered early,
+// never dropped, never left as a phantom pending event that skews Pending()
+// after the run).
+func checkPostHorizonParked(t *testing.T, s *System, got int) {
 	t.Helper()
 	if got != 0 {
 		t.Errorf("beyond-horizon packet was delivered %d times, want 0", got)
@@ -197,24 +221,59 @@ func checkPostHorizonClean(t *testing.T, s *System, got int) {
 		}
 	}
 	st := s.Stats()
-	if st.PostHorizonDrops == 0 {
-		t.Error("beyond-horizon packet was not accounted as a post-horizon drop")
+	if st.ParkedArrivals == 0 {
+		t.Error("beyond-horizon packet was not accounted as a parked arrival")
+	}
+	if st.PostHorizonDrops != 0 {
+		t.Errorf("post-horizon drops = %d, want 0 (conservative engines park, never drop)",
+			st.PostHorizonDrops)
 	}
 	if st.Violations != 0 {
 		t.Errorf("%d causality violations", st.Violations)
 	}
 }
 
-func TestRunDropsPostHorizonPackets(t *testing.T) {
+func TestRunParksPostHorizonPackets(t *testing.T) {
 	s, got := postHorizonScenario(t)
 	s.Run(100 * des.Microsecond)
-	checkPostHorizonClean(t, s, *got)
+	checkPostHorizonParked(t, s, *got)
+	// The arrival is stamped 108us; a second segment past that delivers it.
+	s.Run(120 * des.Microsecond)
+	if *got != 1 {
+		t.Errorf("parked packet delivered %d times by the next segment, want 1", *got)
+	}
 }
 
-func TestRunBarrierDropsPostHorizonPackets(t *testing.T) {
+func TestRunBarrierParksPostHorizonPackets(t *testing.T) {
 	s, got := postHorizonScenario(t)
 	s.RunBarrier(100 * des.Microsecond)
-	checkPostHorizonClean(t, s, *got)
+	checkPostHorizonParked(t, s, *got)
+	s.RunBarrier(120 * des.Microsecond)
+	if *got != 1 {
+		t.Errorf("parked packet delivered %d times by the next segment, want 1", *got)
+	}
+}
+
+// TestParkedRepark pins the recounting rule: a packet that stays beyond TWO
+// successive horizons is re-parked by the intermediate segment without being
+// counted again — ParkedArrivals counts in-flight packets, not park events.
+func TestParkedRepark(t *testing.T) {
+	s, got := postHorizonScenario(t)
+	s.Run(100 * des.Microsecond) // arrival stamped 108us parks
+	s.Run(105 * des.Microsecond) // still beyond the horizon: re-parks silently
+	if *got != 0 {
+		t.Fatalf("packet delivered %d times before its timestamp, want 0", *got)
+	}
+	if st := s.Stats(); st.ParkedArrivals != 1 {
+		t.Errorf("parked arrivals = %d after re-park, want 1", st.ParkedArrivals)
+	}
+	s.Run(120 * des.Microsecond)
+	if *got != 1 {
+		t.Errorf("parked packet delivered %d times, want 1", *got)
+	}
+	if st := s.Stats(); st.ParkedArrivals != 1 {
+		t.Errorf("parked arrivals = %d after delivery, want 1", st.ParkedArrivals)
+	}
 }
 
 // TestBarrierDeliversAtExactHorizon pins the other half of the RunBarrier

@@ -54,7 +54,10 @@ func committedGroups(t *testing.T, reg *metrics.Registry) string {
 // synchronization algorithms. Partitioning moves devices between LPs and
 // reshapes which arrivals cross LP boundaries; the keyed arrival ordering
 // (des.AtCtxKeyBand over netsim.ArrivalKey) is what makes that movement
-// invisible to committed results.
+// invisible to committed results. The conservative engines additionally run
+// a SEGMENTED axis — Run(mid); Run(dur) — which must also match: parked
+// in-flight packets make the segment cut invisible too (Clos and collective
+// segmented coverage lives in TestDeterminismPropertySegmented).
 func TestDeterminismProperty(t *testing.T) {
 	if testing.Short() {
 		t.Skip("property test is heavy; skipped under -short")
@@ -143,6 +146,35 @@ func TestDeterminismProperty(t *testing.T) {
 				check("nullmsg(lps=2,mincut)",
 					run(NullMessages, 2, WithPartitioner(MinCutPartitioner{})))
 			}
+
+			// Segmented axis: Run(mid); Run(dur) must commit identically to
+			// the single-Run reference. The cross-LP packets in flight at mid
+			// — stamped in (mid, mid+lookahead] — are parked at the first
+			// horizon and re-ingested at the second Run's entry; losing them
+			// (the pre-park engine dropped them) skews every downstream TCP
+			// exchange. Nullmsg sweeps every partitioner; barrier rotates one.
+			runSeg := func(algo SyncAlgo, lps int, opts ...Option) string {
+				reg := metrics.NewRegistry()
+				res, err := runLeafSpineSegmentedObserved(tors, lps, load,
+					[]des.Time{dur / 2}, dur, seed, algo, reg, opts...)
+				if err != nil {
+					t.Fatalf("segmented %v lps=%d: %v", algo, lps, err)
+				}
+				if res.Violations != 0 {
+					t.Fatalf("segmented %v lps=%d: %d causality violations", algo, lps, res.Violations)
+				}
+				if res.PostHorizonDrops != 0 {
+					t.Fatalf("segmented %v lps=%d: %d post-horizon drops (conservative engines park)",
+						algo, lps, res.PostHorizonDrops)
+				}
+				return committedGroups(t, reg)
+			}
+			for _, p := range partitioners {
+				check(fmt.Sprintf("segmented/nullmsg(lps=%d,%s)", lpsHigh, p.Name()),
+					runSeg(NullMessages, lpsHigh, WithPartitioner(p)))
+			}
+			check(fmt.Sprintf("segmented/barrier(lps=%d,%s)", lpsHigh, pb.Name()),
+				runSeg(Barrier, lpsHigh, WithPartitioner(pb)))
 
 			// The same property must hold with a NONEMPTY fault schedule: a
 			// mid-run link flap plus a spine failure, with detection delay and

@@ -31,6 +31,15 @@ type SystemState struct {
 type forkLPState struct {
 	kstate *des.KernelState
 	blobs  []any
+	// parked mirrors LP.parked at the checkpoint — the cross-LP packets in
+	// flight past the warm horizon. Losing them is exactly the bug that made
+	// warm multi-LP forking unsound, so they are first-class checkpoint
+	// state. parkedCtx holds the savePacketCtx deep copy of each parked
+	// packet's contents (Hops, TTL, ECN marks), rewound into the SAME packet
+	// object on restore — handle identity stays load-bearing, matching the
+	// kernel-heap packet contract.
+	parked    []message
+	parkedCtx []any
 }
 
 // At returns the virtual time of the checkpoint (the minimum kernel clock
@@ -48,8 +57,9 @@ func (st *SystemState) At() des.Time {
 	return min
 }
 
-// Checkpoint captures the entire system — every LP's kernel plus every
-// registered saver — at quiescence. Only the conservative engines support it:
+// Checkpoint captures the entire system — every LP's kernel, every registered
+// saver, and every parked in-flight cross-LP packet — at quiescence. Only the
+// conservative engines support it:
 // Time Warp owns the snapshot machinery for its own rollback protocol, and a
 // restored optimistic run would also need its processed/output logs rewound.
 func (s *System) Checkpoint() (*SystemState, error) {
@@ -61,6 +71,13 @@ func (s *System) Checkpoint() (*SystemState, error) {
 		fs := forkLPState{kstate: lp.kernel.Snapshot(savePacketCtx)}
 		for _, sv := range lp.savers {
 			fs.blobs = append(fs.blobs, sv.SaveState())
+		}
+		if len(lp.parked) > 0 {
+			fs.parked = append([]message(nil), lp.parked...)
+			fs.parkedCtx = make([]any, len(lp.parked))
+			for i, m := range lp.parked {
+				fs.parkedCtx[i] = savePacketCtx(m.pkt)
+			}
 		}
 		st.lps = append(st.lps, fs)
 	}
@@ -97,9 +114,21 @@ func (s *System) Restore(st *SystemState) error {
 		// Per-run channel state: promises made during a previous run exceed
 		// anything the restored run will re-announce, so they must be
 		// forgotten (runNull/runBarrier also reset them at run entry; doing it
-		// here keeps a restored system consistent even before Run).
+		// here keeps a restored system consistent even before Run). The other
+		// mirrored per-run state needs no rewind here: lastRecv is reallocated
+		// and re-seeded from the (restored) kernel clocks at every Run entry,
+		// so stale promises cannot leak across a restore.
 		for _, o := range lp.outs {
 			o.lastSent = 0
+		}
+		// Parked in-flight packets are simulation state, not machinery: rewind
+		// the buffer to the checkpoint, discarding anything parked since. The
+		// restored entries alias the checkpoint's packet objects (the same
+		// pointers the warm run shipped), with contents rewound from the deep
+		// copies; a fresh slice keeps the checkpoint pristine across restores.
+		lp.parked = append([]message(nil), fs.parked...)
+		for j, m := range fs.parked {
+			restorePacketCtx(m.pkt, fs.parkedCtx[j])
 		}
 		// At quiescence nothing is in flight; drain defensively so a stray
 		// message can never leak into the forked run.
@@ -122,6 +151,7 @@ func (s Stats) Sub(base Stats) Stats {
 		CrossPkts:        s.CrossPkts - base.CrossPkts,
 		Violations:       s.Violations - base.Violations,
 		EITStalls:        s.EITStalls - base.EITStalls,
+		ParkedArrivals:   s.ParkedArrivals - base.ParkedArrivals,
 		PostHorizonDrops: s.PostHorizonDrops - base.PostHorizonDrops,
 		Rollbacks:        s.Rollbacks - base.Rollbacks,
 		AntiMessages:     s.AntiMessages - base.AntiMessages,

@@ -1,6 +1,7 @@
 package pdes
 
 import (
+	"fmt"
 	"sort"
 	"testing"
 
@@ -11,15 +12,17 @@ import (
 	"approxsim/internal/traffic"
 )
 
-// forkSpecs generates the shared workload the fork tests run.
-func forkSpecs(t *testing.T, cfg topology.Config, dur des.Time, seed uint64) []traffic.FlowSpec {
+// forkSpecs generates the shared workload the fork tests run. The warm-fork
+// tests pass a high load so that, with microsecond lookahead, some cross-LP
+// packet is reliably in flight at the warm point — the parked-buffer case.
+func forkSpecs(t *testing.T, cfg topology.Config, load float64, dur des.Time, seed uint64) []traffic.FlowSpec {
 	t.Helper()
 	hosts := make([]packet.HostID, cfg.ToRsPerCluster*cfg.ServersPerToR)
 	for i := range hosts {
 		hosts[i] = packet.HostID(i)
 	}
 	specs, err := traffic.GenerateSpecs(traffic.Config{
-		Load:             0.3,
+		Load:             load,
 		HostBandwidthBps: cfg.HostLink.BandwidthBps,
 		Seed:             seed,
 	}, hosts, dur)
@@ -63,7 +66,7 @@ func TestForkMatchesColdStart(t *testing.T) {
 		dur  = 2 * des.Millisecond
 	)
 	cfg := topology.DefaultLeafSpineConfig(tors)
-	specs := forkSpecs(t, cfg, dur, seed)
+	specs := forkSpecs(t, cfg, 0.3, dur, seed)
 	sched, err := topology.ParseFaults(cfg, "switch:spine0@500us+600us,detect=50us,jitter=10us")
 	if err != nil {
 		t.Fatal(err)
@@ -136,10 +139,13 @@ func TestForkMatchesColdStart(t *testing.T) {
 	}
 }
 
-// TestWarmCheckpointFork proves the named-warm-point path: a single-LP
+// TestWarmCheckpointFork proves the named-warm-point path, now multi-LP: a
 // baseline run healthy to a warm point, checkpointed, then continued under a
 // fault schedule whose first fault lies beyond the warm point, commits results
-// bit-identical to a cold faulted run over the whole horizon.
+// bit-identical to a cold faulted run over the whole horizon — for LP counts
+// beyond one, where the warm checkpoint must carry the cross-LP packets in
+// flight at the warm point (the parked buffer), and under both conservative
+// engines. Each checkpoint is restored twice to prove it stays pristine.
 func TestWarmCheckpointFork(t *testing.T) {
 	const (
 		tors = 4
@@ -148,7 +154,7 @@ func TestWarmCheckpointFork(t *testing.T) {
 		dur  = 3 * des.Millisecond
 	)
 	cfg := topology.DefaultLeafSpineConfig(tors)
-	specs := forkSpecs(t, cfg, dur, seed)
+	specs := forkSpecs(t, cfg, 0.9, dur, seed)
 	sched, err := topology.ParseFaults(cfg, "switch:spine1@1500us+500us,detect=40us")
 	if err != nil {
 		t.Fatal(err)
@@ -162,33 +168,131 @@ func TestWarmCheckpointFork(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	warmLS, err := BuildLeafSpineWorkload(cfg, 1, specs, WithDynamicFaults())
+	// The multi-LP variants only prove something if a packet was actually in
+	// flight across an LP boundary at the warm point; track the total so the
+	// test fails loudly if the workload stops exercising the parked buffer.
+	var multiLPParked uint64
+	for _, tc := range []struct {
+		algo SyncAlgo
+		lps  int
+	}{
+		{NullMessages, 1},
+		{NullMessages, 2},
+		{NullMessages, 4},
+		{Barrier, 2},
+		{Barrier, 4},
+	} {
+		name := fmt.Sprintf("%v-lps%d", tc.algo, tc.lps)
+		warmLS, err := BuildLeafSpineWorkload(cfg, tc.lps, specs,
+			WithSyncAlgo(tc.algo), WithDynamicFaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := warmLS.Sys.Run(warm); err != nil {
+			t.Fatal(err)
+		}
+		ckpt, err := warmLS.Sys.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ckpt.At() != warm {
+			t.Fatalf("%s: warm checkpoint stamped at %v, want %v", name, ckpt.At(), warm)
+		}
+		if st := warmLS.Sys.Stats(); tc.lps > 1 {
+			multiLPParked += st.ParkedArrivals
+			if st.PostHorizonDrops != 0 {
+				t.Fatalf("%s: %d packets dropped at the warm point instead of parked",
+					name, st.PostHorizonDrops)
+			}
+		}
+		for round := 0; round < 2; round++ {
+			if err := warmLS.Sys.Restore(ckpt); err != nil {
+				t.Fatal(err)
+			}
+			if err := warmLS.SetFaults(sched); err != nil {
+				t.Fatal(err)
+			}
+			pre := warmLS.Sys.Stats()
+			if err := warmLS.Sys.Run(dur); err != nil {
+				t.Fatal(err)
+			}
+			if delta := warmLS.Sys.Stats().Sub(pre); delta.Violations != 0 {
+				t.Fatalf("%s round %d: %d causality violations", name, round, delta.Violations)
+			}
+			mustEqualFlows(t, name+" warm fork", coldLS.Results(), warmLS.Results())
+			if got, want := warmLS.FaultDrops(), coldLS.FaultDrops(); got != want {
+				t.Fatalf("%s round %d: warm-fork fault drops %d, cold %d", name, round, got, want)
+			}
+		}
+	}
+	if multiLPParked == 0 {
+		t.Error("no multi-LP warm checkpoint had packets in flight; the workload no longer exercises the parked buffer")
+	}
+}
+
+// TestForkAfterSegmentedRun is the regression the parked-buffer checkpoint
+// exists for: warm a multi-LP baseline in TWO segments (so the warm state
+// itself was assembled through a park/resume cycle), checkpoint, then fork
+// twice from that same checkpoint. Both forks must commit bit-identical
+// results — to each other AND to a cold run — proving Restore rewinds the
+// parked buffer (not just kernels and savers) and keeps the checkpoint
+// pristine across restores.
+func TestForkAfterSegmentedRun(t *testing.T) {
+	const (
+		tors = 4
+		lps  = 4
+		seed = 13
+		warm = 1 * des.Millisecond
+		dur  = 3 * des.Millisecond
+	)
+	cfg := topology.DefaultLeafSpineConfig(tors)
+	specs := forkSpecs(t, cfg, 0.9, dur, seed)
+	sched, err := topology.ParseFaults(cfg, "link:tor0-spine0@1600us+400us,detect=30us,jitter=10us")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := warmLS.Sys.Run(warm); err != nil {
-		t.Fatal(err)
-	}
-	ckpt, err := warmLS.Sys.Checkpoint()
+
+	coldLS, err := BuildLeafSpineWorkload(cfg, 1, specs, WithFaults(sched))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ckpt.At() != warm {
-		t.Fatalf("warm checkpoint stamped at %v, want %v", ckpt.At(), warm)
+	if err := coldLS.Sys.Run(dur); err != nil {
+		t.Fatal(err)
 	}
+
+	base, err := BuildLeafSpineWorkload(cfg, lps, specs, WithDynamicFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segmented warm-up: the second segment starts by resuming the packets
+	// parked at the first cut.
+	if err := base.Sys.Run(warm / 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Sys.Run(warm); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := base.Sys.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var first []tcp.FlowResult
 	for round := 0; round < 2; round++ {
-		if err := warmLS.Sys.Restore(ckpt); err != nil {
+		if err := base.Sys.Restore(ckpt); err != nil {
 			t.Fatal(err)
 		}
-		if err := warmLS.SetFaults(sched); err != nil {
+		if err := base.SetFaults(sched); err != nil {
 			t.Fatal(err)
 		}
-		if err := warmLS.Sys.Run(dur); err != nil {
+		if err := base.Sys.Run(dur); err != nil {
 			t.Fatal(err)
 		}
-		mustEqualFlows(t, "warm fork", coldLS.Results(), warmLS.Results())
-		if got, want := warmLS.FaultDrops(), coldLS.FaultDrops(); got != want {
-			t.Fatalf("round %d: warm-fork fault drops %d, cold %d", round, got, want)
+		mustEqualFlows(t, "segmented warm fork vs cold", coldLS.Results(), base.Results())
+		if round == 0 {
+			first = sortedFlows(base.Results())
+		} else {
+			mustEqualFlows(t, "fork 2 vs fork 1", first, base.Results())
 		}
 	}
 }
@@ -196,7 +300,7 @@ func TestWarmCheckpointFork(t *testing.T) {
 // TestSetFaultsRequiresDynamicBuild locks in the configuration error.
 func TestSetFaultsRequiresDynamicBuild(t *testing.T) {
 	cfg := topology.DefaultLeafSpineConfig(4)
-	specs := forkSpecs(t, cfg, des.Millisecond, 3)
+	specs := forkSpecs(t, cfg, 0.3, des.Millisecond, 3)
 	ls, err := BuildLeafSpineWorkload(cfg, 2, specs)
 	if err != nil {
 		t.Fatal(err)

@@ -593,26 +593,28 @@ func (ls *LeafSpine) Results() []tcp.FlowResult {
 
 // ExperimentResult is one Fig. 1 data point.
 type ExperimentResult struct {
-	ToRs, LPs       int
-	SimSeconds      float64
-	WallSeconds     float64
-	SimPerWall      float64 // the Fig. 1 y-axis: sim seconds per wall second
-	Events          uint64
-	Nulls           uint64
-	Barriers        uint64
-	CrossPkts       uint64
-	Violations      uint64 // causality violations: nonzero means a sync bug
-	EITStalls       uint64
-	Rollbacks       uint64 // Time Warp: state restores
-	AntiMessages    uint64 // Time Warp: speculative sends cancelled
-	LazyCancelSaved uint64 // Time Warp: anti-messages avoided by lazy cancellation
-	GVTAdvances     uint64 // Time Warp: committed GVT advances
-	Checkpoints     uint64 // Time Warp: state snapshots taken
-	WindowShrinks   uint64 // Time Warp: adaptive-window contractions
-	WindowGrows     uint64 // Time Warp: adaptive-window expansions
-	QuiescentSends  uint64 // packets on promised-idle channels: nonzero means the analysis is unsound
-	FlowsStarted    int
-	FlowsCompleted  int
+	ToRs, LPs        int
+	SimSeconds       float64
+	WallSeconds      float64
+	SimPerWall       float64 // the Fig. 1 y-axis: sim seconds per wall second
+	Events           uint64
+	Nulls            uint64
+	Barriers         uint64
+	CrossPkts        uint64
+	Violations       uint64 // causality violations: nonzero means a sync bug
+	EITStalls        uint64
+	ParkedArrivals   uint64 // conservative: in-flight packets parked at the horizon, resumable
+	PostHorizonDrops uint64 // Time Warp: packets lost at the terminal horizon
+	Rollbacks        uint64 // Time Warp: state restores
+	AntiMessages     uint64 // Time Warp: speculative sends cancelled
+	LazyCancelSaved  uint64 // Time Warp: anti-messages avoided by lazy cancellation
+	GVTAdvances      uint64 // Time Warp: committed GVT advances
+	Checkpoints      uint64 // Time Warp: state snapshots taken
+	WindowShrinks    uint64 // Time Warp: adaptive-window contractions
+	WindowGrows      uint64 // Time Warp: adaptive-window expansions
+	QuiescentSends   uint64 // packets on promised-idle channels: nonzero means the analysis is unsound
+	FlowsStarted     int
+	FlowsCompleted   int
 	// Fault accounting: every packet lost to a dead element (FaultDrops) or
 	// to the absence of any surviving route (RouteDrops). Both zero on a
 	// healthy run; under a fault schedule their sum is the total blackholed
@@ -722,28 +724,30 @@ func BuildLeafSpineWorkload(cfg topology.Config, lps int, specs []traffic.FlowSp
 func (ls *LeafSpine) AssembleResult(st Stats, flowsStarted int, dur des.Time, wall time.Duration) *ExperimentResult {
 	res := &ExperimentResult{
 		ToRs: ls.Cfg.ToRsPerCluster, LPs: ls.Sys.NumLPs(),
-		SimSeconds:      dur.Seconds(),
-		WallSeconds:     wall.Seconds(),
-		Events:          st.Events,
-		Nulls:           st.Nulls,
-		Barriers:        st.Barriers,
-		CrossPkts:       st.CrossPkts,
-		Violations:      st.Violations,
-		EITStalls:       st.EITStalls,
-		Rollbacks:       st.Rollbacks,
-		AntiMessages:    st.AntiMessages,
-		LazyCancelSaved: st.LazyCancelSaved,
-		GVTAdvances:     st.GVTAdvances,
-		Checkpoints:     st.Checkpoints,
-		WindowShrinks:   st.WindowShrinks,
-		WindowGrows:     st.WindowGrows,
-		QuiescentSends:  st.QuiescentSends,
-		FlowsStarted:    flowsStarted,
-		Partition:       ls.Partition.Name,
-		CutEdges:        ls.Partition.CutEdges,
-		CutWeight:       ls.Partition.CutWeight,
-		Channels:        ls.Partition.Channels,
-		LoadImbalance:   ls.Partition.LoadImbalance,
+		SimSeconds:       dur.Seconds(),
+		WallSeconds:      wall.Seconds(),
+		Events:           st.Events,
+		Nulls:            st.Nulls,
+		Barriers:         st.Barriers,
+		CrossPkts:        st.CrossPkts,
+		Violations:       st.Violations,
+		EITStalls:        st.EITStalls,
+		ParkedArrivals:   st.ParkedArrivals,
+		PostHorizonDrops: st.PostHorizonDrops,
+		Rollbacks:        st.Rollbacks,
+		AntiMessages:     st.AntiMessages,
+		LazyCancelSaved:  st.LazyCancelSaved,
+		GVTAdvances:      st.GVTAdvances,
+		Checkpoints:      st.Checkpoints,
+		WindowShrinks:    st.WindowShrinks,
+		WindowGrows:      st.WindowGrows,
+		QuiescentSends:   st.QuiescentSends,
+		FlowsStarted:     flowsStarted,
+		Partition:        ls.Partition.Name,
+		CutEdges:         ls.Partition.CutEdges,
+		CutWeight:        ls.Partition.CutWeight,
+		Channels:         ls.Partition.Channels,
+		LoadImbalance:    ls.Partition.LoadImbalance,
 	}
 	if wall > 0 {
 		res.SimPerWall = res.SimSeconds / res.WallSeconds

@@ -82,12 +82,22 @@ type LP struct {
 	outs     []*outLink
 	end      des.Time
 
+	// parked holds cross-LP packet arrivals stamped beyond the current run's
+	// horizon: in-flight traffic in (end, end+lookahead] that belongs to the
+	// NEXT segment of a segmented run. The buffer is re-ingested at the next
+	// Run entry (resumeParked) and rides System checkpoints (fork.go), which
+	// is what makes Run(t1); Run(t2) commit bit-identically to Run(t2) and
+	// warm multi-LP forking sound. Appended only in quiesced phases (the LP's
+	// own goroutine, its post-run drainer, finalCatchUp) and consumed at Run
+	// entry / Checkpoint / Restore, so it needs no lock.
+	parked []message
+
 	// buf is the LP's trace emission handle (nil when tracing is off); its
 	// pid is the LP id, so each LP is one Perfetto process track.
 	buf *obs.Buf
 
 	// Counters for the Fig. 1 analysis and the observability layer. Each has
-	// a single writer (the LP's own goroutine, or for PostHorizonDrops its
+	// a single writer (the LP's own goroutine, or for ParkedArrivals its
 	// drainer after the LP goroutine has finished) but is MUTATED with
 	// sync/atomic so a mid-run metrics snapshot from another goroutine reads
 	// torn-free values. Reading the plain fields is only safe at quiescence
@@ -106,10 +116,16 @@ type LP struct {
 	// EITStalls counts the times the LP exhausted its input promises and had
 	// to block waiting for a neighbor — the paper's §2.2 lockstep overhead.
 	EITStalls uint64
-	// PostHorizonDrops counts cross-LP packets stamped beyond the run
-	// horizon. They can never execute inside this run, so they are dropped
-	// at ingest (with this accounting) rather than left to linger in the
-	// kernel heap where they would skew Pending() and event counts.
+	// ParkedArrivals counts cross-LP packets stamped beyond the run horizon
+	// and moved to the parked buffer. They cannot execute inside the run
+	// that received them, but they are NOT lost: the next Run (or a restored
+	// checkpoint's) re-ingests them. Each in-flight packet is counted once,
+	// at first park — re-parking at a later horizon does not recount.
+	ParkedArrivals uint64
+	// PostHorizonDrops counts cross-LP packets genuinely lost at a terminal
+	// horizon. The conservative engines never drop — they park (see
+	// ParkedArrivals) — so this is nonzero only under Time Warp, whose
+	// optimistic machinery cannot be resumed past its final GVT (gvt.go).
 	PostHorizonDrops uint64
 	// QuiescentSends counts packets emitted on a channel LimitChannels marked
 	// quiescent. Always zero when the quiescence analysis is sound (the
@@ -547,8 +563,16 @@ func (s *System) runNull(end des.Time) {
 		for i := range lp.lastRecv {
 			lp.lastRecv[i] = des.MaxTime
 		}
+		// Seed input promises at the committed floor rather than zero: Run is
+		// only entered at quiescence, where every kernel clock agrees, so no
+		// sender can emit anything at or before its own Now. On a fresh system
+		// the floor is zero (identical to the historical init); on a resumed
+		// segment it is the previous horizon, which spares the protocol a
+		// lookahead-step-at-a-time null-message climb from zero back to time
+		// already committed.
+		floor := lp.kernel.Now()
 		for _, in := range lp.inputs {
-			lp.lastRecv[in] = 0
+			lp.lastRecv[in] = floor
 		}
 		// Promises are per-run state: a previous run to an earlier horizon (or
 		// a checkpoint restore — see fork.go) left lastSent at that run's final
@@ -558,6 +582,9 @@ func (s *System) runNull(end des.Time) {
 		for _, o := range lp.outs {
 			o.lastSent = 0
 		}
+		// In-flight packets parked past a previous segment's horizon re-enter
+		// here, before any LP goroutine starts.
+		lp.resumeParked()
 	}
 	if n == 1 {
 		s.lps[0].kernel.Run(end)
@@ -576,8 +603,8 @@ func (s *System) runNull(end des.Time) {
 			// what arrives: everything is stamped at or beyond this LP's
 			// horizon — its inputs promised nothing earlier — so packets at
 			// exactly `end` are scheduled for the final catch-up and later
-			// ones are dropped with accounting. Only this drainer touches the
-			// LP's state after lp.run returned, so the access is race-free.
+			// ones are parked for the next segment. Only this drainer touches
+			// the LP's state after lp.run returned, so the access is race-free.
 			drainers.Add(1)
 			go func() {
 				defer drainers.Done()
@@ -621,8 +648,8 @@ func (s *System) runNull(end des.Time) {
 // drained, because a sequential catch-up would leave some inboxes unconsumed
 // and a sender blocked on a full one would deadlock — with a bounded inbox
 // the send fallback spins on the sender's own empty inbox forever. The
-// drained messages are ingested, which accounts every post-horizon packet
-// (PostHorizonDrops) instead of silently losing it.
+// drained messages are ingested, which parks every post-horizon packet
+// (ParkedArrivals) for the next segment instead of silently losing it.
 func (s *System) finalCatchUp(end des.Time) {
 	var wg, compute sync.WaitGroup
 	stop := make(chan struct{})
@@ -699,7 +726,8 @@ func (lp *LP) run() {
 // delivered at Now as the least-bad recovery. A packet stamped beyond the
 // run horizon can never execute in this run; scheduling it would leave a
 // phantom event lingering in the kernel heap (skewing Pending() and event
-// accounting), so it is dropped and counted instead.
+// accounting), so it is parked — buffered for the next Run segment (or a
+// checkpoint) to re-ingest — and counted in ParkedArrivals.
 func (lp *LP) ingest(m message) {
 	if m.at > lp.lastRecv[m.from] {
 		lp.lastRecv[m.from] = m.at
@@ -720,17 +748,51 @@ func (lp *LP) ingest(m message) {
 		at = now
 	}
 	if at > lp.end {
-		atomic.AddUint64(&lp.PostHorizonDrops, 1)
+		atomic.AddUint64(&lp.ParkedArrivals, 1)
+		lp.parked = append(lp.parked, m)
 		return
 	}
+	lp.scheduleArrival(m.at, m)
+}
+
+// scheduleArrival schedules the delivery event for a cross-LP packet arrival.
+//
+// Band 1, keyed by the transmitting device: cross-LP arrivals order after
+// same-timestamp local events, and same-timestamp arrivals from different
+// sender LPs order by transmitter — not by the racy interleaving in which
+// their messages happened to reach the inbox. The same (band, key) is used
+// by netsim for locally simulated fabric links (LinkConfig.ArrivalBand),
+// so the committed order is also independent of the partitioning — and of
+// whether the arrival was ingested live or re-ingested from the parked
+// buffer at a later Run entry (resumeParked).
+func (lp *LP) scheduleArrival(at des.Time, m message) {
 	pkt, dst, port := m.pkt, m.dst, m.port
-	// Band 1, keyed by the transmitting device: cross-LP arrivals order after
-	// same-timestamp local events, and same-timestamp arrivals from different
-	// sender LPs order by transmitter — not by the racy interleaving in which
-	// their messages happened to reach the inbox. The same (band, key) is used
-	// by netsim for locally simulated fabric links (LinkConfig.ArrivalBand),
-	// so the committed order is also independent of the partitioning.
 	lp.kernel.AtCtxKeyBand(at, 1, netsim.ArrivalKey(m.src), pkt, func() { dst.Receive(pkt, port) })
+}
+
+// resumeParked re-ingests arrivals parked past a previous run's horizon.
+// Called once per LP at Run entry (single-goroutine, after lp.end and the
+// per-run lastRecv/lastSent initialization, before any LP goroutine starts).
+//
+// Soundness: a parked timestamp lies in (t1, t1+lookahead] where t1 is the
+// previous horizon, and every kernel clock sits at t1 at quiescence, so the
+// new run's earliest possible cross-LP send is t1+lookahead — the lastRecv
+// bump below is a promise the sender cannot violate, and the scheduled event
+// can never be in the kernel's past. Messages still beyond the NEW horizon
+// re-park without recounting (ParkedArrivals counts first parks only).
+func (lp *LP) resumeParked() {
+	parked := lp.parked
+	lp.parked = nil
+	for _, m := range parked {
+		if m.at > lp.lastRecv[m.from] {
+			lp.lastRecv[m.from] = m.at
+		}
+		if m.at > lp.end {
+			lp.parked = append(lp.parked, m)
+			continue
+		}
+		lp.scheduleArrival(m.at, m)
+	}
 }
 
 // drain ingests inbox messages; when block is set it waits for at least one.
@@ -786,8 +848,11 @@ type Stats struct {
 	Violations uint64
 	// EITStalls counts blocking waits for neighbor promises.
 	EITStalls uint64
-	// PostHorizonDrops counts cross-LP packets stamped beyond the horizon
-	// and dropped at ingest.
+	// ParkedArrivals counts cross-LP packets stamped beyond a conservative
+	// run's horizon and parked for the next segment — resumable, not lost.
+	ParkedArrivals uint64
+	// PostHorizonDrops counts cross-LP packets lost at a terminal horizon;
+	// nonzero only under Time Warp (the conservative engines park instead).
 	PostHorizonDrops uint64
 	// Rollbacks, AntiMessages, RolledBackEvents, and GVTAdvances account the
 	// Time Warp machinery; all zero under the conservative engines.
@@ -819,6 +884,7 @@ func (s *System) Stats() Stats {
 		out.CrossPkts += atomic.LoadUint64(&lp.CrossPkts)
 		out.Violations += atomic.LoadUint64(&lp.Violations)
 		out.EITStalls += atomic.LoadUint64(&lp.EITStalls)
+		out.ParkedArrivals += atomic.LoadUint64(&lp.ParkedArrivals)
 		out.PostHorizonDrops += atomic.LoadUint64(&lp.PostHorizonDrops)
 		out.Rollbacks += atomic.LoadUint64(&lp.Rollbacks)
 		out.AntiMessages += atomic.LoadUint64(&lp.AntiMessages)
@@ -847,6 +913,7 @@ func (s *System) CollectMetrics(e *metrics.Emitter) {
 		e.Counter("cross_lp_packets", atomic.LoadUint64(&lp.CrossPkts))
 		e.Counter("causality_violations", atomic.LoadUint64(&lp.Violations))
 		e.Counter("eit_stalls", atomic.LoadUint64(&lp.EITStalls))
+		e.Counter("parked_arrivals", atomic.LoadUint64(&lp.ParkedArrivals))
 		e.Counter("post_horizon_drops", atomic.LoadUint64(&lp.PostHorizonDrops))
 		e.Counter("rollbacks", atomic.LoadUint64(&lp.Rollbacks))
 		e.Counter("anti_messages", atomic.LoadUint64(&lp.AntiMessages))
@@ -877,6 +944,10 @@ func (s *System) runBarrier(end des.Time) {
 		for _, o := range lp.outs {
 			o.lastSent = 0 // per-run state, as in runNull
 		}
+		// Re-ingest arrivals parked past a previous segment's horizon, before
+		// any window goroutine starts (as in runNull; the lastRecv bumps are
+		// recorded but unused — the barrier protocol does not track promises).
+		lp.resumeParked()
 	}
 	if n == 1 {
 		s.lps[0].kernel.Run(end)
@@ -897,7 +968,13 @@ func (s *System) runBarrier(end des.Time) {
 	if delta < 1 {
 		delta = 1
 	}
-	for t := des.Time(0); t < end; t += delta {
+	// A resumed segment starts its windows at the committed floor instead of
+	// replaying empty windows from zero. Shifting window boundaries cannot
+	// change the committed result: boundaries only bound execution, and the
+	// keyed heap orders events identically regardless of which window
+	// ingested them — the segmented-determinism tests pin this.
+	start := s.CommittedTime()
+	for t := start; t < end; t += delta {
 		horizon := t + delta
 		if horizon > end {
 			horizon = end

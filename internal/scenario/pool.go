@@ -205,7 +205,10 @@ func (b *baseline) build(sp Spec) error {
 		return err
 	}
 	// Warm the baseline healthily to the named warm point (Validate pins
-	// warm runs to one LP and every fault strictly after the warm point).
+	// every fault strictly after the warm point, and rejects warm Time Warp
+	// specs up front). Any LP count is fine: cross-LP packets in flight at
+	// the warm point are parked by the engine and ride the checkpoint, so a
+	// multi-LP warm fork commits identically to a cold run.
 	if warm := sp.warm(); warm > 0 {
 		if err := ls.Sys.Run(warm); err != nil {
 			return err

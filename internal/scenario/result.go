@@ -51,6 +51,15 @@ type Perf struct {
 	Nulls     uint64 `json:"null_messages,omitempty"`
 	Barriers  uint64 `json:"barriers,omitempty"`
 	CrossPkts uint64 `json:"cross_lp_packets,omitempty"`
+	// ParkedArrivals counts cross-LP packets parked at a horizon for the
+	// next segment (resumable in-flight traffic, not loss). It lives in Perf,
+	// not Metrics: a forked run's delta excludes packets first parked during
+	// the shared warm-up, so the count is not fork/cold-stable the way the
+	// committed metrics are.
+	ParkedArrivals uint64 `json:"parked_arrivals,omitempty"`
+	// PostHorizonDrops counts packets genuinely lost at a terminal horizon —
+	// nonzero only under Time Warp, which cannot park.
+	PostHorizonDrops uint64 `json:"post_horizon_drops,omitempty"`
 }
 
 // Result is the outcome of Run.
@@ -123,13 +132,15 @@ func perfFromRun(r *core.RunResult) Perf {
 // perfFromExperiment reduces a pdes-mode result to the performance block.
 func perfFromExperiment(r *pdes.ExperimentResult, forked bool) Perf {
 	return Perf{
-		WallSeconds: r.WallSeconds,
-		SimSeconds:  r.SimSeconds,
-		SimPerWall:  r.SimPerWall,
-		Events:      r.Events,
-		ForkReused:  forked,
-		Nulls:       r.Nulls,
-		Barriers:    r.Barriers,
-		CrossPkts:   r.CrossPkts,
+		WallSeconds:      r.WallSeconds,
+		SimSeconds:       r.SimSeconds,
+		SimPerWall:       r.SimPerWall,
+		Events:           r.Events,
+		ForkReused:       forked,
+		Nulls:            r.Nulls,
+		Barriers:         r.Barriers,
+		CrossPkts:        r.CrossPkts,
+		ParkedArrivals:   r.ParkedArrivals,
+		PostHorizonDrops: r.PostHorizonDrops,
 	}
 }

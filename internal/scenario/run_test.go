@@ -101,6 +101,57 @@ func TestPooledWarmPointMatchesCold(t *testing.T) {
 	}
 }
 
+// TestPooledWarmMultiLPMatchesCold is the bugfix's end-to-end check: a
+// multi-LP warm baseline parks whatever cross-LP traffic is in flight at the
+// warm point, every fault variant forks it there, and each fork's Metrics are
+// bit-identical to a cold start of the same spec. Before the parked buffer
+// existed this spec shape was rejected by Validate (and would have dropped
+// packets at the warm horizon if it hadn't been).
+func TestPooledWarmMultiLPMatchesCold(t *testing.T) {
+	for _, sync := range []string{"nullmsg", "barrier"} {
+		t.Run(sync, func(t *testing.T) {
+			family := Spec{
+				Mode:      "pdes",
+				Topology:  Topology{Racks: 8},
+				Workload:  Workload{Load: 0.9},
+				Sync:      sync,
+				LPs:       4,
+				Seed:      17,
+				HorizonMS: 3,
+				WarmMS:    1,
+			}
+			pool := NewPool(4)
+			for i, faults := range []string{
+				"switch:spine1@1500us+500us,detect=40us",
+				"link:tor0-spine0@1200us+600us,detect=60us,jitter=10us",
+			} {
+				sp := family
+				sp.Faults = faults
+				cold, err := Run(sp)
+				if err != nil {
+					t.Fatalf("variant %d cold: %v", i, err)
+				}
+				pooled, err := Run(sp, WithPool(pool))
+				if err != nil {
+					t.Fatalf("variant %d pooled: %v", i, err)
+				}
+				if got, want := mustMetricsJSON(t, pooled.Metrics), mustMetricsJSON(t, cold.Metrics); got != want {
+					t.Fatalf("variant %d: multi-LP warm fork diverges from cold start:\n pooled %s\n cold   %s", i, got, want)
+				}
+				if wantFork := i > 0; pooled.Perf.ForkReused != wantFork {
+					t.Fatalf("variant %d: ForkReused = %v, want %v", i, pooled.Perf.ForkReused, wantFork)
+				}
+				if pooled.Metrics.Completed == 0 {
+					t.Fatalf("variant %d: degenerate run: %+v", i, pooled.Metrics)
+				}
+			}
+			if st := pool.Stats(); st.Builds != 1 || st.Reuses != 1 {
+				t.Fatalf("pool stats = %+v, want 1 build and 1 reuse", st)
+			}
+		})
+	}
+}
+
 // TestRunDeterminism: identical specs produce bit-identical Metrics on
 // repeated cold runs, for every engine mode that needs no trained models.
 func TestRunDeterminism(t *testing.T) {

@@ -94,9 +94,13 @@ type Spec struct {
 	// modes; default HorizonMS/2).
 	DrainMS float64 `json:"drain_ms,omitempty"`
 	// WarmMS, when positive, names the warm point baseline forks continue
-	// from (pdes mode, LPs == 1 only): the baseline simulates healthily to
-	// WarmMS once, and each variant restores that checkpoint instead of
-	// replaying the prefix. Every fault must start strictly after it.
+	// from (pdes mode, conservative sync — any LP count): the baseline
+	// simulates healthily to WarmMS once, and each variant restores that
+	// checkpoint instead of replaying the prefix. Cross-LP packets in flight
+	// at the warm point ride the checkpoint's parked buffer, so multi-LP warm
+	// forks commit identically to cold runs. Every fault must start strictly
+	// after the warm point; Time Warp cannot warm-fork (its snapshot
+	// machinery is owned by the rollback protocol).
 	WarmMS float64 `json:"warm_ms,omitempty"`
 	// DCTCP switches hosts and switches to DCTCP with shallow ECN marking.
 	DCTCP bool `json:"dctcp,omitempty"`
@@ -266,11 +270,12 @@ func (s Spec) Validate() error {
 	if n.WarmMS >= n.HorizonMS {
 		return fmt.Errorf("scenario: warm_ms %g must lie before horizon_ms %g", n.WarmMS, n.HorizonMS)
 	}
-	if n.WarmMS > 0 && n.LPs != 1 {
-		// A multi-LP run to the warm point drops in-flight cross-LP packets
-		// stamped beyond it (PostHorizonDrops), so the checkpoint would be
-		// lossy; only a single kernel quiesces completely at an interior time.
-		return fmt.Errorf("scenario: warm_ms needs lps = 1 (a multi-LP warm checkpoint would lose in-flight packets)")
+	if n.WarmMS > 0 && n.Sync == "timewarp" {
+		// Surface the engine limitation at validation time instead of letting
+		// it fail later as the pool's generic "conservative engines only"
+		// build error. (Multi-LP warm points are fine: cross-LP packets in
+		// flight at the warm point are parked and ride the checkpoint.)
+		return fmt.Errorf("scenario: warm_ms needs a conservative sync (nullmsg or barrier); timewarp cannot checkpoint a warm point — drop warm_ms or switch sync")
 	}
 	if n.Workload.Collective != "" {
 		ps, err := collective.Parse(n.Workload.Collective)

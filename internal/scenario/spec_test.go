@@ -43,6 +43,21 @@ var goldenSpecs = []struct {
 		HorizonMS: 6,
 		WarmMS:    1.5,
 	}},
+	// Multi-LP warm baseline: warm_ms with lps > 1 is a first-class spec now
+	// that in-flight cross-LP packets park at the warm point and ride the
+	// checkpoint. The canonical bytes are a cache key like any other.
+	{"pdes_warm_multilp", Spec{
+		Mode:      "pdes",
+		Topology:  Topology{Racks: 8},
+		Workload:  Workload{Load: 0.6},
+		Faults:    "link:tor0-spine0@2ms+1ms,detect=40us",
+		Sync:      "barrier",
+		Partition: "spine",
+		LPs:       4,
+		Seed:      21,
+		HorizonMS: 6,
+		WarmMS:    1.5,
+	}},
 	// Collective workload fields: the grammar string is part of the hash
 	// preimage, and load 0 (collective-only) must survive normalization
 	// instead of defaulting to 0.4.
@@ -263,7 +278,7 @@ func TestValidateRejections(t *testing.T) {
 		{"bad partition", Spec{Mode: "pdes", Partition: "random"}},
 		{"too many lps", Spec{Mode: "pdes", Topology: Topology{Racks: 4}, LPs: 8}},
 		{"warm past horizon", Spec{Mode: "pdes", HorizonMS: 2, WarmMS: 2, LPs: 1}},
-		{"warm multi-lp", Spec{Mode: "pdes", WarmMS: 1, HorizonMS: 4, LPs: 2}},
+		{"warm timewarp", Spec{Mode: "pdes", WarmMS: 1, HorizonMS: 4, Sync: "timewarp"}},
 		{"fault before warm", Spec{Mode: "pdes", WarmMS: 1, HorizonMS: 4, LPs: 1,
 			Faults: "switch:spine0@500us+100us"}},
 		{"bad fault grammar", Spec{Mode: "pdes", Faults: "spine0 dies at noon"}},
@@ -288,6 +303,18 @@ func TestValidateRejections(t *testing.T) {
 				t.Fatalf("Validate accepted %+v", c.spec)
 			}
 		})
+	}
+}
+
+// TestValidateWarmMultiLP pins the bugfix's API half: warm_ms with lps > 1
+// (any conservative sync) used to be rejected outright; now that the engine
+// parks in-flight cross-LP packets at the warm point, it must validate.
+func TestValidateWarmMultiLP(t *testing.T) {
+	for _, sync := range []string{"", "nullmsg", "null", "barrier"} {
+		sp := Spec{Mode: "pdes", WarmMS: 1, HorizonMS: 4, LPs: 2, Sync: sync}
+		if err := sp.Validate(); err != nil {
+			t.Errorf("sync %q: Validate rejected a multi-LP warm spec: %v", sync, err)
+		}
 	}
 }
 

@@ -127,6 +127,54 @@ func TestSweepForkReuse(t *testing.T) {
 	}
 }
 
+// TestSweepWarmMultiLPForkReuse: a fault sweep over a multi-LP warm family —
+// the shape the warm-fork bugfix unlocks — runs end to end through the HTTP
+// API. The baseline warms once to warm_ms with lps=4 (parking in-flight
+// cross-LP packets at the warm point), every later variant forks it there,
+// and each variant commits a real (nonzero-flow) result.
+func TestSweepWarmMultiLPForkReuse(t *testing.T) {
+	s, ts := newTestServer(t)
+	warmSpec := func(faults string) string {
+		return fmt.Sprintf(`{"mode":"pdes","topology":{"racks":8},"workload":{"load":0.5},"lps":4,"seed":9,"horizon_ms":3,"warm_ms":1%s}`, faults)
+	}
+	sweep := fmt.Sprintf(`{"scenarios":[%s,%s,%s]}`,
+		warmSpec(``),
+		warmSpec(`,"faults":"switch:spine1@1500us+500us,detect=40us"`),
+		warmSpec(`,"faults":"link:tor0-spine0@1200us+600us,detect=60us,jitter=10us"`))
+	var resp SweepResponse
+	if code := post(t, ts, "/v1/sweep", sweep, &resp); code != http.StatusOK {
+		t.Fatalf("sweep status %d", code)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(resp.Results))
+	}
+	forks := 0
+	for i, r := range resp.Results {
+		if r.Error != "" {
+			t.Fatalf("variant %d failed: %s", i, r.Error)
+		}
+		if r.ForkReused {
+			forks++
+		}
+		var m struct {
+			Flows     int `json:"flows"`
+			Completed int `json:"completed"`
+		}
+		if err := json.Unmarshal(r.Metrics, &m); err != nil {
+			t.Fatalf("variant %d metrics: %v", i, err)
+		}
+		if m.Flows == 0 || m.Completed == 0 {
+			t.Fatalf("variant %d committed a degenerate result: %s", i, r.Metrics)
+		}
+	}
+	if forks != 2 {
+		t.Fatalf("%d forks across a 3-variant warm family, want 2", forks)
+	}
+	if st := s.Stats(); st.Pool.Reuses < 2 {
+		t.Fatalf("pool reports %d reuses, want >= 2: %+v", st.Pool.Reuses, st.Pool)
+	}
+}
+
 // TestConcurrentPosts hammers the server with duplicate and distinct specs
 // concurrently (run under -race in CI): every reply for one key must carry
 // the same metrics bytes, and each distinct spec must simulate at most once.

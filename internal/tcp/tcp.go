@@ -19,6 +19,7 @@ package tcp
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"approxsim/internal/des"
@@ -214,8 +215,11 @@ func (s *Stack) StartFlow(dst packet.HostID, size int64, flowID uint64, onDone f
 	c.sendSYN()
 }
 
-// Results returns the FlowResult of every locally initiated flow, in
-// unspecified order. Incomplete flows report their progress so far.
+// Results returns the FlowResult of every locally initiated flow, in flow-ID
+// order. Incomplete flows report their progress so far. The order is part of
+// the determinism contract: conns is a map, and letting its randomized
+// iteration order leak out makes any order-sensitive reduction downstream
+// (floating-point FCT means, most visibly) differ between identical runs.
 func (s *Stack) Results() []FlowResult {
 	var out []FlowResult
 	for _, c := range s.conns {
@@ -223,6 +227,7 @@ func (s *Stack) Results() []FlowResult {
 			out = append(out, c.result())
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FlowID < out[j].FlowID })
 	return out
 }
 
